@@ -1,0 +1,146 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * functional sampler, Kronecker expansion, the set-associative cache
+ * directory, the SSD block-read path, and the SAGE layer math.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gnn/layers.hh"
+#include "gnn/sampler.hh"
+#include "graph/kronecker.hh"
+#include "graph/powerlaw.hh"
+#include "sim/set_assoc.hh"
+#include "ssd/ssd_device.hh"
+
+using namespace smartsage;
+
+namespace
+{
+
+const graph::CsrGraph &
+benchGraph()
+{
+    static graph::CsrGraph g = [] {
+        graph::PowerLawParams p;
+        p.num_nodes = 1 << 15;
+        p.avg_degree = 60;
+        return graph::generatePowerLaw(p);
+    }();
+    return g;
+}
+
+void
+BM_SageSampler(benchmark::State &state)
+{
+    const auto &g = benchGraph();
+    gnn::SageSampler sampler({25, 10});
+    sim::Rng rng(1);
+    std::uint64_t edges = 0;
+    for (auto _ : state) {
+        auto targets = gnn::selectTargets(
+            g, static_cast<std::size_t>(state.range(0)), rng);
+        auto sg = sampler.sample(g, targets, rng);
+        edges += sg.totalSampledEdges();
+        benchmark::DoNotOptimize(sg);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_SageSampler)->Arg(128)->Arg(512)->Arg(1024);
+
+void
+BM_SaintSampler(benchmark::State &state)
+{
+    const auto &g = benchGraph();
+    gnn::SaintSampler sampler(3);
+    sim::Rng rng(2);
+    for (auto _ : state) {
+        auto targets = gnn::selectTargets(g, 1024, rng);
+        auto sg = sampler.sample(g, targets, rng);
+        benchmark::DoNotOptimize(sg);
+    }
+}
+BENCHMARK(BM_SaintSampler);
+
+void
+BM_KroneckerExpand(benchmark::State &state)
+{
+    graph::PowerLawParams p;
+    p.num_nodes = static_cast<std::uint64_t>(state.range(0));
+    p.avg_degree = 20;
+    graph::CsrGraph base = graph::generatePowerLaw(p);
+    auto seed = graph::KroneckerSeed::defaultSeed();
+    for (auto _ : state) {
+        auto g = graph::kroneckerExpand(base, seed);
+        benchmark::DoNotOptimize(g);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(base.numEdges() * 3));
+}
+BENCHMARK(BM_KroneckerExpand)->Arg(1 << 12)->Arg(1 << 14);
+
+void
+BM_SetAssocLru(benchmark::State &state)
+{
+    sim::SetAssocLru cache(sim::MiB(16), 64, 16);
+    sim::Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBounded(1u << 22)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetAssocLru);
+
+void
+BM_SsdReadBlocks(benchmark::State &state)
+{
+    ssd::SsdConfig cfg;
+    ssd::SsdDevice ssd(cfg);
+    sim::Rng rng(4);
+    sim::Tick t = 0;
+    for (auto _ : state) {
+        t = ssd.readBlocks(t, rng.nextBounded(1u << 30) & ~4095ull,
+                           4096);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdReadBlocks);
+
+void
+BM_SageLayerForward(benchmark::State &state)
+{
+    sim::Rng rng(5);
+    unsigned dim = static_cast<unsigned>(state.range(0));
+    gnn::SageMeanLayer layer(dim, dim, true, rng);
+
+    gnn::SampledBlock block;
+    const std::size_t dsts = 256, fanout = 10;
+    block.offsets.push_back(0);
+    sim::Rng pick(6);
+    for (std::size_t u = 0; u < dsts; ++u) {
+        for (std::size_t j = 0; j < fanout; ++j) {
+            block.src_index.push_back(static_cast<std::uint32_t>(
+                pick.nextBounded(dsts * 4)));
+        }
+        block.offsets.push_back(
+            static_cast<std::uint32_t>(block.src_index.size()));
+    }
+    gnn::Tensor2D h = gnn::Tensor2D::uniform(dsts * 4, dim, 1.0f, rng);
+
+    for (auto _ : state) {
+        gnn::SageContext ctx;
+        auto out = layer.forward(h, block, ctx);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(2 * dsts * dim * dim));
+}
+BENCHMARK(BM_SageLayerForward)->Arg(32)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table I: graph dataset information — the paper-reported statistics
+ * side by side with the simulation-scale instantiations this repo
+ * actually runs.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "graph/degree.hh"
+
+using namespace ssbench;
+
+int
+main()
+{
+    core::TableReporter paper(
+        "Table I (paper-reported)",
+        {"Dataset", "Nodes(in-mem)", "Edges(in-mem)", "Size GB",
+         "Nodes(large)", "Edges(large)", "Size GB(large)", "Features"});
+    for (auto id : graph::allDatasets()) {
+        const auto &s = graph::datasetSpec(id);
+        paper.addRow({s.name, core::fmt(s.paper_in_memory.nodes / 1e6, 2) + "M",
+                      core::fmt(s.paper_in_memory.edges / 1e9, 2) + "B",
+                      core::fmt(s.paper_in_memory.size_gb, 1),
+                      core::fmt(s.paper_large.nodes / 1e6, 1) + "M",
+                      core::fmt(s.paper_large.edges / 1e9, 1) + "B",
+                      core::fmt(s.paper_large.size_gb, 0),
+                      std::to_string(s.feature_dim)});
+    }
+    paper.print(std::cout);
+    std::cout << "\n";
+
+    core::TableReporter sim(
+        "Table I (simulation scale, ~1000x reduced via the same "
+        "Kronecker recipe)",
+        {"Dataset", "Nodes(in-mem)", "Edges(in-mem)", "Nodes(large)",
+         "Edges(large)", "AvgDeg(large)", "MaxDeg", "EdgeFile MB"});
+    for (auto id : graph::allDatasets()) {
+        const auto &s = graph::datasetSpec(id);
+        graph::CsrGraph small = s.buildInMemory();
+        const auto &wl = workload(id);
+        graph::EdgeLayout layout;
+        sim.addRow({s.name, std::to_string(small.numNodes()),
+                    std::to_string(small.numEdges()),
+                    std::to_string(wl.graph.numNodes()),
+                    std::to_string(wl.graph.numEdges()),
+                    core::fmt(wl.graph.avgDegree(), 1),
+                    std::to_string(wl.graph.maxDegree()),
+                    core::fmt(wl.edgeListBytes(layout) / 1e6, 1)});
+    }
+    sim.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Design-space exploration: for one dataset, walk every design point
+ * and print end-to-end throughput plus the component-level stats that
+ * explain it (page-cache hit rates, SSD page-buffer behaviour, flash
+ * utilization, sampling latency).
+ *
+ * Run: ./design_space [dataset] [workers] [--stats]
+ *   --stats additionally dumps every system's component counters in
+ *   gem5-stats style.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "graph/datasets.hh"
+#include "host/io_path.hh"
+#include "sim/logging.hh"
+
+using namespace smartsage;
+
+int
+main(int argc, char **argv)
+{
+    graph::DatasetId id = graph::DatasetId::Reddit;
+    if (argc >= 2) {
+        bool found = false;
+        for (auto d : graph::allDatasets()) {
+            if (graph::datasetName(d) == argv[1]) {
+                id = d;
+                found = true;
+            }
+        }
+        if (!found)
+            SS_FATAL("unknown dataset '", argv[1], "'");
+    }
+    unsigned workers = argc >= 3 ? std::stoul(argv[2]) : 12;
+    bool dump_stats =
+        argc >= 4 && std::string(argv[3]) == "--stats";
+
+    core::Workload wl = core::Workload::make(id);
+    SS_INFORM(graph::datasetName(id), ": ", wl.graph.numNodes(),
+              " nodes, ", wl.graph.numEdges(), " edges, avg deg ",
+              core::fmt(wl.graph.avgDegree(), 1), ", max deg ",
+              wl.graph.maxDegree(), ", feature dim ",
+              wl.features.dim());
+
+    core::TableReporter table(
+        "Design space, " + graph::datasetName(id) + ", " +
+            std::to_string(workers) + " workers",
+        {"design", "batches/s", "avg sample ms", "GPU idle",
+         "cache hit", "ssd pages", "notes"});
+
+    for (auto dp : core::allDesignPoints()) {
+        core::SystemConfig sc;
+        sc.design = dp;
+        sc.pipeline.workers = workers;
+        core::GnnSystem system(sc, wl);
+        auto result = system.runPipeline();
+
+        std::string cache = "-", pages = "-", notes;
+        if (auto *ssd = system.ssd()) {
+            cache = core::fmtPct(ssd->pageBuffer().hitRate());
+            pages = std::to_string(ssd->flashArray().pagesRead());
+        }
+        if (auto *mm = dynamic_cast<host::MmapEdgeStore *>(
+                system.edgeStore())) {
+            notes = "page cache " + core::fmtPct(mm->pageCacheHitRate()) +
+                    ", faults " + std::to_string(mm->pageFaults());
+        } else if (auto *dio = dynamic_cast<host::DirectIoEdgeStore *>(
+                       system.edgeStore())) {
+            notes = "scratchpad " +
+                    core::fmtPct(dio->scratchpadHitRate()) + ", submits " +
+                    std::to_string(dio->submits());
+        }
+        table.addRow({core::designName(dp), core::fmt(result.throughput(), 2),
+                      core::fmt(result.avg_sampling_us / 1000.0, 2),
+                      core::fmtPct(result.gpu_idle_frac), cache, pages,
+                      notes});
+        if (dump_stats)
+            system.dumpStats(std::cout);
+    }
+    table.print(std::cout);
+    return 0;
+}

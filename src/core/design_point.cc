@@ -1,0 +1,46 @@
+#include "design_point.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace smartsage::core
+{
+
+namespace
+{
+
+const std::array<std::string, 7> names = {
+    "DRAM",
+    "SSD (mmap)",
+    "SmartSAGE (SW)",
+    "SmartSAGE (HW/SW)",
+    "SmartSAGE (oracle)",
+    "PMEM",
+    "FPGA-CSD",
+};
+
+const std::vector<DesignPoint> order = {
+    DesignPoint::DramOracle,      DesignPoint::SsdMmap,
+    DesignPoint::SmartSageSw,     DesignPoint::SmartSageHwSw,
+    DesignPoint::SmartSageOracle, DesignPoint::Pmem,
+    DesignPoint::FpgaCsd,
+};
+
+} // namespace
+
+const std::string &
+designName(DesignPoint dp)
+{
+    auto idx = static_cast<std::size_t>(dp);
+    SS_ASSERT(idx < names.size(), "bad design point ", idx);
+    return names[idx];
+}
+
+const std::vector<DesignPoint> &
+allDesignPoints()
+{
+    return order;
+}
+
+} // namespace smartsage::core

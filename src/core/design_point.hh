@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The design points evaluated in the paper (Sections V-VI).
+ */
+
+#ifndef SMARTSAGE_CORE_DESIGN_POINT_HH
+#define SMARTSAGE_CORE_DESIGN_POINT_HH
+
+#include <string>
+#include <vector>
+
+namespace smartsage::core
+{
+
+/** Every system configuration the paper compares. */
+enum class DesignPoint
+{
+    DramOracle,      //!< infinite-DRAM in-memory processing upper bound
+    SsdMmap,         //!< baseline SSD via mmap + OS page cache
+    SmartSageSw,     //!< direct I/O runtime, no ISP
+    SmartSageHwSw,   //!< direct I/O + firmware ISP (the proposal)
+    SmartSageOracle, //!< ISP with dedicated cores (Newport-style CSD)
+    Pmem,            //!< Optane DC PMEM on the memory bus
+    FpgaCsd,         //!< SmartSSD-style FPGA CSD (Section VI-D)
+};
+
+/** Display name matching the paper's figure labels. */
+const std::string &designName(DesignPoint dp);
+
+/** All design points in presentation order. */
+const std::vector<DesignPoint> &allDesignPoints();
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_DESIGN_POINT_HH

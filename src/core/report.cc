@@ -1,0 +1,98 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace smartsage::core
+{
+
+TableReporter::TableReporter(std::string title,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    SS_ASSERT(!columns_.empty(), "table needs columns");
+}
+
+void
+TableReporter::addRow(std::vector<std::string> cells)
+{
+    SS_ASSERT(cells.size() == columns_.size(), "row width ",
+              cells.size(), " != column count ", columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TableReporter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        width[c] = columns_[c].size();
+        for (const auto &row : rows_)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    os << "== " << title_ << " ==\n";
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c] + 2))
+               << cells[c];
+        }
+        os << "\n";
+    };
+    line(columns_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+    os.flush();
+}
+
+std::string
+fmt(double v, int prec)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+std::string
+fmtX(double v, int prec)
+{
+    return fmt(v, prec) + "x";
+}
+
+std::string
+fmtPct(double frac, int prec)
+{
+    return fmt(frac * 100.0, prec) + "%";
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    SS_ASSERT(!values.empty(), "geomean of nothing");
+    double acc = 0.0;
+    for (double v : values) {
+        SS_ASSERT(v > 0.0, "geomean needs positive values, got ", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    SS_ASSERT(!values.empty(), "mean of nothing");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+} // namespace smartsage::core

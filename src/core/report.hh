@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table reporting for the experiment harnesses: every bench
+ * binary prints the same rows/series the corresponding paper figure or
+ * table shows.
+ */
+
+#ifndef SMARTSAGE_CORE_REPORT_HH
+#define SMARTSAGE_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smartsage::core
+{
+
+/** Fixed-width text table. */
+class TableReporter
+{
+  public:
+    TableReporter(std::string title, std::vector<std::string> columns);
+
+    /** Append one row; cell count must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a title banner and aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p prec decimals. */
+std::string fmt(double v, int prec = 2);
+
+/** Format @p v as "N.NNx". */
+std::string fmtX(double v, int prec = 2);
+
+/** Format a percentage. */
+std::string fmtPct(double frac, int prec = 1);
+
+/** Geometric mean. @pre all values > 0 */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_REPORT_HH

@@ -1,0 +1,224 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "pipeline/scheduler.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace smartsage::core
+{
+
+Workload
+Workload::make(graph::DatasetId id, bool large_scale,
+               unsigned num_classes)
+{
+    const auto &spec = graph::datasetSpec(id);
+    graph::CsrGraph g =
+        large_scale ? spec.buildLargeScale() : spec.buildInMemory();
+    std::uint64_t n = g.numNodes();
+    return Workload{
+        id, std::move(g),
+        gnn::FeatureTable(n, spec.feature_dim, num_classes)};
+}
+
+std::uint64_t
+Workload::edgeListBytes(const graph::EdgeLayout &layout) const
+{
+    return graph.numEdges() * layout.entry_bytes;
+}
+
+unsigned
+SystemConfig::depth() const
+{
+    return use_saint ? saint_walk_length
+                     : static_cast<unsigned>(fanouts.size());
+}
+
+namespace
+{
+
+/** Scale a cache budget off the edge-list size, with a sane floor. */
+std::uint64_t
+scaledCache(double fraction, std::uint64_t edge_bytes,
+            std::uint64_t line_bytes, unsigned ways)
+{
+    std::uint64_t floor_bytes = line_bytes * ways * 8;
+    auto want = static_cast<std::uint64_t>(fraction *
+                                           static_cast<double>(edge_bytes));
+    return std::max(want, floor_bytes);
+}
+
+} // namespace
+
+GnnSystem::GnnSystem(const SystemConfig &config, const Workload &workload)
+    : config_(config), workload_(workload)
+{
+    // Sampler.
+    if (config_.use_saint)
+        sampler_ = std::make_unique<gnn::SaintSampler>(
+            config_.saint_walk_length);
+    else
+        sampler_ = std::make_unique<gnn::SageSampler>(config_.fanouts);
+
+    // Cache budgets follow the dataset's on-device footprint.
+    std::uint64_t edge_bytes = workload.edgeListBytes(config_.layout);
+    config_.host.page_cache_bytes =
+        scaledCache(config_.page_cache_fraction, edge_bytes,
+                    config_.host.os_page_bytes,
+                    config_.host.page_cache_ways);
+    config_.host.scratchpad_bytes =
+        scaledCache(config_.scratchpad_fraction, edge_bytes,
+                    config_.host.os_page_bytes,
+                    config_.host.scratchpad_ways);
+    config_.ssd.page_buffer_bytes =
+        scaledCache(config_.ssd_buffer_fraction, edge_bytes,
+                    config_.ssd.flash.page_bytes,
+                    config_.ssd.page_buffer_ways);
+
+    bool dedicated_isp = config_.design == DesignPoint::SmartSageOracle;
+    switch (config_.design) {
+      case DesignPoint::DramOracle:
+        store_ = std::make_unique<host::DramEdgeStore>(config_.host);
+        break;
+      case DesignPoint::Pmem:
+        store_ = std::make_unique<host::PmemEdgeStore>(config_.host);
+        break;
+      case DesignPoint::SsdMmap:
+        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd);
+        store_ = std::make_unique<host::MmapEdgeStore>(config_.host,
+                                                       *ssd_);
+        break;
+      case DesignPoint::SmartSageSw:
+        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd);
+        store_ = std::make_unique<host::DirectIoEdgeStore>(config_.host,
+                                                           *ssd_);
+        break;
+      case DesignPoint::SmartSageHwSw:
+      case DesignPoint::SmartSageOracle:
+        if (dedicated_isp) {
+            // Newport-style CSD: a quad-core complex dedicated to ISP
+            // on top of the firmware cores (Section VI-C).
+            config_.ssd.embedded_cores += 4;
+        }
+        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd,
+                                                dedicated_isp);
+        isp_engine_ = std::make_unique<isp::IspEngine>(
+            config_.isp, *ssd_, config_.layout);
+        break;
+      case DesignPoint::FpgaCsd:
+        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd);
+        fpga_engine_ = std::make_unique<isp::FpgaCsdEngine>(
+            config_.fpga, *ssd_, config_.layout);
+        break;
+    }
+
+    if (store_) {
+        producer_ = std::make_unique<pipeline::CpuProducer>(
+            workload_.graph, *sampler_, *store_, config_.host,
+            config_.layout);
+    } else if (isp_engine_) {
+        producer_ = std::make_unique<pipeline::IspProducer>(
+            workload_.graph, *sampler_, *isp_engine_, *ssd_);
+    } else {
+        SS_ASSERT(fpga_engine_, "no producer path configured");
+        producer_ = std::make_unique<pipeline::FpgaProducer>(
+            workload_.graph, *sampler_, *fpga_engine_, *ssd_);
+    }
+
+    gnn::ModelConfig mc;
+    mc.in_dim = workload_.features.dim();
+    mc.hidden_dim = config_.hidden_dim;
+    mc.num_classes = workload_.features.numClasses();
+    mc.depth = config_.depth();
+    gpu_ = std::make_unique<gnn::GpuTimingModel>(config_.gpu, mc);
+}
+
+pipeline::PipelineResult
+GnnSystem::runPipeline()
+{
+    pipeline::TrainingPipeline pipe(config_.pipeline, config_.host,
+                                    *gpu_, workload_.features);
+    return pipe.run(*producer_, workload_.graph);
+}
+
+void
+GnnSystem::dumpStats(std::ostream &os) const
+{
+    sim::StatGroup group("system." + designName(config_.design));
+
+    // Scalars must outlive dump(); collect them here.
+    std::vector<std::unique_ptr<sim::Scalar>> owned;
+    auto add = [&](const std::string &name, double value,
+                   const std::string &desc) {
+        owned.push_back(std::make_unique<sim::Scalar>());
+        owned.back()->set(value);
+        group.addScalar(name, owned.back().get(), desc);
+    };
+
+    add("graph.nodes", static_cast<double>(workload_.graph.numNodes()),
+        "graph nodes");
+    add("graph.edges", static_cast<double>(workload_.graph.numEdges()),
+        "graph edges");
+
+    if (ssd_) {
+        add("ssd.host_reads", static_cast<double>(ssd_->hostReads()),
+            "block read commands served");
+        add("ssd.bytes_to_host",
+            static_cast<double>(ssd_->bytesToHost()),
+            "bytes shipped over PCIe");
+        add("ssd.page_buffer.hit_rate", ssd_->pageBuffer().hitRate(),
+            "controller DRAM buffer hit rate");
+        add("ssd.flash.pages_read",
+            static_cast<double>(ssd_->flashArray().pagesRead()),
+            "NAND pages sensed");
+        add("ssd.cores.busy_us",
+            sim::toMicros(ssd_->cores().busyTime()),
+            "embedded core busy time");
+    }
+    if (auto *mm = dynamic_cast<host::MmapEdgeStore *>(store_.get())) {
+        add("host.page_cache.hit_rate", mm->pageCacheHitRate(),
+            "OS page cache hit rate");
+        add("host.page_faults", static_cast<double>(mm->pageFaults()),
+            "major faults taken");
+    }
+    if (auto *dio =
+            dynamic_cast<host::DirectIoEdgeStore *>(store_.get())) {
+        add("host.scratchpad.hit_rate", dio->scratchpadHitRate(),
+            "user scratchpad hit rate");
+        add("host.direct_io.submits",
+            static_cast<double>(dio->submits()),
+            "O_DIRECT submissions");
+    }
+    if (auto *dram = dynamic_cast<host::DramEdgeStore *>(store_.get())) {
+        add("host.llc.miss_rate",
+            const_cast<host::DramEdgeStore *>(dram)->llc().missRate(),
+            "LLC miss rate over edge reads");
+    }
+    group.dump(os);
+}
+
+GnnSystem::SamplingResult
+GnnSystem::runSamplingOnly(unsigned workers, std::size_t batches)
+{
+    SS_ASSERT(workers > 0 && batches > 0, "degenerate sampling run");
+
+    pipeline::ScheduleConfig sched;
+    sched.workers = workers;
+    sched.num_batches = batches;
+    sched.batch_size = config_.pipeline.batch_size;
+    sched.seed = config_.pipeline.seed;
+    auto produced =
+        pipeline::runWorkers(*producer_, workload_.graph, sched);
+
+    SamplingResult result;
+    for (const auto &batch : produced) {
+        result.makespan = std::max(result.makespan, batch.ready);
+        result.avg_batch_us += sim::toMicros(batch.sampling_time);
+    }
+    result.batches = batches;
+    result.avg_batch_us /= static_cast<double>(batches);
+    return result;
+}
+
+} // namespace smartsage::core

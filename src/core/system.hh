@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SystemBuilder: the public top-level API.
+ *
+ * A Workload is one dataset (graph + features); a GnnSystem wires every
+ * substrate — SSD, host paths, ISP engine, samplers, GPU model — for
+ * one design point over that workload, and can run sampling-only
+ * experiments (Figs 14-17) or full training pipelines (Figs 6, 7, 18).
+ */
+
+#ifndef SMARTSAGE_CORE_SYSTEM_HH
+#define SMARTSAGE_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "design_point.hh"
+#include "gnn/feature_table.hh"
+#include "gnn/gpu_model.hh"
+#include "gnn/sampler.hh"
+#include "graph/datasets.hh"
+#include "graph/layout.hh"
+#include "host/config.hh"
+#include "host/io_path.hh"
+#include "isp/fpga_csd.hh"
+#include "isp/isp_engine.hh"
+#include "pipeline/producer.hh"
+#include "pipeline/trainer.hh"
+#include "ssd/ssd_device.hh"
+
+namespace smartsage::core
+{
+
+/** One dataset instantiated at simulation scale. */
+struct Workload
+{
+    graph::DatasetId id;
+    graph::CsrGraph graph;
+    gnn::FeatureTable features;
+
+    /** Build the large-scale (default) or in-memory variant of @p id. */
+    static Workload make(graph::DatasetId id, bool large_scale = true,
+                         unsigned num_classes = 16);
+
+    /** Edge-list bytes as stored on the device (8 B entries). */
+    std::uint64_t edgeListBytes(const graph::EdgeLayout &layout) const;
+};
+
+/** Everything configurable about one system instantiation. */
+struct SystemConfig
+{
+    DesignPoint design = DesignPoint::SmartSageHwSw;
+
+    host::HostConfig host;
+    ssd::SsdConfig ssd;
+    isp::IspConfig isp;
+    isp::FpgaCsdConfig fpga;
+    gnn::GpuConfig gpu;
+    pipeline::PipelineConfig pipeline;
+    graph::EdgeLayout layout;
+
+    /** GraphSAGE fanouts; ignored when use_saint is set. */
+    std::vector<unsigned> fanouts = {25, 10};
+    bool use_saint = false;
+    unsigned saint_walk_length = 2;
+
+    /**
+     * The OS page cache and the direct-I/O scratchpad are sized as a
+     * fraction of the edge-list file, preserving the paper's
+     * DRAM-to-dataset capacity ratio at simulation scale.
+     */
+    double page_cache_fraction = 0.45;
+    double scratchpad_fraction = 0.45;
+    /** SSD-internal DRAM page buffer, scaled the same way. A real 256
+     *  MiB controller buffer against a 400 GB dataset covers well
+     *  under 1% of the edge file; 2% keeps the same regime while
+     *  leaving the ISP engine its intra-batch reuse. */
+    double ssd_buffer_fraction = 0.02;
+
+    unsigned hidden_dim = 64;
+
+    /** Effective sampling depth (fanout hops or walk length). */
+    unsigned depth() const;
+};
+
+/** A fully wired system for one (workload, design point) pair. */
+class GnnSystem
+{
+  public:
+    GnnSystem(const SystemConfig &config, const Workload &workload);
+
+    /** The producer implementing this design point's sampling path. */
+    pipeline::SubgraphProducer &producer() { return *producer_; }
+
+    /** Run the full producer-consumer training pipeline. */
+    pipeline::PipelineResult runPipeline();
+
+    /**
+     * Sampling-only experiment: @p workers worker timelines produce
+     * @p batches mini-batches (no GPU stage).
+     */
+    struct SamplingResult
+    {
+        sim::Tick makespan = 0;
+        double avg_batch_us = 0;   //!< mean per-batch sampling latency
+        std::uint64_t batches = 0;
+
+        double
+        batchesPerSecond() const
+        {
+            return makespan ? static_cast<double>(batches) /
+                                  sim::toSeconds(makespan)
+                            : 0.0;
+        }
+    };
+
+    SamplingResult runSamplingOnly(unsigned workers,
+                                   std::size_t batches);
+
+    const SystemConfig &config() const { return config_; }
+    const Workload &workload() const { return workload_; }
+    const gnn::AnySampler &sampler() const { return *sampler_; }
+
+    /** Non-null for SSD-backed design points. */
+    ssd::SsdDevice *ssd() { return ssd_.get(); }
+
+    /** Non-null for CPU-sampling design points (DRAM/mmap/SW/PMEM). */
+    host::EdgeStore *edgeStore() { return store_.get(); }
+
+    /**
+     * Render the component-level counters of this system — SSD page
+     * buffer, flash array, host caches, PCIe traffic — as a gem5-style
+     * stats report. Call after an experiment.
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig config_;
+    const Workload &workload_;
+
+    std::unique_ptr<gnn::AnySampler> sampler_;
+    std::unique_ptr<ssd::SsdDevice> ssd_;
+    std::unique_ptr<host::EdgeStore> store_;
+    std::unique_ptr<isp::IspEngine> isp_engine_;
+    std::unique_ptr<isp::FpgaCsdEngine> fpga_engine_;
+    std::unique_ptr<pipeline::SubgraphProducer> producer_;
+    std::unique_ptr<gnn::GpuTimingModel> gpu_;
+};
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_SYSTEM_HH

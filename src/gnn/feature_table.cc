@@ -1,0 +1,85 @@
+#include "feature_table.hh"
+
+#include "sim/logging.hh"
+
+namespace smartsage::gnn
+{
+
+namespace
+{
+
+std::uint64_t
+hashMix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Map a 64-bit hash to [-1, 1). */
+float
+toUnit(std::uint64_t h)
+{
+    return static_cast<float>(
+        static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0);
+}
+
+} // namespace
+
+FeatureTable::FeatureTable(std::uint64_t num_nodes, unsigned dim,
+                           unsigned num_classes, std::uint64_t seed)
+    : num_nodes_(num_nodes), dim_(dim), num_classes_(num_classes),
+      seed_(seed)
+{
+    SS_ASSERT(num_nodes > 0 && dim > 0 && num_classes > 1,
+              "degenerate feature table shape");
+}
+
+std::uint32_t
+FeatureTable::label(graph::LocalNodeId u) const
+{
+    SS_ASSERT(u < num_nodes_, "node ", u, " out of range");
+    return static_cast<std::uint32_t>(hashMix(seed_ ^ (u * 31 + 7)) %
+                                      num_classes_);
+}
+
+float
+FeatureTable::element(std::uint64_t node, unsigned col) const
+{
+    // Base noise per (node, col), plus a class centroid per (label,
+    // col) so classes are linearly separable in expectation.
+    float noise = toUnit(hashMix(seed_ ^ (node << 20) ^ col));
+    std::uint32_t y = static_cast<std::uint32_t>(
+        hashMix(seed_ ^ (node * 31 + 7)) % num_classes_);
+    float centroid = toUnit(hashMix(seed_ ^ 0xc1a55ULL ^
+                                    (std::uint64_t(y) << 32) ^ col));
+    return 0.5f * noise + 0.8f * centroid;
+}
+
+void
+FeatureTable::gather(std::span<const graph::LocalNodeId> nodes,
+                     Tensor2D &out) const
+{
+    out = Tensor2D(nodes.size(), dim_);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        SS_ASSERT(nodes[i] < num_nodes_, "node out of range in gather");
+        auto row = out.row(i);
+        for (unsigned j = 0; j < dim_; ++j)
+            row[j] = element(nodes[i], j);
+    }
+}
+
+std::vector<std::uint32_t>
+FeatureTable::labels(std::span<const graph::LocalNodeId> nodes) const
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(nodes.size());
+    for (auto u : nodes)
+        out.push_back(label(u));
+    return out;
+}
+
+} // namespace smartsage::gnn

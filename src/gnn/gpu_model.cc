@@ -1,0 +1,41 @@
+#include "gpu_model.hh"
+
+#include "layers.hh"
+#include "sim/logging.hh"
+
+namespace smartsage::gnn
+{
+
+GpuTimingModel::GpuTimingModel(const GpuConfig &config,
+                               const ModelConfig &model)
+    : config_(config), model_(model)
+{
+    SS_ASSERT(config.effective_tflops > 0.0, "GPU throughput must be > 0");
+}
+
+std::uint64_t
+GpuTimingModel::forwardMacs(const Subgraph &sg) const
+{
+    std::uint64_t total = 0;
+    for (std::size_t l = 0; l < model_.depth; ++l) {
+        unsigned in = (l == 0) ? model_.in_dim : model_.hidden_dim;
+        unsigned out = (l + 1 == model_.depth) ? model_.num_classes
+                                               : model_.hidden_dim;
+        const SampledBlock &block = sg.blocks[sg.depth() - 1 - l];
+        total += SageMeanLayer::forwardMacs(block.numDsts(), in, out);
+        // Aggregation: in_dim adds per sampled edge.
+        total += block.numEdges() * in;
+    }
+    return total;
+}
+
+sim::Tick
+GpuTimingModel::batchTime(const Subgraph &sg) const
+{
+    double macs = static_cast<double>(forwardMacs(sg)) *
+                  config_.fwd_bwd_factor;
+    double seconds = macs / (config_.effective_tflops * 1e12);
+    return config_.launch_overhead + sim::sec(seconds);
+}
+
+} // namespace smartsage::gnn

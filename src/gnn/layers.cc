@@ -1,0 +1,155 @@
+#include "layers.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace smartsage::gnn
+{
+
+SageMeanLayer::SageMeanLayer(unsigned in_dim, unsigned out_dim, bool relu,
+                             sim::Rng &rng)
+    : in_dim_(in_dim), out_dim_(out_dim), relu_(relu)
+{
+    float scale =
+        std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+    w_self_ = Tensor2D::uniform(in_dim, out_dim, scale, rng);
+    w_neigh_ = Tensor2D::uniform(in_dim, out_dim, scale, rng);
+    bias_ = Tensor2D(1, out_dim);
+}
+
+Tensor2D
+SageMeanLayer::aggregate(const Tensor2D &h_src,
+                         const SampledBlock &block) const
+{
+    Tensor2D agg(block.numDsts(), in_dim_);
+    for (std::size_t u = 0; u < block.numDsts(); ++u) {
+        std::uint32_t lo = block.offsets[u];
+        std::uint32_t hi = block.offsets[u + 1];
+        if (lo == hi)
+            continue; // isolated node: aggregate stays zero
+        auto arow = agg.row(u);
+        for (std::uint32_t e = lo; e < hi; ++e) {
+            auto srow = h_src.row(block.src_index[e]);
+            for (unsigned j = 0; j < in_dim_; ++j)
+                arow[j] += srow[j];
+        }
+        float inv = 1.0f / static_cast<float>(hi - lo);
+        for (unsigned j = 0; j < in_dim_; ++j)
+            arow[j] *= inv;
+    }
+    return agg;
+}
+
+Tensor2D
+SageMeanLayer::forward(const Tensor2D &h_src, const SampledBlock &block,
+                       SageContext &ctx) const
+{
+    SS_ASSERT(h_src.cols() == in_dim_, "layer input width mismatch");
+    std::size_t n_dst = block.numDsts();
+    SS_ASSERT(h_src.rows() >= n_dst,
+              "src activations must cover the dst prefix");
+
+    // Self term: dsts are the prefix of the src frontier.
+    Tensor2D h_self(n_dst, in_dim_);
+    for (std::size_t u = 0; u < n_dst; ++u) {
+        auto dst = h_self.row(u);
+        auto src = h_src.row(u);
+        for (unsigned j = 0; j < in_dim_; ++j)
+            dst[j] = src[j];
+    }
+
+    Tensor2D h_agg = aggregate(h_src, block);
+
+    Tensor2D out = matmul(h_self, w_self_);
+    out += matmul(h_agg, w_neigh_);
+    addBias(out, bias_);
+
+    ctx.h_self = std::move(h_self);
+    ctx.h_agg = std::move(h_agg);
+    ctx.block = &block;
+    ctx.src_rows = h_src.rows();
+    if (relu_)
+        ctx.relu_mask = reluForward(out);
+    else
+        ctx.relu_mask.clear();
+    return out;
+}
+
+Tensor2D
+SageMeanLayer::backward(const Tensor2D &d_out, const SageContext &ctx,
+                        SageLayerGrads &grads) const
+{
+    SS_ASSERT(ctx.block, "backward without forward context");
+    const SampledBlock &block = *ctx.block;
+    std::size_t n_dst = block.numDsts();
+    SS_ASSERT(d_out.rows() == n_dst && d_out.cols() == out_dim_,
+              "output grad shape mismatch");
+
+    Tensor2D dz = d_out; // copy; mask in place
+    if (relu_)
+        reluBackward(dz, ctx.relu_mask);
+
+    // Parameter gradients.
+    grads.w_self = matmulTN(ctx.h_self, dz);
+    grads.w_neigh = matmulTN(ctx.h_agg, dz);
+    grads.bias = Tensor2D(1, out_dim_);
+    for (std::size_t u = 0; u < n_dst; ++u) {
+        auto zrow = dz.row(u);
+        auto brow = grads.bias.row(0);
+        for (unsigned j = 0; j < out_dim_; ++j)
+            brow[j] += zrow[j];
+    }
+
+    // Input gradients: self path lands on the dst prefix rows; the
+    // aggregation path scatters 1/deg shares to every sampled src.
+    Tensor2D d_src(ctx.src_rows, in_dim_);
+    Tensor2D d_self = matmulNT(dz, w_self_);
+    for (std::size_t u = 0; u < n_dst; ++u) {
+        auto drow = d_src.row(u);
+        auto srow = d_self.row(u);
+        for (unsigned j = 0; j < in_dim_; ++j)
+            drow[j] += srow[j];
+    }
+
+    Tensor2D d_agg = matmulNT(dz, w_neigh_);
+    for (std::size_t u = 0; u < n_dst; ++u) {
+        std::uint32_t lo = block.offsets[u];
+        std::uint32_t hi = block.offsets[u + 1];
+        if (lo == hi)
+            continue;
+        float inv = 1.0f / static_cast<float>(hi - lo);
+        auto arow = d_agg.row(u);
+        for (std::uint32_t e = lo; e < hi; ++e) {
+            auto drow = d_src.row(block.src_index[e]);
+            for (unsigned j = 0; j < in_dim_; ++j)
+                drow[j] += arow[j] * inv;
+        }
+    }
+    return d_src;
+}
+
+void
+SageMeanLayer::applyGrads(const SageLayerGrads &grads, float lr)
+{
+    auto step = [lr](Tensor2D &param, const Tensor2D &grad) {
+        auto &p = param.data();
+        const auto &g = grad.data();
+        SS_ASSERT(p.size() == g.size(), "grad shape mismatch in step");
+        for (std::size_t i = 0; i < p.size(); ++i)
+            p[i] -= lr * g[i];
+    };
+    step(w_self_, grads.w_self);
+    step(w_neigh_, grads.w_neigh);
+    step(bias_, grads.bias);
+}
+
+std::uint64_t
+SageMeanLayer::forwardMacs(std::uint64_t num_dsts, unsigned in_dim,
+                           unsigned out_dim)
+{
+    // Two GEMMs (self + neighbor) of num_dsts x in_dim x out_dim.
+    return 2ULL * num_dsts * in_dim * out_dim;
+}
+
+} // namespace smartsage::gnn

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * GraphSAGE mean-aggregator convolution layer (CONVOLVE() of Fig 2),
+ * with full forward/backward through the sampled blocks.
+ *
+ *   h_dst_out = act( h_dst * W_self + mean(h_srcs) * W_neigh + b )
+ */
+
+#ifndef SMARTSAGE_GNN_LAYERS_HH
+#define SMARTSAGE_GNN_LAYERS_HH
+
+#include <vector>
+
+#include "subgraph.hh"
+#include "tensor.hh"
+
+namespace smartsage::gnn
+{
+
+/** Accumulated parameter gradients for one layer. */
+struct SageLayerGrads
+{
+    Tensor2D w_self;
+    Tensor2D w_neigh;
+    Tensor2D bias;
+};
+
+/** Per-forward state the backward pass needs. */
+struct SageContext
+{
+    Tensor2D h_self;           //!< dst rows of the input activations
+    Tensor2D h_agg;            //!< mean-aggregated neighbor activations
+    std::vector<char> relu_mask; //!< empty when the layer is linear
+    const SampledBlock *block = nullptr;
+    std::size_t src_rows = 0;  //!< |frontier[h+1]| for dH_src sizing
+};
+
+/** One GraphSAGE layer with mean aggregation. */
+class SageMeanLayer
+{
+  public:
+    /**
+     * @param in_dim  input activation width
+     * @param out_dim output activation width
+     * @param relu    apply ReLU (hidden layers) or stay linear (output)
+     * @param rng     weight init stream
+     */
+    SageMeanLayer(unsigned in_dim, unsigned out_dim, bool relu,
+                  sim::Rng &rng);
+
+    /**
+     * Forward over one block.
+     * @param h_src activations of frontier[h+1] (src_rows x in_dim)
+     * @param block sampled connectivity frontier[h] <- frontier[h+1]
+     * @param ctx   out-param saved for backward
+     * @return activations of frontier[h] (num_dsts x out_dim)
+     */
+    Tensor2D forward(const Tensor2D &h_src, const SampledBlock &block,
+                     SageContext &ctx) const;
+
+    /**
+     * Backward over one block.
+     * @param d_out gradient w.r.t. this layer's output
+     * @param ctx   context captured by forward
+     * @param grads out-param: accumulated parameter gradients
+     * @return gradient w.r.t. h_src (src_rows x in_dim)
+     */
+    Tensor2D backward(const Tensor2D &d_out, const SageContext &ctx,
+                      SageLayerGrads &grads) const;
+
+    /** SGD step: p -= lr * g. */
+    void applyGrads(const SageLayerGrads &grads, float lr);
+
+    unsigned inDim() const { return in_dim_; }
+    unsigned outDim() const { return out_dim_; }
+    bool hasRelu() const { return relu_; }
+
+    const Tensor2D &wSelf() const { return w_self_; }
+    const Tensor2D &wNeigh() const { return w_neigh_; }
+    const Tensor2D &biasRow() const { return bias_; }
+
+    /** Direct parameter access for gradient-check tests. */
+    Tensor2D &mutableWSelf() { return w_self_; }
+    Tensor2D &mutableWNeigh() { return w_neigh_; }
+    Tensor2D &mutableBias() { return bias_; }
+
+    /** Multiply-accumulate count of one forward pass (GPU model). */
+    static std::uint64_t forwardMacs(std::uint64_t num_dsts,
+                                     unsigned in_dim, unsigned out_dim);
+
+  private:
+    unsigned in_dim_;
+    unsigned out_dim_;
+    bool relu_;
+    Tensor2D w_self_;  //!< in_dim x out_dim
+    Tensor2D w_neigh_; //!< in_dim x out_dim
+    Tensor2D bias_;    //!< 1 x out_dim
+
+    /** Mean-aggregate src activations into per-dst rows. */
+    Tensor2D aggregate(const Tensor2D &h_src,
+                       const SampledBlock &block) const;
+};
+
+} // namespace smartsage::gnn
+
+#endif // SMARTSAGE_GNN_LAYERS_HH

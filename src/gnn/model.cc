@@ -1,0 +1,97 @@
+#include "model.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace smartsage::gnn
+{
+
+SageModel::SageModel(const ModelConfig &config) : config_(config)
+{
+    SS_ASSERT(config.depth >= 1, "model needs at least one layer");
+    sim::Rng rng(config.seed);
+    for (unsigned l = 0; l < config.depth; ++l) {
+        unsigned in = (l == 0) ? config.in_dim : config.hidden_dim;
+        unsigned out = (l + 1 == config.depth) ? config.num_classes
+                                               : config.hidden_dim;
+        bool relu = (l + 1 != config.depth);
+        layers_.emplace_back(in, out, relu, rng);
+    }
+}
+
+Tensor2D
+SageModel::forward(const Subgraph &sg, const FeatureTable &ft,
+                   std::vector<SageContext> *ctxs) const
+{
+    SS_ASSERT(sg.depth() == config_.depth,
+              "subgraph depth ", sg.depth(), " != model depth ",
+              config_.depth);
+    SS_ASSERT(ft.dim() == config_.in_dim, "feature width mismatch");
+
+    if (ctxs) {
+        ctxs->clear();
+        ctxs->resize(layers_.size());
+    }
+
+    // Layer l consumes block[depth-1-l]: the deepest hop feeds the
+    // first layer.
+    Tensor2D h;
+    ft.gather(sg.inputNodes(), h);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const SampledBlock &block = sg.blocks[sg.depth() - 1 - l];
+        SageContext local;
+        SageContext &ctx = ctxs ? (*ctxs)[l] : local;
+        h = layers_[l].forward(h, block, ctx);
+    }
+    return h;
+}
+
+double
+SageModel::trainStep(const Subgraph &sg, const FeatureTable &ft)
+{
+    std::vector<SageContext> ctxs;
+    Tensor2D logits = forward(sg, ft, &ctxs);
+
+    auto labels = ft.labels(sg.targets());
+    Tensor2D d_logits;
+    double loss = softmaxCrossEntropy(logits, labels, d_logits);
+
+    // Backward through the stack; gradients apply immediately (plain
+    // SGD, single worker semantics).
+    Tensor2D d = std::move(d_logits);
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+        SageLayerGrads grads;
+        d = layers_[l].backward(d, ctxs[l], grads);
+        layers_[l].applyGrads(grads, config_.learning_rate);
+    }
+    return loss;
+}
+
+double
+SageModel::evaluate(const Subgraph &sg, const FeatureTable &ft) const
+{
+    Tensor2D logits = forward(sg, ft, nullptr);
+    auto labels = ft.labels(sg.targets());
+    auto preds = argmaxRows(logits);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == labels[i])
+            ++correct;
+    }
+    return preds.empty()
+               ? 0.0
+               : static_cast<double>(correct) / preds.size();
+}
+
+std::uint64_t
+SageModel::parameterCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : layers_) {
+        total += 2ULL * l.inDim() * l.outDim(); // W_self + W_neigh
+        total += l.outDim();                    // bias
+    }
+    return total;
+}
+
+} // namespace smartsage::gnn

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end GraphSAGE model: a stack of SageMeanLayers plus a softmax
+ * classifier head, trained with SGD on sampled subgraphs.
+ */
+
+#ifndef SMARTSAGE_GNN_MODEL_HH
+#define SMARTSAGE_GNN_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "feature_table.hh"
+#include "layers.hh"
+#include "subgraph.hh"
+
+namespace smartsage::gnn
+{
+
+/** Hyperparameters of the GraphSAGE model. */
+struct ModelConfig
+{
+    unsigned in_dim = 32;
+    unsigned hidden_dim = 64;
+    unsigned num_classes = 8;
+    unsigned depth = 2;    //!< number of SAGE layers = sampling hops
+    float learning_rate = 0.05f;
+    std::uint64_t seed = 1234;
+};
+
+/** Multi-layer GraphSAGE with a cross-entropy objective. */
+class SageModel
+{
+  public:
+    explicit SageModel(const ModelConfig &config);
+
+    /**
+     * Forward through all layers.
+     * @param sg  sampled subgraph; sg.depth() must equal config depth
+     * @param ft  feature source for the deepest frontier
+     * @param ctxs out-param per-layer contexts (nullptr to discard)
+     * @return logits for the target nodes (M x num_classes)
+     */
+    Tensor2D forward(const Subgraph &sg, const FeatureTable &ft,
+                     std::vector<SageContext> *ctxs) const;
+
+    /**
+     * One SGD training step on @p sg.
+     * @return mean cross-entropy loss before the update
+     */
+    double trainStep(const Subgraph &sg, const FeatureTable &ft);
+
+    /** Fraction of targets classified correctly (no update). */
+    double evaluate(const Subgraph &sg, const FeatureTable &ft) const;
+
+    const ModelConfig &config() const { return config_; }
+    const std::vector<SageMeanLayer> &layers() const { return layers_; }
+    std::vector<SageMeanLayer> &mutableLayers() { return layers_; }
+
+    /** Total trainable parameters. */
+    std::uint64_t parameterCount() const;
+
+  private:
+    ModelConfig config_;
+    std::vector<SageMeanLayer> layers_;
+};
+
+} // namespace smartsage::gnn
+
+#endif // SMARTSAGE_GNN_MODEL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GraphSAGE max-pooling aggregator (Hamilton et al.'s pool variant;
+ * the paper's Fig 2 shows CONVOLVE with a pooling function p).
+ *
+ *   h_pool  = max_j relu( h_src_j * W_pool + b_pool )
+ *   h_out   = act( h_dst * W_self + h_pool * W_neigh + b )
+ *
+ * Included as the aggregator-variant extension: the storage-side
+ * results are aggregator-agnostic (the access trace is identical), and
+ * this layer lets the functional model demonstrate that.
+ */
+
+#ifndef SMARTSAGE_GNN_POOL_LAYER_HH
+#define SMARTSAGE_GNN_POOL_LAYER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "subgraph.hh"
+#include "tensor.hh"
+
+namespace smartsage::gnn
+{
+
+/** Gradients of one max-pool layer. */
+struct SagePoolGrads
+{
+    Tensor2D w_pool;
+    Tensor2D b_pool;
+    Tensor2D w_self;
+    Tensor2D w_neigh;
+    Tensor2D bias;
+};
+
+/** Forward state the backward pass needs. */
+struct SagePoolContext
+{
+    Tensor2D h_self;        //!< dst prefix rows of the input
+    Tensor2D h_src;         //!< full src activations (pre-pool input)
+    Tensor2D pooled;        //!< per-dst pooled vectors
+    std::vector<char> pool_relu_mask;    //!< relu mask of src * W_pool
+    std::vector<std::uint32_t> argmax;   //!< winning edge per (dst, col)
+    std::vector<char> relu_mask;         //!< output relu mask
+    const SampledBlock *block = nullptr;
+    std::size_t src_rows = 0;
+};
+
+/** GraphSAGE layer with max-pooling aggregation. */
+class SagePoolLayer
+{
+  public:
+    /**
+     * @param in_dim   input activation width
+     * @param pool_dim width of the pooling MLP output
+     * @param out_dim  output activation width
+     * @param relu     apply ReLU on the output
+     * @param rng      weight init stream
+     */
+    SagePoolLayer(unsigned in_dim, unsigned pool_dim, unsigned out_dim,
+                  bool relu, sim::Rng &rng);
+
+    /** Forward over one block; see SageMeanLayer::forward. */
+    Tensor2D forward(const Tensor2D &h_src, const SampledBlock &block,
+                     SagePoolContext &ctx) const;
+
+    /** Backward over one block; returns dH_src. */
+    Tensor2D backward(const Tensor2D &d_out, const SagePoolContext &ctx,
+                      SagePoolGrads &grads) const;
+
+    /** SGD step. */
+    void applyGrads(const SagePoolGrads &grads, float lr);
+
+    unsigned inDim() const { return in_dim_; }
+    unsigned poolDim() const { return pool_dim_; }
+    unsigned outDim() const { return out_dim_; }
+
+    Tensor2D &mutableWPool() { return w_pool_; }
+    Tensor2D &mutableBPool() { return b_pool_; }
+    Tensor2D &mutableWSelf() { return w_self_; }
+    Tensor2D &mutableWNeigh() { return w_neigh_; }
+    Tensor2D &mutableBias() { return bias_; }
+
+  private:
+    unsigned in_dim_;
+    unsigned pool_dim_;
+    unsigned out_dim_;
+    bool relu_;
+    Tensor2D w_pool_;  //!< in_dim x pool_dim
+    Tensor2D b_pool_;  //!< 1 x pool_dim
+    Tensor2D w_self_;  //!< in_dim x out_dim
+    Tensor2D w_neigh_; //!< pool_dim x out_dim
+    Tensor2D bias_;    //!< 1 x out_dim
+};
+
+} // namespace smartsage::gnn
+
+#endif // SMARTSAGE_GNN_POOL_LAYER_HH

@@ -1,0 +1,222 @@
+#include "sampler.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace smartsage::gnn
+{
+
+namespace
+{
+
+/**
+ * Draw @p want distinct indices out of [0, degree) with Floyd's
+ * algorithm (O(want) expected work regardless of degree).
+ */
+void
+sampleDistinct(std::uint64_t degree, unsigned want, sim::Rng &rng,
+               std::vector<std::uint64_t> &out)
+{
+    out.clear();
+    std::unordered_set<std::uint64_t> chosen;
+    for (std::uint64_t j = degree - want; j < degree; ++j) {
+        std::uint64_t t = rng.nextBounded(j + 1);
+        if (chosen.insert(t).second) {
+            out.push_back(t);
+        } else {
+            chosen.insert(j);
+            out.push_back(j);
+        }
+    }
+}
+
+/** Grow the next frontier, preserving the self-prefix property. */
+class FrontierBuilder
+{
+  public:
+    explicit FrontierBuilder(const std::vector<graph::LocalNodeId> &prev)
+    {
+        nodes_ = prev; // prefix copy: self embeddings
+        for (std::size_t i = 0; i < prev.size(); ++i)
+            index_[prev[i]] = static_cast<std::uint32_t>(i);
+    }
+
+    std::uint32_t
+    indexOf(graph::LocalNodeId v)
+    {
+        auto [it, inserted] = index_.try_emplace(
+            v, static_cast<std::uint32_t>(nodes_.size()));
+        if (inserted)
+            nodes_.push_back(v);
+        return it->second;
+    }
+
+    std::vector<graph::LocalNodeId> take() { return std::move(nodes_); }
+
+  private:
+    std::vector<graph::LocalNodeId> nodes_;
+    std::unordered_map<graph::LocalNodeId, std::uint32_t> index_;
+};
+
+} // namespace
+
+SageSampler::SageSampler(std::vector<unsigned> fanouts)
+    : fanouts_(std::move(fanouts))
+{
+    SS_ASSERT(!fanouts_.empty(), "need at least one hop fanout");
+    for (unsigned f : fanouts_)
+        SS_ASSERT(f > 0, "fanout must be positive");
+}
+
+Subgraph
+SageSampler::sample(const graph::CsrGraph &graph,
+                    const std::vector<graph::LocalNodeId> &targets,
+                    sim::Rng &rng, SampleVisitor *visitor) const
+{
+    SS_ASSERT(!targets.empty(), "empty target batch");
+    NullVisitor null_visitor;
+    if (!visitor)
+        visitor = &null_visitor;
+
+    visitor->onBatchStart(targets.size());
+
+    Subgraph sg;
+    sg.frontiers.push_back(targets);
+
+    std::vector<std::uint64_t> picks;
+    for (unsigned fanout : fanouts_) {
+        const auto &frontier = sg.frontiers.back();
+        FrontierBuilder next(frontier);
+        SampledBlock block;
+        block.offsets.reserve(frontier.size() + 1);
+        block.offsets.push_back(0);
+
+        for (graph::LocalNodeId u : frontier) {
+            visitor->onOffsetRead(u);
+            std::uint64_t degree = graph.degree(u);
+            std::uint64_t base = graph.edgeOffset(u);
+            auto nbrs = graph.neighbors(u);
+
+            if (degree == 0) {
+                block.offsets.push_back(
+                    static_cast<std::uint32_t>(block.src_index.size()));
+                continue;
+            }
+
+            if (degree <= fanout) {
+                // Take the whole neighborhood.
+                for (std::uint64_t j = 0; j < degree; ++j) {
+                    visitor->onEdgeEntryRead(u, base + j);
+                    graph::LocalNodeId v = nbrs[j];
+                    visitor->onSampled(u, v);
+                    block.src_index.push_back(next.indexOf(v));
+                }
+            } else {
+                sampleDistinct(degree, fanout, rng, picks);
+                for (std::uint64_t j : picks) {
+                    visitor->onEdgeEntryRead(u, base + j);
+                    graph::LocalNodeId v = nbrs[j];
+                    visitor->onSampled(u, v);
+                    block.src_index.push_back(next.indexOf(v));
+                }
+            }
+            block.offsets.push_back(
+                static_cast<std::uint32_t>(block.src_index.size()));
+        }
+
+        sg.blocks.push_back(std::move(block));
+        sg.frontiers.push_back(next.take());
+    }
+
+    visitor->onBatchEnd();
+    return sg;
+}
+
+std::uint64_t
+SageSampler::expectedEdges(std::size_t batch_size) const
+{
+    std::uint64_t frontier = batch_size;
+    std::uint64_t total = 0;
+    for (unsigned f : fanouts_) {
+        total += frontier * f;
+        frontier += frontier * f;
+    }
+    return total;
+}
+
+SaintSampler::SaintSampler(unsigned walk_length)
+    : walk_length_(walk_length)
+{
+    SS_ASSERT(walk_length_ > 0, "walk length must be positive");
+}
+
+Subgraph
+SaintSampler::sample(const graph::CsrGraph &graph,
+                     const std::vector<graph::LocalNodeId> &roots,
+                     sim::Rng &rng, SampleVisitor *visitor) const
+{
+    SS_ASSERT(!roots.empty(), "empty root batch");
+    NullVisitor null_visitor;
+    if (!visitor)
+        visitor = &null_visitor;
+
+    visitor->onBatchStart(roots.size());
+
+    Subgraph sg;
+    sg.frontiers.push_back(roots);
+
+    // Each walk step is one block: every frontier node samples exactly
+    // one neighbor (or stalls in place on a dead end).
+    for (unsigned step = 0; step < walk_length_; ++step) {
+        const auto &frontier = sg.frontiers.back();
+        FrontierBuilder next(frontier);
+        SampledBlock block;
+        block.offsets.reserve(frontier.size() + 1);
+        block.offsets.push_back(0);
+
+        for (graph::LocalNodeId u : frontier) {
+            visitor->onOffsetRead(u);
+            std::uint64_t degree = graph.degree(u);
+            if (degree == 0) {
+                block.offsets.push_back(
+                    static_cast<std::uint32_t>(block.src_index.size()));
+                continue;
+            }
+            std::uint64_t j = rng.nextBounded(degree);
+            visitor->onEdgeEntryRead(u, graph.edgeOffset(u) + j);
+            graph::LocalNodeId v = graph.neighbors(u)[j];
+            visitor->onSampled(u, v);
+            block.src_index.push_back(next.indexOf(v));
+            block.offsets.push_back(
+                static_cast<std::uint32_t>(block.src_index.size()));
+        }
+
+        sg.blocks.push_back(std::move(block));
+        sg.frontiers.push_back(next.take());
+    }
+
+    visitor->onBatchEnd();
+    return sg;
+}
+
+std::vector<graph::LocalNodeId>
+selectTargets(const graph::CsrGraph &graph, std::size_t count,
+              sim::Rng &rng)
+{
+    SS_ASSERT(count > 0, "batch size must be positive");
+    SS_ASSERT(count <= graph.numNodes(), "batch larger than graph");
+    std::unordered_set<graph::LocalNodeId> seen;
+    std::vector<graph::LocalNodeId> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        auto u = static_cast<graph::LocalNodeId>(
+            rng.nextBounded(graph.numNodes()));
+        if (seen.insert(u).second)
+            out.push_back(u);
+    }
+    return out;
+}
+
+} // namespace smartsage::gnn

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Neighbor samplers: GraphSAGE fanout sampling (Algorithm 1 of the
+ * paper) and GraphSAINT random walks (Section VI-F).
+ *
+ * Samplers are *functional* — they produce real subgraphs the GNN can
+ * train on — and simultaneously *observable*: every memory touch is
+ * reported to a SampleVisitor, which is how the storage timing models
+ * replay the exact access stream of each design point.
+ */
+
+#ifndef SMARTSAGE_GNN_SAMPLER_HH
+#define SMARTSAGE_GNN_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "sim/random.hh"
+#include "subgraph.hh"
+
+namespace smartsage::gnn
+{
+
+/** Observer of the sampler's memory access stream. */
+class SampleVisitor
+{
+  public:
+    virtual ~SampleVisitor() = default;
+
+    /** A new mini-batch of @p num_targets begins. */
+    virtual void onBatchStart(std::size_t num_targets) { (void)num_targets; }
+
+    /** The degree/offset entry of node @p u was read. */
+    virtual void onOffsetRead(graph::LocalNodeId u) { (void)u; }
+
+    /**
+     * Edge-array entry @p entry_index (absolute index into the neighbor
+     * array) was read while sampling node @p u.
+     */
+    virtual void
+    onEdgeEntryRead(graph::LocalNodeId u, std::uint64_t entry_index)
+    {
+        (void)u;
+        (void)entry_index;
+    }
+
+    /** Node @p v was chosen as a sampled neighbor of @p u. */
+    virtual void
+    onSampled(graph::LocalNodeId u, graph::LocalNodeId v)
+    {
+        (void)u;
+        (void)v;
+    }
+
+    /** The mini-batch completed. */
+    virtual void onBatchEnd() {}
+};
+
+/** No-op visitor for functional-only use. */
+class NullVisitor : public SampleVisitor
+{
+};
+
+/** Common interface of all mini-batch subgraph samplers. */
+class AnySampler
+{
+  public:
+    virtual ~AnySampler() = default;
+
+    /**
+     * Sample a subgraph for @p targets, reporting every memory touch
+     * to @p visitor (may be null).
+     */
+    virtual Subgraph sample(const graph::CsrGraph &graph,
+                            const std::vector<graph::LocalNodeId> &targets,
+                            sim::Rng &rng,
+                            SampleVisitor *visitor = nullptr) const = 0;
+};
+
+/**
+ * GraphSAGE sampler: per hop h, sample `fanouts[h]` neighbors of every
+ * frontier node (without replacement when the degree allows, Floyd's
+ * algorithm; all neighbors when degree <= fanout).
+ */
+class SageSampler : public AnySampler
+{
+  public:
+    /** @param fanouts per-hop sample sizes, e.g. {25, 10} (paper default) */
+    explicit SageSampler(std::vector<unsigned> fanouts);
+
+    /**
+     * Sample a subgraph for @p targets.
+     * @param visitor receives the access stream (may be null)
+     */
+    Subgraph sample(const graph::CsrGraph &graph,
+                    const std::vector<graph::LocalNodeId> &targets,
+                    sim::Rng &rng,
+                    SampleVisitor *visitor = nullptr) const override;
+
+    const std::vector<unsigned> &fanouts() const { return fanouts_; }
+
+    /** Expected sampled edges per batch (upper bound, full-degree). */
+    std::uint64_t expectedEdges(std::size_t batch_size) const;
+
+  private:
+    std::vector<unsigned> fanouts_;
+};
+
+/**
+ * GraphSAINT-style random-walk sampler: from each of the batch's root
+ * nodes, walk `walk_length` steps; the visited set induces the
+ * subgraph. Produces the same Subgraph/block structure (one block per
+ * step) so the training loop and timing drivers are sampler-agnostic.
+ */
+class SaintSampler : public AnySampler
+{
+  public:
+    explicit SaintSampler(unsigned walk_length);
+
+    Subgraph sample(const graph::CsrGraph &graph,
+                    const std::vector<graph::LocalNodeId> &roots,
+                    sim::Rng &rng,
+                    SampleVisitor *visitor = nullptr) const override;
+
+    unsigned walkLength() const { return walk_length_; }
+
+  private:
+    unsigned walk_length_;
+};
+
+/** Uniformly draw @p count distinct target nodes for a mini-batch. */
+std::vector<graph::LocalNodeId> selectTargets(const graph::CsrGraph &graph,
+                                              std::size_t count,
+                                              sim::Rng &rng);
+
+} // namespace smartsage::gnn
+
+#endif // SMARTSAGE_GNN_SAMPLER_HH

@@ -1,0 +1,198 @@
+#include "tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace smartsage::gnn
+{
+
+Tensor2D::Tensor2D(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Tensor2D
+Tensor2D::uniform(std::size_t rows, std::size_t cols, float scale,
+                  sim::Rng &rng)
+{
+    Tensor2D t(rows, cols);
+    for (auto &v : t.data_)
+        v = static_cast<float>((rng.nextDouble() * 2.0 - 1.0) * scale);
+    return t;
+}
+
+Tensor2D &
+Tensor2D::operator+=(const Tensor2D &other)
+{
+    SS_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "shape mismatch in +=");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor2D &
+Tensor2D::operator*=(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+void
+Tensor2D::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+double
+Tensor2D::normSq() const
+{
+    double acc = 0.0;
+    for (float v : data_)
+        acc += static_cast<double>(v) * v;
+    return acc;
+}
+
+Tensor2D
+matmul(const Tensor2D &a, const Tensor2D &b)
+{
+    SS_ASSERT(a.cols() == b.rows(), "matmul shape mismatch: ", a.cols(),
+              " vs ", b.rows());
+    Tensor2D c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            auto brow = b.row(k);
+            auto crow = c.row(i);
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor2D
+matmulTN(const Tensor2D &a, const Tensor2D &b)
+{
+    SS_ASSERT(a.rows() == b.rows(), "matmulTN shape mismatch");
+    Tensor2D c(a.cols(), b.cols());
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        auto arow = a.row(k);
+        auto brow = b.row(k);
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            float aki = arow[i];
+            if (aki == 0.0f)
+                continue;
+            auto crow = c.row(i);
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor2D
+matmulNT(const Tensor2D &a, const Tensor2D &b)
+{
+    SS_ASSERT(a.cols() == b.cols(), "matmulNT shape mismatch");
+    Tensor2D c(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        auto arow = a.row(i);
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            auto brow = b.row(j);
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += arow[k] * brow[k];
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+std::vector<char>
+reluForward(Tensor2D &x)
+{
+    std::vector<char> mask(x.rows() * x.cols());
+    auto &d = x.data();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        mask[i] = d[i] > 0.0f;
+        if (!mask[i])
+            d[i] = 0.0f;
+    }
+    return mask;
+}
+
+void
+reluBackward(Tensor2D &grad, const std::vector<char> &mask)
+{
+    auto &d = grad.data();
+    SS_ASSERT(d.size() == mask.size(), "relu mask size mismatch");
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        if (!mask[i])
+            d[i] = 0.0f;
+    }
+}
+
+void
+addBias(Tensor2D &x, const Tensor2D &bias)
+{
+    SS_ASSERT(bias.rows() == 1 && bias.cols() == x.cols(),
+              "bias shape mismatch");
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        auto row = x.row(i);
+        auto b = bias.row(0);
+        for (std::size_t j = 0; j < x.cols(); ++j)
+            row[j] += b[j];
+    }
+}
+
+double
+softmaxCrossEntropy(const Tensor2D &logits,
+                    const std::vector<std::uint32_t> &labels,
+                    Tensor2D &grad)
+{
+    SS_ASSERT(labels.size() == logits.rows(), "label count mismatch");
+    grad = Tensor2D(logits.rows(), logits.cols());
+    double loss = 0.0;
+    const double inv_n = 1.0 / static_cast<double>(logits.rows());
+
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+        auto row = logits.row(i);
+        float max_v = *std::max_element(row.begin(), row.end());
+        double denom = 0.0;
+        for (float v : row)
+            denom += std::exp(static_cast<double>(v - max_v));
+        std::uint32_t y = labels[i];
+        SS_ASSERT(y < logits.cols(), "label ", y, " out of range");
+        double log_p =
+            static_cast<double>(row[y] - max_v) - std::log(denom);
+        loss -= log_p * inv_n;
+        auto grow = grad.row(i);
+        for (std::size_t j = 0; j < logits.cols(); ++j) {
+            double p = std::exp(static_cast<double>(row[j] - max_v)) /
+                       denom;
+            grow[j] = static_cast<float>(
+                (p - (j == y ? 1.0 : 0.0)) * inv_n);
+        }
+    }
+    return loss;
+}
+
+std::vector<std::uint32_t>
+argmaxRows(const Tensor2D &logits)
+{
+    std::vector<std::uint32_t> out(logits.rows());
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+        auto row = logits.row(i);
+        out[i] = static_cast<std::uint32_t>(
+            std::max_element(row.begin(), row.end()) - row.begin());
+    }
+    return out;
+}
+
+} // namespace smartsage::gnn

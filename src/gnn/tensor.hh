@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal dense 2-D float tensor with the operations GraphSAGE needs.
+ *
+ * Row-major, CPU-only. The backend GNN stages of the paper run on a
+ * GPU; functionally the math is identical, and the *timing* of the GPU
+ * is modeled separately (gpu_model.hh), so a simple correct CPU tensor
+ * is the right substrate here.
+ */
+
+#ifndef SMARTSAGE_GNN_TENSOR_HH
+#define SMARTSAGE_GNN_TENSOR_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace smartsage::gnn
+{
+
+/** Row-major dense matrix of floats. */
+class Tensor2D
+{
+  public:
+    Tensor2D() = default;
+
+    /** Zero-initialized rows x cols. */
+    Tensor2D(std::size_t rows, std::size_t cols);
+
+    /** Xavier/Glorot-style uniform init in [-scale, scale]. */
+    static Tensor2D uniform(std::size_t rows, std::size_t cols,
+                            float scale, sim::Rng &rng);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    float &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+    std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** this += other (same shape). */
+    Tensor2D &operator+=(const Tensor2D &other);
+
+    /** this *= scalar. */
+    Tensor2D &operator*=(float s);
+
+    /** Zero every element, keeping the shape. */
+    void zero();
+
+    /** Frobenius-norm squared (for tests and gradient clipping). */
+    double normSq() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** C = A * B. @pre A.cols == B.rows */
+Tensor2D matmul(const Tensor2D &a, const Tensor2D &b);
+
+/** C = A^T * B. @pre A.rows == B.rows */
+Tensor2D matmulTN(const Tensor2D &a, const Tensor2D &b);
+
+/** C = A * B^T. @pre A.cols == B.cols */
+Tensor2D matmulNT(const Tensor2D &a, const Tensor2D &b);
+
+/** In-place ReLU; returns the pre-activation mask needed for backward. */
+std::vector<char> reluForward(Tensor2D &x);
+
+/** dX = dY masked by the forward mask. */
+void reluBackward(Tensor2D &grad, const std::vector<char> &mask);
+
+/** Add row-vector @p bias (1 x C) to every row of @p x. */
+void addBias(Tensor2D &x, const Tensor2D &bias);
+
+/**
+ * Softmax + cross-entropy over rows.
+ * @param logits  N x C scores
+ * @param labels  N class ids
+ * @param grad    out: dLoss/dLogits (N x C), averaged over rows
+ * @return mean loss
+ */
+double softmaxCrossEntropy(const Tensor2D &logits,
+                           const std::vector<std::uint32_t> &labels,
+                           Tensor2D &grad);
+
+/** Row-wise argmax (predictions). */
+std::vector<std::uint32_t> argmaxRows(const Tensor2D &logits);
+
+} // namespace smartsage::gnn
+
+#endif // SMARTSAGE_GNN_TENSOR_HH

@@ -1,0 +1,55 @@
+#include "builder.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace smartsage::graph
+{
+
+GraphBuilder::GraphBuilder(std::uint64_t num_nodes) : num_nodes_(num_nodes)
+{
+    SS_ASSERT(num_nodes > 0, "graph needs at least one node");
+}
+
+void
+GraphBuilder::addEdge(LocalNodeId u, LocalNodeId v)
+{
+    SS_ASSERT(u < num_nodes_ && v < num_nodes_, "edge (", u, ",", v,
+              ") out of range ", num_nodes_);
+    edges_.emplace_back(u, v);
+}
+
+void
+GraphBuilder::addUndirectedEdge(LocalNodeId u, LocalNodeId v)
+{
+    addEdge(u, v);
+    if (u != v)
+        addEdge(v, u);
+}
+
+CsrGraph
+GraphBuilder::build(bool dedup) &&
+{
+    std::sort(edges_.begin(), edges_.end());
+    if (dedup)
+        edges_.erase(std::unique(edges_.begin(), edges_.end()),
+                     edges_.end());
+
+    std::vector<EdgeIndex> offsets(num_nodes_ + 1, 0);
+    for (const auto &[u, v] : edges_)
+        ++offsets[u + 1];
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        offsets[i] += offsets[i - 1];
+
+    std::vector<LocalNodeId> neighbors;
+    neighbors.reserve(edges_.size());
+    for (const auto &[u, v] : edges_)
+        neighbors.push_back(v);
+
+    edges_.clear();
+    edges_.shrink_to_fit();
+    return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+} // namespace smartsage::graph

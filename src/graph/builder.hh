@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Edge-list accumulator that finalizes into a CsrGraph.
+ */
+
+#ifndef SMARTSAGE_GRAPH_BUILDER_HH
+#define SMARTSAGE_GRAPH_BUILDER_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "csr.hh"
+
+namespace smartsage::graph
+{
+
+/**
+ * Collects directed edges and produces a CSR graph. Optionally
+ * symmetrizes (adds the reverse of every edge) and deduplicates.
+ */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(std::uint64_t num_nodes);
+
+    /** Add directed edge u -> v. @pre both ids < numNodes */
+    void addEdge(LocalNodeId u, LocalNodeId v);
+
+    /** Add u -> v and v -> u. */
+    void addUndirectedEdge(LocalNodeId u, LocalNodeId v);
+
+    std::uint64_t numNodes() const { return num_nodes_; }
+    std::uint64_t numEdges() const { return edges_.size(); }
+
+    /**
+     * Build the CSR graph. Neighbor lists come out sorted.
+     * @param dedup drop duplicate (u, v) pairs when true
+     */
+    CsrGraph build(bool dedup = false) &&;
+
+  private:
+    std::uint64_t num_nodes_;
+    std::vector<std::pair<LocalNodeId, LocalNodeId>> edges_;
+};
+
+} // namespace smartsage::graph
+
+#endif // SMARTSAGE_GRAPH_BUILDER_HH

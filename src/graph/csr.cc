@@ -1,0 +1,54 @@
+#include "csr.hh"
+
+#include "sim/logging.hh"
+
+namespace smartsage::graph
+{
+
+CsrGraph::CsrGraph(std::vector<EdgeIndex> offsets,
+                   std::vector<LocalNodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors))
+{
+    checkInvariants();
+}
+
+double
+CsrGraph::avgDegree() const
+{
+    if (numNodes() == 0)
+        return 0.0;
+    return static_cast<double>(numEdges()) /
+           static_cast<double>(numNodes());
+}
+
+std::uint64_t
+CsrGraph::maxDegree() const
+{
+    std::uint64_t best = 0;
+    for (std::uint64_t u = 0; u + 1 < offsets_.size(); ++u) {
+        std::uint64_t d = offsets_[u + 1] - offsets_[u];
+        if (d > best)
+            best = d;
+    }
+    return best;
+}
+
+void
+CsrGraph::checkInvariants() const
+{
+    SS_ASSERT(!offsets_.empty(), "CSR offsets array may not be empty");
+    SS_ASSERT(offsets_.front() == 0, "CSR offsets must start at 0");
+    SS_ASSERT(offsets_.back() == neighbors_.size(),
+              "CSR offsets end (", offsets_.back(),
+              ") must equal neighbor count (", neighbors_.size(), ")");
+    for (std::size_t i = 1; i < offsets_.size(); ++i) {
+        SS_ASSERT(offsets_[i] >= offsets_[i - 1],
+                  "CSR offsets must be nondecreasing at ", i);
+    }
+    std::uint64_t n = numNodes();
+    for (LocalNodeId v : neighbors_) {
+        SS_ASSERT(v < n, "neighbor id ", v, " out of range ", n);
+    }
+}
+
+} // namespace smartsage::graph

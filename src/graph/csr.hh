@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) graph, the on-device data layout.
+ *
+ * This is exactly the "neighbor edge list array" of the paper (Fig 10):
+ * `offsets[u]..offsets[u+1]` delimits node u's neighbor ID list, stored
+ * contiguously. The same byte layout is what the simulated SSD stores,
+ * so logical block addresses for a node's edge list fall out of the
+ * offsets directly.
+ */
+
+#ifndef SMARTSAGE_GRAPH_CSR_HH
+#define SMARTSAGE_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smartsage::graph
+{
+
+/** Node id within a materialized graph (4 B on device, as in CSR files). */
+using LocalNodeId = std::uint32_t;
+
+/** Byte offset / edge index type. */
+using EdgeIndex = std::uint64_t;
+
+/** Immutable CSR graph. Build with GraphBuilder or a generator. */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Adopt prebuilt arrays.
+     * @pre offsets.size() == num_nodes + 1, offsets.front() == 0,
+     *      offsets.back() == neighbors.size(), offsets nondecreasing.
+     */
+    CsrGraph(std::vector<EdgeIndex> offsets,
+             std::vector<LocalNodeId> neighbors);
+
+    std::uint64_t numNodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+    std::uint64_t numEdges() const { return neighbors_.size(); }
+
+    /** Out-degree of @p u. */
+    std::uint64_t
+    degree(LocalNodeId u) const
+    {
+        return offsets_[u + 1] - offsets_[u];
+    }
+
+    /** Neighbor list of @p u. */
+    std::span<const LocalNodeId>
+    neighbors(LocalNodeId u) const
+    {
+        return {neighbors_.data() + offsets_[u],
+                neighbors_.data() + offsets_[u + 1]};
+    }
+
+    /** Edge-array index where @p u's list begins (for LBA computation). */
+    EdgeIndex edgeOffset(LocalNodeId u) const { return offsets_[u]; }
+
+    /** Mean out-degree. */
+    double avgDegree() const;
+
+    /** Maximum out-degree. */
+    std::uint64_t maxDegree() const;
+
+    /** Bytes of the neighbor array as stored on device (4 B per edge). */
+    std::uint64_t edgeListBytes() const { return numEdges() * sizeof(LocalNodeId); }
+
+    /** Bytes of the offsets array. */
+    std::uint64_t offsetBytes() const { return offsets_.size() * sizeof(EdgeIndex); }
+
+    /** Validate structural invariants; panics on violation. */
+    void checkInvariants() const;
+
+    const std::vector<EdgeIndex> &offsets() const { return offsets_; }
+    const std::vector<LocalNodeId> &rawNeighbors() const { return neighbors_; }
+
+  private:
+    std::vector<EdgeIndex> offsets_;
+    std::vector<LocalNodeId> neighbors_;
+};
+
+} // namespace smartsage::graph
+
+#endif // SMARTSAGE_GRAPH_CSR_HH

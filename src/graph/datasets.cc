@@ -1,0 +1,113 @@
+#include "datasets.hh"
+
+#include <array>
+
+#include "kronecker.hh"
+#include "sim/logging.hh"
+
+namespace smartsage::graph
+{
+
+CsrGraph
+DatasetSpec::buildInMemory() const
+{
+    return generatePowerLaw(base);
+}
+
+CsrGraph
+DatasetSpec::buildLargeScale() const
+{
+    CsrGraph g = generatePowerLaw(base);
+    return kroneckerExpand(g, KroneckerSeed::defaultSeed(),
+                           expansion_rounds);
+}
+
+namespace
+{
+
+PowerLawParams
+baseParams(std::uint64_t nodes, double avg_degree, std::uint64_t seed)
+{
+    PowerLawParams p;
+    p.num_nodes = nodes;
+    p.avg_degree = avg_degree;
+    p.alpha = 2.1;
+    p.seed = seed;
+    return p;
+}
+
+// Table I of the paper, verbatim, plus our sim-scale generator configs.
+// Default Kronecker seed is 2x2 nnz=3, so each round multiplies nodes
+// by 2 and edges by 3 (densification 1.5x, per the densification power
+// law the paper cites).
+const std::array<DatasetSpec, 5> specs = {{
+    {
+        "Reddit",
+        {233.0e3, 114.6e6, 0.8},
+        {37.3e6, 53.9e9, 402.0},
+        602,
+        baseParams(4096, 56.0, 11),
+        2,
+    },
+    {
+        "Movielens",
+        {5.5e6, 6.0e9, 45.0},
+        {22.2e6, 59.2e9, 442.0},
+        1024,
+        baseParams(4096, 110.0, 22),
+        2,
+    },
+    {
+        "Amazon",
+        {42.5e6, 1.3e9, 9.7},
+        {265.9e6, 9.5e9, 75.0},
+        32,
+        baseParams(16384, 18.0, 33),
+        2,
+    },
+    {
+        "OGBN-100M",
+        {89.6e6, 3.2e9, 26.0},
+        {179.1e6, 5.0e9, 41.0},
+        32,
+        baseParams(16384, 14.0, 44),
+        2,
+    },
+    {
+        "Protein-PI",
+        {907.0e3, 317.5e6, 2.4},
+        {9.1e6, 8.8e9, 66.0},
+        512,
+        baseParams(4096, 75.0, 55),
+        2,
+    },
+}};
+
+const std::vector<DatasetId> dataset_order = {
+    DatasetId::Reddit,    DatasetId::Movielens, DatasetId::Amazon,
+    DatasetId::Ogbn100M,  DatasetId::ProteinPI,
+};
+
+} // namespace
+
+const std::vector<DatasetId> &
+allDatasets()
+{
+    return dataset_order;
+}
+
+const DatasetSpec &
+datasetSpec(DatasetId id)
+{
+    auto idx = static_cast<std::size_t>(id);
+    SS_ASSERT(idx < specs.size(), "bad dataset id ", idx);
+    return specs[idx];
+}
+
+const std::string &
+datasetName(DatasetId id)
+{
+    return datasetSpec(id).name;
+}
+
+} // namespace smartsage::graph

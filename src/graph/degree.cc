@@ -1,0 +1,69 @@
+#include "degree.hh"
+
+#include <cmath>
+
+namespace smartsage::graph
+{
+
+DegreeDistribution::DegreeDistribution(const CsrGraph &graph)
+    : avg_(graph.avgDegree()), nodes_(graph.numNodes())
+{
+    for (std::uint64_t u = 0; u < nodes_; ++u) {
+        std::uint64_t d = graph.degree(static_cast<LocalNodeId>(u));
+        ++counts_[d];
+        if (d > max_)
+            max_ = d;
+    }
+}
+
+std::vector<DegreeBucket>
+DegreeDistribution::logBuckets() const
+{
+    std::vector<DegreeBucket> buckets;
+    if (counts_.empty())
+        return buckets;
+
+    // Buckets [0,1), [1,2), [2,4), [4,8), ...
+    std::uint64_t lo = 0, hi = 1;
+    auto it = counts_.begin();
+    while (it != counts_.end()) {
+        std::uint64_t count = 0;
+        while (it != counts_.end() && it->first < hi) {
+            count += it->second;
+            ++it;
+        }
+        if (count > 0)
+            buckets.push_back({lo, hi, count});
+        lo = hi;
+        hi = hi * 2;
+    }
+    return buckets;
+}
+
+double
+DegreeDistribution::powerLawSlope() const
+{
+    // Simple least squares over (log d, log count), d >= 1.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::uint64_t n = 0;
+    for (const auto &[d, c] : counts_) {
+        if (d == 0)
+            continue;
+        double x = std::log(static_cast<double>(d));
+        double y = std::log(static_cast<double>(c));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++n;
+    }
+    if (n < 2)
+        return 0.0;
+    double dn = static_cast<double>(n);
+    double denom = dn * sxx - sx * sx;
+    if (denom == 0.0)
+        return 0.0;
+    return (dn * sxy - sx * sy) / denom;
+}
+
+} // namespace smartsage::graph

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Degree-distribution analysis used by Fig 13 and by the dataset sanity
+ * tests (power-law shape must survive Kronecker expansion).
+ */
+
+#ifndef SMARTSAGE_GRAPH_DEGREE_HH
+#define SMARTSAGE_GRAPH_DEGREE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "csr.hh"
+
+namespace smartsage::graph
+{
+
+/** One log-spaced histogram bucket of the degree distribution. */
+struct DegreeBucket
+{
+    std::uint64_t lo;    //!< inclusive lower degree bound
+    std::uint64_t hi;    //!< exclusive upper degree bound
+    std::uint64_t count; //!< number of nodes whose degree falls in range
+};
+
+/** Degree-distribution summary of a graph. */
+class DegreeDistribution
+{
+  public:
+    explicit DegreeDistribution(const CsrGraph &graph);
+
+    /** Exact degree -> node-count map. */
+    const std::map<std::uint64_t, std::uint64_t> &counts() const { return counts_; }
+
+    /** Power-of-two log-binned histogram (Fig 13 style). */
+    std::vector<DegreeBucket> logBuckets() const;
+
+    /**
+     * Least-squares slope of log(count) vs log(degree) over nonzero
+     * degrees — approximately -alpha for a power-law graph.
+     */
+    double powerLawSlope() const;
+
+    double avgDegree() const { return avg_; }
+    std::uint64_t maxDegree() const { return max_; }
+    std::uint64_t numNodes() const { return nodes_; }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> counts_;
+    double avg_ = 0.0;
+    std::uint64_t max_ = 0;
+    std::uint64_t nodes_ = 0;
+};
+
+} // namespace smartsage::graph
+
+#endif // SMARTSAGE_GRAPH_DEGREE_HH

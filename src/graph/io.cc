@@ -1,0 +1,101 @@
+#include "io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace smartsage::graph
+{
+
+namespace
+{
+
+constexpr char magic[4] = {'S', 'S', 'G', '1'};
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readRaw(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        SS_FATAL("truncated graph stream");
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+saveCsr(const CsrGraph &graph, std::ostream &os)
+{
+    os.write(magic, sizeof(magic));
+    writeRaw<std::uint64_t>(os, graph.numNodes());
+    writeRaw<std::uint64_t>(os, graph.numEdges());
+    const auto &offsets = graph.offsets();
+    const auto &nbrs = graph.rawNeighbors();
+    os.write(reinterpret_cast<const char *>(offsets.data()),
+             static_cast<std::streamsize>(offsets.size() *
+                                          sizeof(EdgeIndex)));
+    os.write(reinterpret_cast<const char *>(nbrs.data()),
+             static_cast<std::streamsize>(nbrs.size() *
+                                          sizeof(LocalNodeId)));
+    if (!os)
+        SS_FATAL("failed to write graph stream");
+    return sizeof(magic) + 2 * sizeof(std::uint64_t) +
+           offsets.size() * sizeof(EdgeIndex) +
+           nbrs.size() * sizeof(LocalNodeId);
+}
+
+CsrGraph
+loadCsr(std::istream &is)
+{
+    char got[4];
+    is.read(got, sizeof(got));
+    if (!is || std::memcmp(got, magic, sizeof(magic)) != 0)
+        SS_FATAL("bad graph magic; not a SmartSAGE CSR file");
+
+    auto num_nodes = readRaw<std::uint64_t>(is);
+    auto num_edges = readRaw<std::uint64_t>(is);
+
+    std::vector<EdgeIndex> offsets(num_nodes + 1);
+    is.read(reinterpret_cast<char *>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() *
+                                         sizeof(EdgeIndex)));
+    std::vector<LocalNodeId> nbrs(num_edges);
+    is.read(reinterpret_cast<char *>(nbrs.data()),
+            static_cast<std::streamsize>(nbrs.size() *
+                                         sizeof(LocalNodeId)));
+    if (!is)
+        SS_FATAL("truncated graph stream");
+    return CsrGraph(std::move(offsets), std::move(nbrs));
+}
+
+void
+saveCsrFile(const CsrGraph &graph, const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        SS_FATAL("cannot open '", path, "' for writing");
+    saveCsr(graph, f);
+}
+
+CsrGraph
+loadCsrFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        SS_FATAL("cannot open '", path, "' for reading");
+    return loadCsr(f);
+}
+
+} // namespace smartsage::graph

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Binary (de)serialization of CSR graphs — the on-SSD file format.
+ *
+ * Layout (little-endian):
+ *   magic "SSG1" | u64 num_nodes | u64 num_edges |
+ *   u64 offsets[num_nodes + 1] | u32 neighbors[num_edges]
+ *
+ * The neighbor array region is what the simulated SSD stores; the
+ * feature table and offsets live in host DRAM, matching the paper's
+ * placement (the edge list dominates capacity, Section II-C).
+ */
+
+#ifndef SMARTSAGE_GRAPH_IO_HH
+#define SMARTSAGE_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "csr.hh"
+
+namespace smartsage::graph
+{
+
+/** Serialize @p graph to @p os. @return bytes written. */
+std::uint64_t saveCsr(const CsrGraph &graph, std::ostream &os);
+
+/** Deserialize a graph from @p is; fatal() on format errors. */
+CsrGraph loadCsr(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveCsrFile(const CsrGraph &graph, const std::string &path);
+CsrGraph loadCsrFile(const std::string &path);
+
+} // namespace smartsage::graph
+
+#endif // SMARTSAGE_GRAPH_IO_HH

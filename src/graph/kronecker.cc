@@ -1,0 +1,81 @@
+#include "kronecker.hh"
+
+#include "sim/logging.hh"
+
+namespace smartsage::graph
+{
+
+KroneckerSeed::KroneckerSeed(
+    unsigned k, std::vector<std::pair<unsigned, unsigned>> edges)
+    : k_(k), edges_(std::move(edges)), rows_(k)
+{
+    SS_ASSERT(k_ >= 2, "seed must be at least 2x2");
+    for (const auto &[i, j] : edges_) {
+        SS_ASSERT(i < k_ && j < k_, "seed edge (", i, ",", j,
+                  ") out of range ", k_);
+        rows_[i].push_back(j);
+    }
+    for (unsigned i = 0; i < k_; ++i) {
+        SS_ASSERT(!rows_[i].empty(),
+                  "seed row ", i, " empty: expansion would orphan nodes");
+    }
+}
+
+KroneckerSeed
+KroneckerSeed::defaultSeed()
+{
+    return KroneckerSeed(2, {{0, 0}, {0, 1}, {1, 0}});
+}
+
+double
+KroneckerSeed::densification() const
+{
+    return static_cast<double>(nnz()) / static_cast<double>(k_);
+}
+
+CsrGraph
+kroneckerExpand(const CsrGraph &base, const KroneckerSeed &seed)
+{
+    const std::uint64_t n = base.numNodes();
+    const unsigned k = seed.k();
+    const std::uint64_t out_n = n * k;
+
+    // degree(u*k + i) = deg(u) * |row_i(S)|, so offsets can be laid out
+    // in one pass without buffering an edge list.
+    std::vector<EdgeIndex> offsets(out_n + 1, 0);
+    for (std::uint64_t u = 0; u < n; ++u) {
+        std::uint64_t d = base.degree(static_cast<LocalNodeId>(u));
+        for (unsigned i = 0; i < k; ++i) {
+            std::uint64_t id = u * k + i;
+            offsets[id + 1] = offsets[id] + d * seed.row(i).size();
+        }
+    }
+
+    std::vector<LocalNodeId> neighbors(offsets.back());
+    for (std::uint64_t u = 0; u < n; ++u) {
+        auto nbrs = base.neighbors(static_cast<LocalNodeId>(u));
+        for (unsigned i = 0; i < k; ++i) {
+            EdgeIndex out = offsets[u * k + i];
+            for (unsigned j : seed.row(i)) {
+                for (LocalNodeId v : nbrs) {
+                    neighbors[out++] = static_cast<LocalNodeId>(
+                        static_cast<std::uint64_t>(v) * k + j);
+                }
+            }
+        }
+    }
+    return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+CsrGraph
+kroneckerExpand(const CsrGraph &base, const KroneckerSeed &seed,
+                unsigned rounds)
+{
+    SS_ASSERT(rounds > 0, "need at least one expansion round");
+    CsrGraph g = kroneckerExpand(base, seed);
+    for (unsigned r = 1; r < rounds; ++r)
+        g = kroneckerExpand(g, seed);
+    return g;
+}
+
+} // namespace smartsage::graph

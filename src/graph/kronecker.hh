@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Kronecker fractal expansion (Belletti et al. [7] in the paper).
+ *
+ * Expanding graph G (n nodes) by a k x k binary seed S produces a graph
+ * on n*k nodes where node (u, i) maps to id u*k + i and edge
+ * ((u,i) -> (v,j)) exists iff (u -> v) in G and (i -> j) in S. With
+ * nnz(S) > k the expansion densifies — average degree grows by
+ * nnz(S)/k — matching the densification power law the paper's
+ * large-scale datasets exhibit (Fig 13).
+ */
+
+#ifndef SMARTSAGE_GRAPH_KRONECKER_HH
+#define SMARTSAGE_GRAPH_KRONECKER_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "csr.hh"
+
+namespace smartsage::graph
+{
+
+/** A small dense binary seed matrix for Kronecker expansion. */
+class KroneckerSeed
+{
+  public:
+    /** @param k seed dimension; @param edges list of (row, col) ones */
+    KroneckerSeed(unsigned k,
+                  std::vector<std::pair<unsigned, unsigned>> edges);
+
+    /** Canonical densifying 2x2 seed: {(0,0),(0,1),(1,0)}. */
+    static KroneckerSeed defaultSeed();
+
+    unsigned k() const { return k_; }
+    std::uint64_t nnz() const { return edges_.size(); }
+
+    /** Out-neighbors of seed row @p i. */
+    const std::vector<unsigned> &row(unsigned i) const { return rows_[i]; }
+
+    /** Densification factor per expansion: nnz / k. */
+    double densification() const;
+
+  private:
+    unsigned k_;
+    std::vector<std::pair<unsigned, unsigned>> edges_;
+    std::vector<std::vector<unsigned>> rows_;
+};
+
+/** One round of Kronecker expansion of @p base by @p seed. */
+CsrGraph kroneckerExpand(const CsrGraph &base, const KroneckerSeed &seed);
+
+/** @p rounds repeated expansions. */
+CsrGraph kroneckerExpand(const CsrGraph &base, const KroneckerSeed &seed,
+                         unsigned rounds);
+
+} // namespace smartsage::graph
+
+#endif // SMARTSAGE_GRAPH_KRONECKER_HH

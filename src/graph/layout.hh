@@ -1,0 +1,35 @@
+/**
+ * @file
+ * On-device layout of the neighbor edge list array.
+ *
+ * Table I's large-scale datasets average ~7.5 bytes per edge, i.e. 8 B
+ * node IDs; every timing model addresses the edge-list file through
+ * this descriptor. (The in-simulator CsrGraph stores 4 B IDs purely to
+ * halve simulation memory — the *modeled* device layout stays 8 B.)
+ */
+
+#ifndef SMARTSAGE_GRAPH_LAYOUT_HH
+#define SMARTSAGE_GRAPH_LAYOUT_HH
+
+#include <cstdint>
+
+namespace smartsage::graph
+{
+
+/** Byte layout of the edge-list file on the storage device. */
+struct EdgeLayout
+{
+    std::uint64_t base = 0;    //!< file offset of the neighbor array
+    unsigned entry_bytes = 8;  //!< stored bytes per neighbor ID
+
+    /** Byte address of edge-array entry @p entry_index. */
+    std::uint64_t
+    addrOf(std::uint64_t entry_index) const
+    {
+        return base + entry_index * entry_bytes;
+    }
+};
+
+} // namespace smartsage::graph
+
+#endif // SMARTSAGE_GRAPH_LAYOUT_HH

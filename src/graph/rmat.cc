@@ -1,0 +1,55 @@
+#include "rmat.hh"
+
+#include "builder.hh"
+#include "sim/logging.hh"
+
+namespace smartsage::graph
+{
+
+CsrGraph
+generateRmat(const RmatParams &params)
+{
+    SS_ASSERT(params.scale > 0 && params.scale < 32, "bad R-MAT scale");
+    double d = 1.0 - params.a - params.b - params.c;
+    SS_ASSERT(d > 0.0, "R-MAT quadrant probabilities must sum below 1");
+
+    std::uint64_t n = 1ULL << params.scale;
+    std::uint64_t target_edges =
+        static_cast<std::uint64_t>(params.edge_factor * n);
+    sim::Rng rng(params.seed);
+    GraphBuilder builder(n);
+
+    std::uint64_t made = 0;
+    while (made < target_edges) {
+        std::uint64_t u = 0, v = 0;
+        for (unsigned level = 0; level < params.scale; ++level) {
+            double r = rng.nextDouble();
+            double a = params.a, b = params.b, c = params.c;
+            u <<= 1;
+            v <<= 1;
+            if (r < a) {
+                // top-left: no bits set
+            } else if (r < a + b) {
+                v |= 1;
+            } else if (r < a + b + c) {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if (u == v)
+            continue; // drop self loop, retry
+        if (params.undirected) {
+            builder.addUndirectedEdge(static_cast<LocalNodeId>(u),
+                                      static_cast<LocalNodeId>(v));
+        } else {
+            builder.addEdge(static_cast<LocalNodeId>(u),
+                            static_cast<LocalNodeId>(v));
+        }
+        ++made;
+    }
+    return std::move(builder).build();
+}
+
+} // namespace smartsage::graph

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * R-MAT recursive-matrix graph generator (Chakrabarti et al.), used for
+ * power-law base graphs that Kronecker expansion scales up.
+ */
+
+#ifndef SMARTSAGE_GRAPH_RMAT_HH
+#define SMARTSAGE_GRAPH_RMAT_HH
+
+#include <cstdint>
+
+#include "csr.hh"
+#include "sim/random.hh"
+
+namespace smartsage::graph
+{
+
+/** Parameters for the R-MAT generator. */
+struct RmatParams
+{
+    unsigned scale = 14;       //!< num nodes = 2^scale
+    double edge_factor = 16.0; //!< edges per node
+    double a = 0.57;           //!< quadrant probabilities (Graph500-ish)
+    double b = 0.19;
+    double c = 0.19;
+    // d = 1 - a - b - c
+    bool undirected = false;   //!< mirror every edge
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate an R-MAT graph. Self loops are dropped; duplicate edges are
+ * kept (real web graphs have multi-edges and the samplers tolerate
+ * them).
+ */
+CsrGraph generateRmat(const RmatParams &params);
+
+} // namespace smartsage::graph
+
+#endif // SMARTSAGE_GRAPH_RMAT_HH

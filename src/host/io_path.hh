@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Host-side access paths to the neighbor edge list array.
+ *
+ * Every design point reduces to "where do edge-list bytes live and what
+ * does one read cost": host DRAM (oracle), mmap through the OS page
+ * cache (baseline SSD), direct I/O with a user scratchpad
+ * (SmartSAGE(SW)), or Optane PMEM. The CPU-side sampler drivers are
+ * written against this interface; the ISP path (src/isp) deliberately
+ * is not — offloading whole-subgraph generation is the paper's point.
+ */
+
+#ifndef SMARTSAGE_HOST_IO_PATH_HH
+#define SMARTSAGE_HOST_IO_PATH_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "config.hh"
+#include "llc.hh"
+#include "sim/set_assoc.hh"
+#include "sim/types.hh"
+#include "ssd/ssd_device.hh"
+
+namespace smartsage::host
+{
+
+/** One way of reading bytes out of the edge-list file. */
+class EdgeStore
+{
+  public:
+    virtual ~EdgeStore() = default;
+
+    /**
+     * Read @p bytes at file offset @p addr, issued at @p arrival.
+     * @return tick the data is usable by the CPU
+     */
+    virtual sim::Tick read(sim::Tick arrival, std::uint64_t addr,
+                           std::uint64_t bytes) = 0;
+
+    /**
+     * Gather all of one node's sampled entries ( @p addrs byte
+     * addresses, @p entry_bytes each), issued at @p arrival.
+     *
+     * The default walks the entries one blocking read at a time —
+     * correct for byte-addressable stores and for mmap, whose kernel
+     * faults are inherently per-page-blocking. The direct-I/O store
+     * overrides this to coalesce one command per node, which is
+     * precisely its latency edge (Section IV-C).
+     *
+     * @return tick the last entry is usable by the CPU
+     */
+    virtual sim::Tick readGather(sim::Tick arrival,
+                                 const std::vector<std::uint64_t> &addrs,
+                                 unsigned entry_bytes);
+
+    /** Display name for reports. */
+    virtual const std::string &name() const = 0;
+
+    /** Fresh timeline + caches for a new experiment. */
+    virtual void reset() = 0;
+};
+
+/** Oracle: the whole edge list resides in host DRAM behind the LLC. */
+class DramEdgeStore : public EdgeStore
+{
+  public:
+    explicit DramEdgeStore(const HostConfig &config);
+
+    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
+                   std::uint64_t bytes) override;
+    const std::string &name() const override { return name_; }
+    void reset() override;
+
+    LlcModel &llc() { return llc_; }
+
+  private:
+    std::string name_ = "DRAM";
+    LlcModel llc_;
+};
+
+/**
+ * Baseline SSD: memory-mapped file I/O through the OS page cache
+ * (Section III-C). Page-cache hits cost a minor-touch latency; misses
+ * pay the page-fault + kernel-stack traversal cost and a block read
+ * from the SSD.
+ */
+class MmapEdgeStore : public EdgeStore
+{
+  public:
+    MmapEdgeStore(const HostConfig &config, ssd::SsdDevice &ssd);
+
+    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
+                   std::uint64_t bytes) override;
+    const std::string &name() const override { return name_; }
+    void reset() override;
+
+    double pageCacheHitRate() const { return cache_.hitRate(); }
+    std::uint64_t pageFaults() const { return faults_; }
+
+  private:
+    std::string name_ = "SSD (mmap)";
+    HostConfig config_;
+    ssd::SsdDevice &ssd_;
+    sim::SetAssocLru cache_; //!< OS page cache, 4 KiB pages
+    std::uint64_t faults_ = 0;
+};
+
+/**
+ * SmartSAGE(SW): Linux direct I/O (O_DIRECT) into a user-space
+ * scratchpad buffer, bypassing the page cache (Section IV-C).
+ */
+class DirectIoEdgeStore : public EdgeStore
+{
+  public:
+    DirectIoEdgeStore(const HostConfig &config, ssd::SsdDevice &ssd);
+
+    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
+                   std::uint64_t bytes) override;
+
+    /** Coalesce one O_DIRECT command covering all missing blocks. */
+    sim::Tick readGather(sim::Tick arrival,
+                         const std::vector<std::uint64_t> &addrs,
+                         unsigned entry_bytes) override;
+
+    const std::string &name() const override { return name_; }
+    void reset() override;
+
+    double scratchpadHitRate() const { return cache_.hitRate(); }
+    std::uint64_t submits() const { return submits_; }
+
+  private:
+    std::string name_ = "SmartSAGE (SW)";
+    HostConfig config_;
+    ssd::SsdDevice &ssd_;
+    sim::SetAssocLru cache_; //!< user scratchpad, block-granular
+    std::uint64_t submits_ = 0;
+};
+
+/** Optane DC PMEM on the memory bus: byte-granular, ~300 ns loads. */
+class PmemEdgeStore : public EdgeStore
+{
+  public:
+    explicit PmemEdgeStore(const HostConfig &config);
+
+    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
+                   std::uint64_t bytes) override;
+    const std::string &name() const override { return name_; }
+    void reset() override;
+
+  private:
+    std::string name_ = "PMEM";
+    HostConfig config_;
+    std::uint64_t reads_ = 0;
+};
+
+} // namespace smartsage::host
+
+#endif // SMARTSAGE_HOST_IO_PATH_HH

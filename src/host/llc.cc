@@ -1,0 +1,56 @@
+#include "llc.hh"
+
+namespace smartsage::host
+{
+
+LlcModel::LlcModel(const HostConfig &config)
+    : config_(config),
+      cache_(config.llc_bytes, config.llc_line, config.llc_ways)
+{
+}
+
+sim::Tick
+LlcModel::access(std::uint64_t addr, std::uint64_t bytes)
+{
+    // Touch every line the access spans; latency is set by the slowest
+    // component (one DRAM fill if anything missed).
+    std::uint64_t first = cache_.lineOf(addr);
+    std::uint64_t last = cache_.lineOf(addr + (bytes ? bytes - 1 : 0));
+    bool any_miss = false;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (!cache_.access(line)) {
+            any_miss = true;
+            dram_bytes_ += config_.llc_line;
+        }
+    }
+    ++accesses_;
+    sim::Tick lat = any_miss ? config_.dram_latency : config_.llc_hit;
+    total_latency_ += lat;
+    return lat;
+}
+
+double
+LlcModel::dramBwUtilization(unsigned workers) const
+{
+    if (total_latency_ == 0 || accesses_ == 0)
+        return 0.0;
+    // Average demand stream of one worker: dram bytes spread over its
+    // access latency, amplified by in-flight misses and worker count.
+    double per_worker_gbps =
+        static_cast<double>(dram_bytes_) /
+        sim::toSeconds(total_latency_) / 1e9 *
+        config_.memory_level_parallelism;
+    double util = per_worker_gbps * workers / config_.dram_peak_gbps;
+    return util > 1.0 ? 1.0 : util;
+}
+
+void
+LlcModel::reset()
+{
+    cache_.reset();
+    dram_bytes_ = 0;
+    accesses_ = 0;
+    total_latency_ = 0;
+}
+
+} // namespace smartsage::host

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Last-level-cache + DRAM timing model for the in-memory (DRAM oracle)
+ * design point, and the measurement vehicle for Fig 5 (LLC miss rate,
+ * DRAM bandwidth utilization during neighbor sampling).
+ */
+
+#ifndef SMARTSAGE_HOST_LLC_HH
+#define SMARTSAGE_HOST_LLC_HH
+
+#include <cstdint>
+
+#include "config.hh"
+#include "sim/set_assoc.hh"
+#include "sim/types.hh"
+
+namespace smartsage::host
+{
+
+/** LLC directory plus DRAM latency/bandwidth accounting. */
+class LlcModel
+{
+  public:
+    explicit LlcModel(const HostConfig &config);
+
+    /**
+     * One CPU load of @p bytes at @p addr.
+     * @return access latency (LLC hit or DRAM fill)
+     */
+    sim::Tick access(std::uint64_t addr, std::uint64_t bytes);
+
+    double missRate() const { return cache_.missRate(); }
+    std::uint64_t hits() const { return cache_.hits(); }
+    std::uint64_t misses() const { return cache_.misses(); }
+
+    /** Bytes filled from DRAM (misses x line). */
+    std::uint64_t dramBytes() const { return dram_bytes_; }
+
+    /**
+     * Achieved DRAM bandwidth as a fraction of peak, for @p workers
+     * concurrent sampling workers each sustaining the configured
+     * memory-level parallelism (Fig 5 right axis).
+     */
+    double dramBwUtilization(unsigned workers) const;
+
+    void reset();
+
+  private:
+    HostConfig config_;
+    sim::SetAssocLru cache_;
+    std::uint64_t dram_bytes_ = 0;
+    std::uint64_t accesses_ = 0;
+    sim::Tick total_latency_ = 0;
+};
+
+} // namespace smartsage::host
+
+#endif // SMARTSAGE_HOST_LLC_HH

@@ -1,0 +1,36 @@
+#include "nsconfig.hh"
+
+namespace smartsage::isp
+{
+
+void
+IspTraceVisitor::onBatchStart(std::size_t num_targets)
+{
+    work_.clear();
+    num_targets_ = num_targets;
+}
+
+void
+IspTraceVisitor::onOffsetRead(graph::LocalNodeId u)
+{
+    work_.push_back(NodeWork{u, {}});
+}
+
+void
+IspTraceVisitor::onEdgeEntryRead(graph::LocalNodeId u,
+                                 std::uint64_t entry_index)
+{
+    (void)u;
+    work_.back().entries.push_back(entry_index);
+}
+
+std::uint64_t
+IspTraceVisitor::totalEntries() const
+{
+    std::uint64_t total = 0;
+    for (const auto &w : work_)
+        total += w.entries.size();
+    return total;
+}
+
+} // namespace smartsage::isp

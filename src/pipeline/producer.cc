@@ -1,0 +1,245 @@
+#include "producer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace smartsage::pipeline
+{
+
+SubgraphStats
+SubgraphStats::of(const gnn::Subgraph &sg)
+{
+    SubgraphStats s;
+    s.num_targets = sg.targets().size();
+    s.total_edges = sg.totalSampledEdges();
+    s.unique_nodes = sg.numUniqueNodes();
+    return s;
+}
+
+namespace
+{
+
+/** Replays one node-gather per step through an EdgeStore. */
+class CpuBatchJob : public BatchJob
+{
+  public:
+    CpuBatchJob(gnn::Subgraph sg, std::vector<isp::NodeWork> work,
+                host::EdgeStore &store, host::LlcModel &llc,
+                const host::HostConfig &config,
+                const graph::EdgeLayout &layout)
+        : sg_(std::move(sg)), work_(std::move(work)), store_(store),
+          llc_(llc), config_(config), layout_(layout)
+    {
+    }
+
+    bool done() const override { return next_ >= work_.size(); }
+
+    sim::Tick
+    step(sim::Tick now) override
+    {
+        SS_ASSERT(!done(), "step past end of batch");
+        const isp::NodeWork &w = work_[next_++];
+
+        // Degree/offset lookup out of host DRAM.
+        sim::Tick t =
+            now + llc_.access(offset_region + std::uint64_t(w.node) * 8,
+                              16);
+        if (!w.entries.empty()) {
+            addrs_.clear();
+            for (std::uint64_t e : w.entries)
+                addrs_.push_back(layout_.addrOf(e));
+            t = store_.readGather(t, addrs_, layout_.entry_bytes);
+            t += config_.cpu_per_edge * w.entries.size();
+        }
+        return t;
+    }
+
+    gnn::Subgraph takeSubgraph() override { return std::move(sg_); }
+
+  private:
+    gnn::Subgraph sg_;
+    std::vector<isp::NodeWork> work_;
+    std::size_t next_ = 0;
+    host::EdgeStore &store_;
+    host::LlcModel &llc_;
+    const host::HostConfig &config_;
+    graph::EdgeLayout layout_;
+    std::vector<std::uint64_t> addrs_;
+
+    static constexpr std::uint64_t offset_region = 1ULL << 42;
+};
+
+/** Replays one coalesced NSconfig group per step. */
+class IspBatchJob : public BatchJob
+{
+  public:
+    IspBatchJob(gnn::Subgraph sg, std::vector<isp::NodeWork> work,
+                std::size_t num_targets, IspProducer &owner,
+                isp::IspEngine &engine)
+        : sg_(std::move(sg)), work_(std::move(work)), owner_(owner),
+          engine_(engine)
+    {
+        std::size_t groups =
+            (num_targets + engine.config().coalesce_targets - 1) /
+            engine.config().coalesce_targets;
+        groups = std::max<std::size_t>(
+            1, std::min(groups, std::max<std::size_t>(work_.size(), 1)));
+        per_group_ = (work_.size() + groups - 1) / groups;
+        if (per_group_ == 0)
+            per_group_ = 1;
+    }
+
+    bool done() const override { return next_ >= work_.size(); }
+
+    sim::Tick
+    step(sim::Tick now) override
+    {
+        SS_ASSERT(!done(), "step past end of batch");
+        std::size_t n = std::min(per_group_, work_.size() - next_);
+        sim::Tick submit = now + engine_.config().host_submit;
+        sim::Tick t = engine_.runGroup(work_.data() + next_, n, submit,
+                                       owner_.accum());
+        next_ += n;
+        return t;
+    }
+
+    gnn::Subgraph takeSubgraph() override { return std::move(sg_); }
+
+  private:
+    gnn::Subgraph sg_;
+    std::vector<isp::NodeWork> work_;
+    std::size_t next_ = 0;
+    std::size_t per_group_ = 1;
+    IspProducer &owner_;
+    isp::IspEngine &engine_;
+};
+
+/** Replays the whole batch on the FPGA CSD in one step. */
+class FpgaBatchJob : public BatchJob
+{
+  public:
+    FpgaBatchJob(gnn::Subgraph sg, isp::IspTraceVisitor trace,
+                 FpgaProducer &owner, isp::FpgaCsdEngine &engine)
+        : sg_(std::move(sg)), trace_(std::move(trace)), owner_(owner),
+          engine_(engine)
+    {
+    }
+
+    bool done() const override { return done_; }
+
+    sim::Tick
+    step(sim::Tick now) override
+    {
+        SS_ASSERT(!done_, "step past end of batch");
+        done_ = true;
+        isp::FpgaBatchResult r = engine_.runBatch(trace_, now);
+        owner_.accum().ssd_to_fpga += r.ssd_to_fpga;
+        owner_.accum().sampling += r.sampling;
+        owner_.accum().fpga_to_cpu += r.fpga_to_cpu;
+        owner_.accum().p2p_bytes += r.p2p_bytes;
+        owner_.accum().out_bytes += r.out_bytes;
+        return r.finish;
+    }
+
+    gnn::Subgraph takeSubgraph() override { return std::move(sg_); }
+
+  private:
+    gnn::Subgraph sg_;
+    isp::IspTraceVisitor trace_;
+    FpgaProducer &owner_;
+    isp::FpgaCsdEngine &engine_;
+    bool done_ = false;
+};
+
+/** Run the functional sampler, capturing the per-node access trace. */
+gnn::Subgraph
+traceSample(const graph::CsrGraph &graph, const gnn::AnySampler &sampler,
+            const std::vector<graph::LocalNodeId> &targets, sim::Rng &rng,
+            isp::IspTraceVisitor &trace)
+{
+    return sampler.sample(graph, targets, rng, &trace);
+}
+
+} // namespace
+
+CpuProducer::CpuProducer(const graph::CsrGraph &graph,
+                         const gnn::AnySampler &sampler,
+                         host::EdgeStore &store,
+                         const host::HostConfig &config,
+                         const graph::EdgeLayout &layout)
+    : graph_(graph), sampler_(sampler), store_(store), config_(config),
+      layout_(layout), host_llc_(config)
+{
+}
+
+std::unique_ptr<BatchJob>
+CpuProducer::startBatch(const std::vector<graph::LocalNodeId> &targets,
+                        sim::Rng &rng)
+{
+    isp::IspTraceVisitor trace;
+    gnn::Subgraph sg = traceSample(graph_, sampler_, targets, rng, trace);
+    std::vector<isp::NodeWork> work(trace.work());
+    return std::make_unique<CpuBatchJob>(std::move(sg), std::move(work),
+                                         store_, host_llc_, config_,
+                                         layout_);
+}
+
+void
+CpuProducer::reset()
+{
+    store_.reset();
+    host_llc_.reset();
+}
+
+IspProducer::IspProducer(const graph::CsrGraph &graph,
+                         const gnn::AnySampler &sampler,
+                         isp::IspEngine &engine, ssd::SsdDevice &ssd)
+    : graph_(graph), sampler_(sampler), engine_(engine), ssd_(ssd)
+{
+}
+
+std::unique_ptr<BatchJob>
+IspProducer::startBatch(const std::vector<graph::LocalNodeId> &targets,
+                        sim::Rng &rng)
+{
+    isp::IspTraceVisitor trace;
+    gnn::Subgraph sg = traceSample(graph_, sampler_, targets, rng, trace);
+    std::vector<isp::NodeWork> work(trace.work());
+    return std::make_unique<IspBatchJob>(std::move(sg), std::move(work),
+                                         targets.size(), *this, engine_);
+}
+
+void
+IspProducer::reset()
+{
+    ssd_.reset();
+    accum_ = isp::IspBatchResult{};
+}
+
+FpgaProducer::FpgaProducer(const graph::CsrGraph &graph,
+                           const gnn::AnySampler &sampler,
+                           isp::FpgaCsdEngine &engine,
+                           ssd::SsdDevice &ssd)
+    : graph_(graph), sampler_(sampler), engine_(engine), ssd_(ssd)
+{
+}
+
+std::unique_ptr<BatchJob>
+FpgaProducer::startBatch(const std::vector<graph::LocalNodeId> &targets,
+                         sim::Rng &rng)
+{
+    isp::IspTraceVisitor trace;
+    gnn::Subgraph sg = traceSample(graph_, sampler_, targets, rng, trace);
+    return std::make_unique<FpgaBatchJob>(std::move(sg), std::move(trace),
+                                          *this, engine_);
+}
+
+void
+FpgaProducer::reset()
+{
+    ssd_.reset();
+    accum_ = isp::FpgaBatchResult{};
+}
+
+} // namespace smartsage::pipeline

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Subgraph producers: the CPU-side workers of Fig 4, one flavor per
+ * design point.
+ *
+ * A producer first runs the *functional* sampler to obtain a real
+ * subgraph plus its complete storage access trace, then hands back a
+ * resumable BatchJob that replays the trace against the shared timing
+ * models one node (or one coalesced command group) at a time. The
+ * scheduler (scheduler.hh) interleaves jobs from concurrent workers in
+ * simulated-time order, which is what makes multi-worker contention
+ * honest: a busy-until resource only sees requests in global time
+ * order, never one whole worker at a time.
+ */
+
+#ifndef SMARTSAGE_PIPELINE_PRODUCER_HH
+#define SMARTSAGE_PIPELINE_PRODUCER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gnn/sampler.hh"
+#include "graph/csr.hh"
+#include "graph/layout.hh"
+#include "host/config.hh"
+#include "host/io_path.hh"
+#include "host/llc.hh"
+#include "isp/fpga_csd.hh"
+#include "isp/isp_engine.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace smartsage::pipeline
+{
+
+/** Shape summary of a produced subgraph (enough for timing models). */
+struct SubgraphStats
+{
+    std::size_t num_targets = 0;
+    std::uint64_t total_edges = 0;
+    std::uint64_t unique_nodes = 0;
+
+    static SubgraphStats of(const gnn::Subgraph &sg);
+};
+
+/** One finished mini-batch. */
+struct ProducedBatch
+{
+    sim::Tick ready = 0;         //!< subgraph available in host DRAM
+    sim::Tick sampling_time = 0; //!< ready - start
+    SubgraphStats stats;
+    gnn::Subgraph subgraph;      //!< functional payload
+};
+
+/**
+ * A resumable replay of one mini-batch's subgraph generation. step()
+ * executes the next slice of work (one node gather, or one coalesced
+ * ISP group) starting no earlier than @p now, and returns its
+ * completion time.
+ */
+class BatchJob
+{
+  public:
+    virtual ~BatchJob() = default;
+
+    /** True once every slice has executed. */
+    virtual bool done() const = 0;
+
+    /** Execute the next slice at @p now. @pre !done() */
+    virtual sim::Tick step(sim::Tick now) = 0;
+
+    /** Claim the functional subgraph after completion. @pre done() */
+    virtual gnn::Subgraph takeSubgraph() = 0;
+};
+
+/** A design point's subgraph-generation path. */
+class SubgraphProducer
+{
+  public:
+    virtual ~SubgraphProducer() = default;
+
+    /** Functionally sample @p targets and return the timing replay. */
+    virtual std::unique_ptr<BatchJob>
+    startBatch(const std::vector<graph::LocalNodeId> &targets,
+               sim::Rng &rng) = 0;
+
+    /** Fresh caches/timelines for a new experiment. */
+    virtual void reset() = 0;
+};
+
+/** Host-CPU sampling over an EdgeStore (DRAM / mmap / directIO / PMEM). */
+class CpuProducer : public SubgraphProducer
+{
+  public:
+    CpuProducer(const graph::CsrGraph &graph,
+                const gnn::AnySampler &sampler, host::EdgeStore &store,
+                const host::HostConfig &config,
+                const graph::EdgeLayout &layout);
+
+    std::unique_ptr<BatchJob>
+    startBatch(const std::vector<graph::LocalNodeId> &targets,
+               sim::Rng &rng) override;
+    void reset() override;
+
+    host::LlcModel &hostLlc() { return host_llc_; }
+
+  private:
+    const graph::CsrGraph &graph_;
+    const gnn::AnySampler &sampler_;
+    host::EdgeStore &store_;
+    host::HostConfig config_;
+    graph::EdgeLayout layout_;
+    host::LlcModel host_llc_;
+};
+
+/** SmartSAGE(HW/SW): in-storage subgraph generation. */
+class IspProducer : public SubgraphProducer
+{
+  public:
+    IspProducer(const graph::CsrGraph &graph,
+                const gnn::AnySampler &sampler, isp::IspEngine &engine,
+                ssd::SsdDevice &ssd);
+
+    std::unique_ptr<BatchJob>
+    startBatch(const std::vector<graph::LocalNodeId> &targets,
+               sim::Rng &rng) override;
+    void reset() override;
+
+    /** Cumulative result counters across produced batches. */
+    const isp::IspBatchResult &accumulated() const { return accum_; }
+
+    /** Mutable accumulator the batch jobs write into. */
+    isp::IspBatchResult &accum() { return accum_; }
+
+  private:
+    const graph::CsrGraph &graph_;
+    const gnn::AnySampler &sampler_;
+    isp::IspEngine &engine_;
+    ssd::SsdDevice &ssd_;
+    isp::IspBatchResult accum_;
+};
+
+/** FPGA-based CSD (Fig 19). */
+class FpgaProducer : public SubgraphProducer
+{
+  public:
+    FpgaProducer(const graph::CsrGraph &graph,
+                 const gnn::AnySampler &sampler,
+                 isp::FpgaCsdEngine &engine, ssd::SsdDevice &ssd);
+
+    std::unique_ptr<BatchJob>
+    startBatch(const std::vector<graph::LocalNodeId> &targets,
+               sim::Rng &rng) override;
+    void reset() override;
+
+    /** Breakdown accumulated across produced batches. */
+    const isp::FpgaBatchResult &accumulated() const { return accum_; }
+
+    /** Mutable accumulator the batch jobs write into. */
+    isp::FpgaBatchResult &accum() { return accum_; }
+
+  private:
+    const graph::CsrGraph &graph_;
+    const gnn::AnySampler &sampler_;
+    isp::FpgaCsdEngine &engine_;
+    ssd::SsdDevice &ssd_;
+    isp::FpgaBatchResult accum_;
+};
+
+} // namespace smartsage::pipeline
+
+#endif // SMARTSAGE_PIPELINE_PRODUCER_HH

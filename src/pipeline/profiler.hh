@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory profiler for the in-memory neighbor sampling stage (Fig 5):
+ * replays the sampler's full access stream — offset reads, edge-entry
+ * reads, and subgraph-output appends — through one LLC model and
+ * reports the LLC miss rate and DRAM bandwidth utilization.
+ */
+
+#ifndef SMARTSAGE_PIPELINE_PROFILER_HH
+#define SMARTSAGE_PIPELINE_PROFILER_HH
+
+#include <cstdint>
+
+#include "gnn/sampler.hh"
+#include "graph/layout.hh"
+#include "host/config.hh"
+#include "host/llc.hh"
+
+namespace smartsage::pipeline
+{
+
+/** Fig 5 measurement vehicle. */
+class SamplingMemoryProfiler : public gnn::SampleVisitor
+{
+  public:
+    SamplingMemoryProfiler(const host::HostConfig &config,
+                           const graph::EdgeLayout &layout);
+
+    void onOffsetRead(graph::LocalNodeId u) override;
+    void onEdgeEntryRead(graph::LocalNodeId u,
+                         std::uint64_t entry_index) override;
+    void onSampled(graph::LocalNodeId u, graph::LocalNodeId v) override;
+
+    /** LLC miss rate over everything observed so far (Fig 5 left). */
+    double llcMissRate() const { return llc_.missRate(); }
+
+    /** DRAM bandwidth utilization for @p workers samplers (Fig 5 right). */
+    double dramBwUtilization(unsigned workers) const;
+
+    void reset();
+
+  private:
+    graph::EdgeLayout layout_;
+    host::LlcModel llc_;
+    std::uint64_t out_cursor_ = 0; //!< subgraph append stream position
+
+    static constexpr std::uint64_t offset_region = 1ULL << 42;
+};
+
+} // namespace smartsage::pipeline
+
+#endif // SMARTSAGE_PIPELINE_PROFILER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Worker scheduler: interleaves the BatchJobs of W concurrent producer
+ * workers in simulated-time order, so shared storage resources see the
+ * globally time-ordered request stream (honest multi-worker
+ * contention, Section VI-B).
+ */
+
+#ifndef SMARTSAGE_PIPELINE_SCHEDULER_HH
+#define SMARTSAGE_PIPELINE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "producer.hh"
+#include "sim/random.hh"
+
+namespace smartsage::pipeline
+{
+
+/** Parameters of one scheduled production run. */
+struct ScheduleConfig
+{
+    unsigned workers = 12;
+    std::size_t num_batches = 24;
+    std::size_t batch_size = 1024;
+    std::uint64_t seed = 0xba7c;
+};
+
+/**
+ * Drive @p producer through @p config.num_batches mini-batches over
+ * @p config.workers interleaved worker timelines. The producer is
+ * reset() first. Batches are handed to workers dynamically (a worker
+ * picks up the next batch the moment it finishes one).
+ *
+ * @return finished batches in completion order
+ */
+std::vector<ProducedBatch> runWorkers(SubgraphProducer &producer,
+                                      const graph::CsrGraph &graph,
+                                      const ScheduleConfig &config);
+
+} // namespace smartsage::pipeline
+
+#endif // SMARTSAGE_PIPELINE_SCHEDULER_HH

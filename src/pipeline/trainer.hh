@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Producer-consumer training pipeline (Fig 4).
+ *
+ * W CPU-side worker timelines produce mini-batch subgraphs through a
+ * SubgraphProducer (contention for the storage stack is captured inside
+ * the shared resource models); each finished batch then runs feature
+ * lookup and the CPU->GPU transfer, and the GPU consumer trains batches
+ * in ready order. GPU idle time (Fig 7) falls out of the consumer's
+ * wait gaps.
+ */
+
+#ifndef SMARTSAGE_PIPELINE_TRAINER_HH
+#define SMARTSAGE_PIPELINE_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/feature_table.hh"
+#include "gnn/gpu_model.hh"
+#include "graph/csr.hh"
+#include "host/config.hh"
+#include "producer.hh"
+#include "sim/types.hh"
+
+namespace smartsage::pipeline
+{
+
+/** Knobs of one pipeline run. */
+struct PipelineConfig
+{
+    unsigned workers = 12;        //!< CPU-side producer processes
+    std::size_t num_batches = 24; //!< mini-batches to simulate
+    std::size_t batch_size = 1024; //!< paper default M
+    /** Framework overhead per batch ("Else" in Fig 6/18). */
+    sim::Tick else_per_batch = sim::us(3000);
+    std::uint64_t seed = 0xba7c;
+};
+
+/** Per-stage accumulated time in seconds (Fig 6/18 bar segments). */
+struct StageBreakdown
+{
+    double sampling = 0;
+    double feature = 0;
+    double transfer = 0;
+    double gpu = 0;
+    double other = 0;
+
+    double total() const { return sampling + feature + transfer + gpu + other; }
+
+    /** Fraction of total() in each stage. */
+    StageBreakdown normalized() const;
+};
+
+/** Outcome of one pipeline simulation. */
+struct PipelineResult
+{
+    sim::Tick makespan = 0;      //!< wall time to train all batches
+    StageBreakdown stages;       //!< accumulated per-batch stage time
+    double gpu_idle_frac = 0;    //!< Fig 7
+    double avg_sampling_us = 0;  //!< mean per-batch sampling latency
+    std::uint64_t batches = 0;
+
+    /** Batches per simulated second. */
+    double
+    throughput() const
+    {
+        return makespan ? static_cast<double>(batches) /
+                              sim::toSeconds(makespan)
+                        : 0.0;
+    }
+};
+
+/** The pipeline simulator. */
+class TrainingPipeline
+{
+  public:
+    TrainingPipeline(const PipelineConfig &config,
+                     const host::HostConfig &host,
+                     const gnn::GpuTimingModel &gpu,
+                     const gnn::FeatureTable &features);
+
+    /**
+     * Run @p producer over @p graph for the configured batch count.
+     * The producer is reset() first.
+     */
+    PipelineResult run(SubgraphProducer &producer,
+                       const graph::CsrGraph &graph);
+
+  private:
+    PipelineConfig config_;
+    host::HostConfig host_;
+    const gnn::GpuTimingModel &gpu_;
+    const gnn::FeatureTable &features_;
+
+    /** Host-side feature-gather time for @p unique_nodes rows. */
+    sim::Tick featureTime(std::uint64_t unique_nodes) const;
+};
+
+} // namespace smartsage::pipeline
+
+#endif // SMARTSAGE_PIPELINE_TRAINER_HH

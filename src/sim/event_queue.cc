@@ -1,0 +1,40 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    SS_ASSERT(when >= now_, "scheduling at ", when, " before now ", now_);
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+Tick
+EventQueue::run()
+{
+    return runUntil(maxTick);
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule more events.
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb();
+    }
+    return now_;
+}
+
+} // namespace smartsage::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits(1).
+ * warn()   — something works but is suspicious.
+ * inform() — plain status output.
+ */
+
+#ifndef SMARTSAGE_SIM_LOGGING_HH
+#define SMARTSAGE_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace smartsage::sim
+{
+
+/** Internal: emit a tagged message and optionally terminate. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace smartsage::sim
+
+/** Abort: simulator-internal invariant violation. */
+#define SS_PANIC(...)                                                       \
+    ::smartsage::sim::panicImpl(                                            \
+        __FILE__, __LINE__, ::smartsage::sim::formatMessage(__VA_ARGS__))
+
+/** Exit(1): user configuration error. */
+#define SS_FATAL(...)                                                       \
+    ::smartsage::sim::fatalImpl(                                            \
+        __FILE__, __LINE__, ::smartsage::sim::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define SS_WARN(...)                                                        \
+    ::smartsage::sim::warnImpl(::smartsage::sim::formatMessage(__VA_ARGS__))
+
+/** Status message. */
+#define SS_INFORM(...)                                                      \
+    ::smartsage::sim::informImpl(                                           \
+        ::smartsage::sim::formatMessage(__VA_ARGS__))
+
+/** panic() if a condition does not hold. */
+#define SS_ASSERT(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            SS_PANIC("assertion '", #cond, "' failed: ",                    \
+                     ::smartsage::sim::formatMessage(__VA_ARGS__));         \
+        }                                                                   \
+    } while (0)
+
+#endif // SMARTSAGE_SIM_LOGGING_HH

@@ -1,0 +1,127 @@
+#include "resource.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+Server::Server(std::string name) : name_(std::move(name))
+{
+}
+
+ServiceInterval
+Server::request(Tick arrival, Tick service)
+{
+    Tick start = std::max(arrival, next_free_);
+    Tick finish = start + service;
+    next_free_ = finish;
+    busy_ += service;
+    ++served_;
+    return {start, finish};
+}
+
+double
+Server::utilization(Tick horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    return static_cast<double>(busy_) / static_cast<double>(horizon);
+}
+
+void
+Server::reset()
+{
+    next_free_ = 0;
+    busy_ = 0;
+    served_ = 0;
+}
+
+ServerPool::ServerPool(std::string name, unsigned count) : name_(name)
+{
+    SS_ASSERT(count > 0, "pool '", name_, "' needs at least one server");
+    servers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        servers_.emplace_back(name + "[" + std::to_string(i) + "]");
+}
+
+ServiceInterval
+ServerPool::request(Tick arrival, Tick service)
+{
+    // Earliest-start-time placement: the request begins on whichever
+    // member frees up first.
+    Server *best = &servers_[0];
+    for (auto &s : servers_) {
+        if (s.nextFree() < best->nextFree())
+            best = &s;
+    }
+    return best->request(arrival, service);
+}
+
+ServiceInterval
+ServerPool::requestOn(unsigned index, Tick arrival, Tick service)
+{
+    SS_ASSERT(index < servers_.size(), "server index ", index,
+              " out of range ", servers_.size());
+    return servers_[index].request(arrival, service);
+}
+
+Tick
+ServerPool::totalBusyTime() const
+{
+    Tick total = 0;
+    for (const auto &s : servers_)
+        total += s.busyTime();
+    return total;
+}
+
+double
+ServerPool::utilization(Tick horizon) const
+{
+    if (horizon == 0 || servers_.empty())
+        return 0.0;
+    return static_cast<double>(totalBusyTime()) /
+           (static_cast<double>(horizon) * servers_.size());
+}
+
+void
+ServerPool::reset()
+{
+    for (auto &s : servers_)
+        s.reset();
+}
+
+BandwidthLink::BandwidthLink(std::string name, double gbps, Tick latency)
+    : wire_(std::move(name)), gbps_(gbps), latency_(latency)
+{
+    SS_ASSERT(gbps > 0.0, "link bandwidth must be positive");
+}
+
+ServiceInterval
+BandwidthLink::transfer(Tick arrival, std::uint64_t bytes)
+{
+    Tick occupancy = transferTime(bytes, gbps_);
+    ServiceInterval iv = wire_.request(arrival, occupancy);
+    bytes_ += bytes;
+    return {iv.start, iv.finish + latency_};
+}
+
+double
+BandwidthLink::utilization(Tick horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    double achieved =
+        static_cast<double>(bytes_) / toSeconds(horizon); // bytes/sec
+    return achieved / (gbps_ * 1e9);
+}
+
+void
+BandwidthLink::reset()
+{
+    wire_.reset();
+    bytes_ = 0;
+}
+
+} // namespace smartsage::sim

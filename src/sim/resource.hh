@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Busy-until contention models.
+ *
+ * A Server hands out service intervals: a request arriving at tick `t`
+ * with service time `s` starts at max(t, next_free) and completes at
+ * start + s. This captures queueing delay under contention without
+ * per-request event machinery, which keeps billion-access sweeps cheap.
+ * All storage-stack components (flash dies, channels, embedded cores,
+ * PCIe links) are built from these.
+ */
+
+#ifndef SMARTSAGE_SIM_RESOURCE_HH
+#define SMARTSAGE_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace smartsage::sim
+{
+
+/** Completion record for a resource request. */
+struct ServiceInterval
+{
+    Tick start;  //!< When service actually began (>= arrival).
+    Tick finish; //!< When service completed.
+
+    /** Queueing delay experienced before service began. */
+    Tick
+    waited(Tick arrival) const
+    {
+        return start - arrival;
+    }
+};
+
+/**
+ * A single FIFO server.
+ *
+ * Requests must be offered in a consistent order; the model serializes
+ * them in call order, which matches the submission order of the queues
+ * it stands in for (flash die, NVMe SQ, firmware core).
+ */
+class Server
+{
+  public:
+    explicit Server(std::string name = "server");
+
+    /** Serve a request arriving at @p arrival taking @p service time. */
+    ServiceInterval request(Tick arrival, Tick service);
+
+    /** Earliest tick at which a new request could start service. */
+    Tick nextFree() const { return next_free_; }
+
+    /** Total time spent actively serving. */
+    Tick busyTime() const { return busy_; }
+
+    /** Requests served so far. */
+    std::uint64_t served() const { return served_; }
+
+    /** Fraction of [0, horizon] spent busy. */
+    double utilization(Tick horizon) const;
+
+    /** Forget all history (fresh timeline). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    Tick next_free_ = 0;
+    Tick busy_ = 0;
+    std::uint64_t served_ = 0;
+};
+
+/**
+ * A pool of identical servers; each request is placed on the server that
+ * can start it earliest (models channel/die-level parallelism and a
+ * multi-core firmware complex).
+ */
+class ServerPool
+{
+  public:
+    ServerPool(std::string name, unsigned count);
+
+    /** Serve on the earliest-available member server. */
+    ServiceInterval request(Tick arrival, Tick service);
+
+    /**
+     * Serve on a specific member (e.g. the die a page physically lives
+     * on). @pre index < size()
+     */
+    ServiceInterval requestOn(unsigned index, Tick arrival, Tick service);
+
+    unsigned size() const { return static_cast<unsigned>(servers_.size()); }
+    const Server &server(unsigned i) const { return servers_[i]; }
+
+    /** Aggregate busy time across members. */
+    Tick totalBusyTime() const;
+
+    /** Mean member utilization over [0, horizon]. */
+    double utilization(Tick horizon) const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::vector<Server> servers_;
+};
+
+/**
+ * A serialized link with fixed propagation latency plus per-byte
+ * occupancy (store-and-forward). Transfers contend for the wire; the
+ * propagation latency is added after wire occupancy and does not occupy
+ * the wire.
+ */
+class BandwidthLink
+{
+  public:
+    /**
+     * @param gbps    decimal gigabytes per second of wire bandwidth
+     * @param latency fixed propagation latency per transfer
+     */
+    BandwidthLink(std::string name, double gbps, Tick latency);
+
+    /** Move @p bytes starting no earlier than @p arrival. */
+    ServiceInterval transfer(Tick arrival, std::uint64_t bytes);
+
+    /** Total bytes moved. */
+    std::uint64_t bytesMoved() const { return bytes_; }
+
+    /** Achieved bandwidth over [0, horizon] as a fraction of peak. */
+    double utilization(Tick horizon) const;
+
+    double peakGBps() const { return gbps_; }
+
+    void reset();
+
+  private:
+    Server wire_;
+    double gbps_;
+    Tick latency_;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_RESOURCE_HH

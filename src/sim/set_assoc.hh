@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Generic set-associative LRU cache over 64-bit keys.
+ *
+ * Shared by the host LLC model, the OS page-cache model, and the
+ * direct-I/O scratchpad: all three are "capacity / line / ways + LRU"
+ * structures that only differ in line size and hit/miss costs, which
+ * the wrappers supply.
+ */
+
+#ifndef SMARTSAGE_SIM_SET_ASSOC_HH
+#define SMARTSAGE_SIM_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+/** Set-associative LRU directory keyed by line number. */
+class SetAssocLru
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity
+     * @param line_bytes     line (block/page) size
+     * @param ways           associativity; set count is rounded down to
+     *                       a power of two
+     */
+    SetAssocLru(std::uint64_t capacity_bytes, std::uint64_t line_bytes,
+                unsigned ways)
+        : line_bytes_(line_bytes), ways_(ways)
+    {
+        SS_ASSERT(line_bytes > 0 && ways > 0, "bad cache shape");
+        std::uint64_t lines = capacity_bytes / line_bytes;
+        SS_ASSERT(lines >= ways, "cache smaller than one set");
+        std::uint64_t want = lines / ways;
+        sets_ = 1;
+        while (sets_ * 2 <= want)
+            sets_ *= 2;
+        table_.assign(sets_ * ways_, Way{});
+    }
+
+    /** Line number covering byte address @p addr. */
+    std::uint64_t lineOf(std::uint64_t addr) const { return addr / line_bytes_; }
+
+    /** Touch line @p line; install on miss. @return true on hit. */
+    bool
+    access(std::uint64_t line)
+    {
+        if (lookup(line))
+            return true;
+        insert(line);
+        return false;
+    }
+
+    /** Probe + recency update without filling. @return true on hit. */
+    bool
+    lookup(std::uint64_t line)
+    {
+        Way *base = setBase(line);
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].valid && base[w].line == line) {
+                base[w].lru = ++stamp_;
+                ++hits_;
+                return true;
+            }
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Fill line @p line, evicting the set's LRU way if full. */
+    void
+    insert(std::uint64_t line)
+    {
+        Way *base = setBase(line);
+        Way *victim = base;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+        victim->valid = true;
+        victim->line = line;
+        victim->lru = ++stamp_;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+    double missRate() const { return 1.0 - hitRate(); }
+
+    std::uint64_t lineBytes() const { return line_bytes_; }
+    std::uint64_t numSets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Drop contents and counters. */
+    void
+    reset()
+    {
+        table_.assign(sets_ * ways_, Way{});
+        stamp_ = 0;
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    struct Way
+    {
+        std::uint64_t line = ~std::uint64_t(0);
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t line_bytes_;
+    unsigned ways_;
+    std::uint64_t sets_ = 1;
+    std::vector<Way> table_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+
+    Way *
+    setBase(std::uint64_t line)
+    {
+        std::uint64_t set =
+            ((line * 0x9e3779b97f4a7c15ULL) >> 17) & (sets_ - 1);
+        return table_.data() + set * ways_;
+    }
+};
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_SET_ASSOC_HH

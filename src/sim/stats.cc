@@ -1,0 +1,120 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+void
+Distribution::sample(double v)
+{
+    samples_.push_back(v);
+    sorted_ = false;
+    sum_ += v;
+    sum_sq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::stddev() const
+{
+    std::size_t n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    double m = mean();
+    double var = (sum_sq_ - static_cast<double>(n) * m * m) /
+                 static_cast<double>(n - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    SS_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void
+Distribution::reset()
+{
+    samples_.clear();
+    sorted_ = true;
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+StatGroup::addScalar(const std::string &stat_name, const Scalar *s,
+                     std::string desc)
+{
+    scalars_.push_back({stat_name, s, std::move(desc)});
+}
+
+void
+StatGroup::addDistribution(const std::string &stat_name,
+                           const Distribution *d, std::string desc)
+{
+    dists_.push_back({stat_name, d, std::move(desc)});
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---------- Begin Stats: " << name_ << " ----------\n";
+    for (const auto &e : scalars_) {
+        os << std::left << std::setw(44) << (name_ + "." + e.name)
+           << std::setw(16) << e.stat->value();
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : dists_) {
+        const auto &d = *e.stat;
+        std::string base = name_ + "." + e.name;
+        os << std::left << std::setw(44) << (base + "::count")
+           << std::setw(16) << d.count() << "\n";
+        os << std::left << std::setw(44) << (base + "::mean")
+           << std::setw(16) << d.mean() << "\n";
+        os << std::left << std::setw(44) << (base + "::stdev")
+           << std::setw(16) << d.stddev() << "\n";
+        if (d.count() > 0) {
+            os << std::left << std::setw(44) << (base + "::min")
+               << std::setw(16) << d.min() << "\n";
+            os << std::left << std::setw(44) << (base + "::max")
+               << std::setw(16) << d.max() << "\n";
+            os << std::left << std::setw(44) << (base + "::p99")
+               << std::setw(16) << d.percentile(99.0);
+            if (!e.desc.empty())
+                os << " # " << e.desc;
+            os << "\n";
+        }
+    }
+    os << "---------- End Stats: " << name_ << " ----------\n";
+}
+
+} // namespace smartsage::sim

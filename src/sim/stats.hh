@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics package (gem5 Stats in spirit).
+ *
+ * Components own Scalar / Distribution members and register them with a
+ * StatGroup; dump() renders a flat name=value report. Everything is
+ * plain double arithmetic — no lazy formula graph — which is enough for
+ * the experiment harnesses.
+ */
+
+#ifndef SMARTSAGE_SIM_STATS_HH
+#define SMARTSAGE_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smartsage::sim
+{
+
+/** A single accumulating counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running distribution: count/sum/min/max/mean/stddev + percentiles. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return static_cast<std::uint64_t>(samples_.size()); }
+    double sum() const { return sum_; }
+    double mean() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /**
+     * Exact percentile via sorting the retained samples.
+     * @param p in [0, 100]
+     */
+    double percentile(double p) const;
+
+    void reset();
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Named stat registry for one component (or a whole system). */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a scalar under @p stat_name with a description. */
+    void addScalar(const std::string &stat_name, const Scalar *s,
+                   std::string desc = "");
+
+    /** Register a distribution under @p stat_name. */
+    void addDistribution(const std::string &stat_name,
+                         const Distribution *d, std::string desc = "");
+
+    /** Render all registered stats, gem5-stats-file style. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct ScalarEntry
+    {
+        std::string name;
+        const Scalar *stat;
+        std::string desc;
+    };
+    struct DistEntry
+    {
+        std::string name;
+        const Distribution *stat;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<ScalarEntry> scalars_;
+    std::vector<DistEntry> dists_;
+};
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_STATS_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * All simulated time is kept in integer nanoseconds (Tick). Helper
+ * constructors make call sites read like the timing tables in DESIGN.md
+ * (e.g. `us(65)` for a 65 microsecond flash read).
+ */
+
+#ifndef SMARTSAGE_SIM_TYPES_HH
+#define SMARTSAGE_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace smartsage::sim
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Construct a Tick from nanoseconds. */
+constexpr Tick
+ns(double v)
+{
+    return static_cast<Tick>(v);
+}
+
+/** Construct a Tick from microseconds. */
+constexpr Tick
+us(double v)
+{
+    return static_cast<Tick>(v * 1e3);
+}
+
+/** Construct a Tick from milliseconds. */
+constexpr Tick
+ms(double v)
+{
+    return static_cast<Tick>(v * 1e6);
+}
+
+/** Construct a Tick from seconds. */
+constexpr Tick
+sec(double v)
+{
+    return static_cast<Tick>(v * 1e9);
+}
+
+/** Convert a Tick to fractional seconds (for reporting). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/** Convert a Tick to fractional microseconds (for reporting). */
+constexpr double
+toMicros(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+/** Byte-size helpers. */
+constexpr std::uint64_t
+KiB(std::uint64_t v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t
+MiB(std::uint64_t v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t
+GiB(std::uint64_t v)
+{
+    return v << 30;
+}
+
+/**
+ * Time to move @p bytes through a link of @p gbps gigabytes-per-second
+ * (decimal GB), rounded up to at least one nanosecond for non-empty
+ * transfers.
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, double gbps)
+{
+    if (bytes == 0)
+        return 0;
+    double t = static_cast<double>(bytes) / (gbps * 1e9) * 1e9;
+    Tick whole = static_cast<Tick>(t);
+    return whole == 0 ? 1 : whole;
+}
+
+/** Graph node identifier. 64-bit so billion-node configs stay addressable. */
+using NodeId = std::uint64_t;
+
+/** Index into an edge array. */
+using EdgeIndex = std::uint64_t;
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_TYPES_HH

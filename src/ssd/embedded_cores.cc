@@ -1,0 +1,30 @@
+#include "embedded_cores.hh"
+
+#include "sim/logging.hh"
+
+namespace smartsage::ssd
+{
+
+EmbeddedCores::EmbeddedCores(const SsdConfig &config, bool dedicated_isp)
+    : pool_("embedded_cores", config.embedded_cores),
+      inflation_(dedicated_isp ? 1.0 : 1.0 / (1.0 - config.firmware_duty))
+{
+    SS_ASSERT(config.firmware_duty >= 0.0 && config.firmware_duty < 1.0,
+              "firmware duty cycle must be in [0, 1)");
+}
+
+sim::ServiceInterval
+EmbeddedCores::execute(sim::Tick arrival, sim::Tick work)
+{
+    auto inflated =
+        static_cast<sim::Tick>(static_cast<double>(work) * inflation_);
+    return pool_.request(arrival, inflated);
+}
+
+double
+EmbeddedCores::utilization(sim::Tick horizon) const
+{
+    return pool_.utilization(horizon);
+}
+
+} // namespace smartsage::ssd

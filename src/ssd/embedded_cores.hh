@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The SSD's embedded firmware cores.
+ *
+ * A pool of wimpy cores that runs routine flash-management firmware and
+ * — for SmartSAGE(HW/SW) — the in-storage sampling loop. The baseline
+ * firmware reserves a duty-cycle share of every core, so ISP work is
+ * served at an inflated effective cost. Under multi-worker load the
+ * pool saturates, which is exactly the contention effect behind
+ * Fig 17's declining speedup.
+ */
+
+#ifndef SMARTSAGE_SSD_EMBEDDED_CORES_HH
+#define SMARTSAGE_SSD_EMBEDDED_CORES_HH
+
+#include <cstdint>
+
+#include "config.hh"
+#include "sim/resource.hh"
+
+namespace smartsage::ssd
+{
+
+/** Firmware compute complex with an FTL duty-cycle reservation. */
+class EmbeddedCores
+{
+  public:
+    /**
+     * @param config        SSD configuration (core count + duty cycle)
+     * @param dedicated_isp when true, model a Newport-style CSD whose
+     *                      ISP cores do not share with the FTL
+     *                      (SmartSAGE(oracle), Section VI-C)
+     */
+    EmbeddedCores(const SsdConfig &config, bool dedicated_isp = false);
+
+    /**
+     * Execute @p work of firmware compute arriving at @p arrival.
+     * @return completion interval after queueing and duty-cycle
+     *         inflation.
+     */
+    sim::ServiceInterval execute(sim::Tick arrival, sim::Tick work);
+
+    /** Effective inflation factor applied to ISP work. */
+    double inflation() const { return inflation_; }
+
+    unsigned coreCount() const { return pool_.size(); }
+    sim::Tick busyTime() const { return pool_.totalBusyTime(); }
+    double utilization(sim::Tick horizon) const;
+
+    void reset() { pool_.reset(); }
+
+  private:
+    sim::ServerPool pool_;
+    double inflation_;
+};
+
+} // namespace smartsage::ssd
+
+#endif // SMARTSAGE_SSD_EMBEDDED_CORES_HH

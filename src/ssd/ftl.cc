@@ -1,0 +1,39 @@
+#include "ftl.hh"
+
+#include "sim/logging.hh"
+
+namespace smartsage::ssd
+{
+
+Ftl::Ftl(const SsdConfig &config) : config_(config)
+{
+    SS_ASSERT(config.flash.page_bytes > 0, "flash page size must be > 0");
+}
+
+flash::PageAddress
+Ftl::translate(std::uint64_t lpn) const
+{
+    const auto &f = config_.flash;
+    flash::PageAddress addr;
+    addr.channel = static_cast<unsigned>(lpn % f.channels);
+    std::uint64_t per_channel = lpn / f.channels;
+    addr.die = static_cast<unsigned>(per_channel % f.dies_per_channel);
+    addr.page = per_channel / f.dies_per_channel;
+    return addr;
+}
+
+std::vector<std::uint64_t>
+Ftl::pagesSpanned(std::uint64_t addr, std::uint64_t bytes) const
+{
+    std::vector<std::uint64_t> pages;
+    if (bytes == 0)
+        return pages;
+    std::uint64_t first = pageOf(addr);
+    std::uint64_t last = pageOf(addr + bytes - 1);
+    pages.reserve(last - first + 1);
+    for (std::uint64_t p = first; p <= last; ++p)
+        pages.push_back(p);
+    return pages;
+}
+
+} // namespace smartsage::ssd

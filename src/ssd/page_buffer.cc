@@ -1,0 +1,105 @@
+#include "page_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace smartsage::ssd
+{
+
+namespace
+{
+
+std::uint64_t
+floorPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+// Fibonacci hashing spreads striped LPNs across sets.
+std::uint64_t
+mixHash(std::uint64_t x)
+{
+    return (x * 0x9e3779b97f4a7c15ULL) >> 17;
+}
+
+} // namespace
+
+PageBuffer::PageBuffer(std::uint64_t capacity_bytes,
+                       std::uint64_t page_bytes, unsigned ways)
+    : ways_(ways)
+{
+    SS_ASSERT(page_bytes > 0 && ways > 0, "bad page buffer shape");
+    std::uint64_t lines = capacity_bytes / page_bytes;
+    SS_ASSERT(lines >= ways, "page buffer smaller than one set");
+    sets_ = floorPow2(lines / ways);
+    table_.assign(sets_ * ways_, Way{});
+}
+
+PageBuffer::Way *
+PageBuffer::setBase(std::uint64_t lpn)
+{
+    std::uint64_t set = mixHash(lpn) & (sets_ - 1);
+    return table_.data() + set * ways_;
+}
+
+bool
+PageBuffer::lookup(std::uint64_t lpn)
+{
+    Way *base = setBase(lpn);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].lpn == lpn) {
+            base[w].lru = ++stamp_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+PageBuffer::insert(std::uint64_t lpn)
+{
+    Way *base = setBase(lpn);
+    Way *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->lpn = lpn;
+    victim->lru = ++stamp_;
+}
+
+bool
+PageBuffer::access(std::uint64_t lpn)
+{
+    if (lookup(lpn))
+        return true;
+    insert(lpn);
+    return false;
+}
+
+double
+PageBuffer::hitRate() const
+{
+    std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / total : 0.0;
+}
+
+void
+PageBuffer::reset()
+{
+    table_.assign(sets_ * ways_, Way{});
+    stamp_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace smartsage::ssd

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The SSD-internal DRAM page buffer (Fig 8).
+ *
+ * A set-associative LRU cache of flash pages, indexed by logical page
+ * number. Both the block-read path and the ISP sampling loop run
+ * through it: the ISP engine samples *directly out of this buffer*,
+ * which is the core of the paper's bandwidth-amplification argument.
+ */
+
+#ifndef SMARTSAGE_SSD_PAGE_BUFFER_HH
+#define SMARTSAGE_SSD_PAGE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace smartsage::ssd
+{
+
+/** Set-associative LRU cache keyed by logical page number. */
+class PageBuffer
+{
+  public:
+    /**
+     * @param capacity_bytes total buffer capacity
+     * @param page_bytes     flash page size (line size)
+     * @param ways           associativity; capacity/page/ways sets rounded
+     *                       down to a power of two
+     */
+    PageBuffer(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
+               unsigned ways);
+
+    /**
+     * Look up logical page @p lpn; updates recency.
+     * @return true on hit
+     */
+    bool lookup(std::uint64_t lpn);
+
+    /** Install @p lpn, evicting the set's LRU entry if needed. */
+    void insert(std::uint64_t lpn);
+
+    /** lookup() + insert-on-miss in one call. @return true on hit */
+    bool access(std::uint64_t lpn);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    double hitRate() const;
+
+    std::uint64_t numSets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Drop contents and counters. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        std::uint64_t lpn = ~std::uint64_t(0);
+        std::uint64_t lru = 0; //!< last-touch stamp
+        bool valid = false;
+    };
+
+    std::uint64_t sets_;
+    unsigned ways_;
+    std::vector<Way> table_; //!< sets_ * ways_ entries
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+
+    Way *setBase(std::uint64_t lpn);
+};
+
+} // namespace smartsage::ssd
+
+#endif // SMARTSAGE_SSD_PAGE_BUFFER_HH

@@ -1,0 +1,157 @@
+/** @file Tests for design points, the system builder, and reporting. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "host/io_path.hh"
+
+using namespace smartsage;
+using namespace smartsage::core;
+
+namespace
+{
+
+/** Shared small workload: building graphs is the expensive part. */
+const Workload &
+smallWorkload()
+{
+    static Workload wl = [] {
+        Workload w = Workload::make(graph::DatasetId::Amazon, false);
+        return w;
+    }();
+    return wl;
+}
+
+SystemConfig
+smallConfig(DesignPoint dp)
+{
+    SystemConfig sc;
+    sc.design = dp;
+    sc.fanouts = {6, 3};
+    sc.pipeline.batch_size = 64;
+    sc.pipeline.num_batches = 4;
+    sc.pipeline.workers = 2;
+    return sc;
+}
+
+} // namespace
+
+TEST(DesignPoint, NamesMatchPaperLabels)
+{
+    EXPECT_EQ(designName(DesignPoint::SsdMmap), "SSD (mmap)");
+    EXPECT_EQ(designName(DesignPoint::SmartSageHwSw),
+              "SmartSAGE (HW/SW)");
+    EXPECT_EQ(allDesignPoints().size(), 7u);
+}
+
+TEST(System, EveryDesignPointConstructsAndSamples)
+{
+    for (auto dp : allDesignPoints()) {
+        GnnSystem system(smallConfig(dp), smallWorkload());
+        auto r = system.runSamplingOnly(2, 3);
+        EXPECT_EQ(r.batches, 3u) << designName(dp);
+        EXPECT_GT(r.makespan, 0u) << designName(dp);
+        EXPECT_GT(r.avg_batch_us, 0.0) << designName(dp);
+    }
+}
+
+TEST(System, EdgeStoreTypesMatchDesign)
+{
+    GnnSystem dram(smallConfig(DesignPoint::DramOracle),
+                   smallWorkload());
+    EXPECT_NE(dynamic_cast<host::DramEdgeStore *>(dram.edgeStore()),
+              nullptr);
+    EXPECT_EQ(dram.ssd(), nullptr);
+
+    GnnSystem mm(smallConfig(DesignPoint::SsdMmap), smallWorkload());
+    EXPECT_NE(dynamic_cast<host::MmapEdgeStore *>(mm.edgeStore()),
+              nullptr);
+    EXPECT_NE(mm.ssd(), nullptr);
+
+    GnnSystem hwsw(smallConfig(DesignPoint::SmartSageHwSw),
+                   smallWorkload());
+    EXPECT_EQ(hwsw.edgeStore(), nullptr);
+    EXPECT_NE(hwsw.ssd(), nullptr);
+}
+
+TEST(System, CacheBudgetsScaleWithDataset)
+{
+    SystemConfig sc = smallConfig(DesignPoint::SsdMmap);
+    GnnSystem system(sc, smallWorkload());
+    std::uint64_t edge_bytes =
+        smallWorkload().edgeListBytes(sc.layout);
+    auto cache = system.config().host.page_cache_bytes;
+    EXPECT_NEAR(static_cast<double>(cache),
+                sc.page_cache_fraction * edge_bytes,
+                0.05 * edge_bytes + (1 << 20));
+}
+
+TEST(System, SaintSamplerSelectable)
+{
+    SystemConfig sc = smallConfig(DesignPoint::DramOracle);
+    sc.use_saint = true;
+    sc.saint_walk_length = 3;
+    EXPECT_EQ(sc.depth(), 3u);
+    GnnSystem system(sc, smallWorkload());
+    auto r = system.runSamplingOnly(1, 2);
+    EXPECT_EQ(r.batches, 2u);
+}
+
+TEST(System, PipelineRunsForIspDesign)
+{
+    GnnSystem system(smallConfig(DesignPoint::SmartSageHwSw),
+                     smallWorkload());
+    auto r = system.runPipeline();
+    EXPECT_EQ(r.batches, 4u);
+    EXPECT_GT(r.throughput(), 0.0);
+}
+
+TEST(System, OracleFasterOrEqualToHwSw)
+{
+    auto run = [&](DesignPoint dp) {
+        GnnSystem system(smallConfig(dp), smallWorkload());
+        return system.runSamplingOnly(4, 8).makespan;
+    };
+    EXPECT_LE(run(DesignPoint::SmartSageOracle),
+              run(DesignPoint::SmartSageHwSw));
+}
+
+TEST(Report, TableRendersAllCells)
+{
+    TableReporter t("Fig X", {"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Fig X"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtX(2.5, 1), "2.5x");
+    EXPECT_EQ(fmtPct(0.123, 1), "12.3%");
+}
+
+TEST(Report, GeomeanAndMean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 3.0}), 2.0);
+}
+
+TEST(ReportDeath, RowWidthMismatchPanics)
+{
+    TableReporter t("t", {"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(ReportDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}

@@ -1,0 +1,171 @@
+/** @file Tests for the feature table and the GPU timing model. */
+
+#include <gtest/gtest.h>
+
+#include "gnn/feature_table.hh"
+#include "gnn/gpu_model.hh"
+#include "gnn/sampler.hh"
+#include "graph/powerlaw.hh"
+
+using namespace smartsage::gnn;
+using namespace smartsage::graph;
+using smartsage::sim::Rng;
+namespace sim = smartsage::sim;
+
+TEST(FeatureTable, GatherShapeAndDeterminism)
+{
+    FeatureTable ft(100, 8, 4);
+    std::vector<LocalNodeId> nodes = {1, 5, 99};
+    Tensor2D a, b;
+    ft.gather(nodes, a);
+    ft.gather(nodes, b);
+    EXPECT_EQ(a.rows(), 3u);
+    EXPECT_EQ(a.cols(), 8u);
+    EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(FeatureTable, DifferentNodesDifferentRows)
+{
+    FeatureTable ft(100, 16, 4);
+    std::vector<LocalNodeId> nodes = {1, 2};
+    Tensor2D t;
+    ft.gather(nodes, t);
+    bool any_diff = false;
+    for (std::size_t j = 0; j < 16; ++j)
+        any_diff |= t.at(0, j) != t.at(1, j);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FeatureTable, LabelsInRangeAndDeterministic)
+{
+    FeatureTable ft(1000, 4, 7);
+    for (LocalNodeId u = 0; u < 1000; ++u) {
+        EXPECT_LT(ft.label(u), 7u);
+        EXPECT_EQ(ft.label(u), ft.label(u));
+    }
+}
+
+TEST(FeatureTable, AllClassesRepresented)
+{
+    FeatureTable ft(2000, 4, 8);
+    std::vector<int> seen(8, 0);
+    for (LocalNodeId u = 0; u < 2000; ++u)
+        ++seen[ft.label(u)];
+    for (int c : seen)
+        EXPECT_GT(c, 0);
+}
+
+TEST(FeatureTable, SameClassRowsCorrelate)
+{
+    // The centroid mix-in must make same-class features closer than
+    // cross-class features on average (otherwise nothing is learnable).
+    FeatureTable ft(4000, 32, 4);
+    std::vector<std::vector<LocalNodeId>> byClass(4);
+    for (LocalNodeId u = 0; u < 4000; ++u)
+        byClass[ft.label(u)].push_back(u);
+
+    auto dot = [&](LocalNodeId a, LocalNodeId b) {
+        Tensor2D ta, tb;
+        std::vector<LocalNodeId> na = {a}, nb = {b};
+        ft.gather(na, ta);
+        ft.gather(nb, tb);
+        double d = 0;
+        for (std::size_t j = 0; j < 32; ++j)
+            d += double(ta.at(0, j)) * tb.at(0, j);
+        return d;
+    };
+
+    double same = 0, cross = 0;
+    int n = 50;
+    for (int i = 0; i < n; ++i) {
+        same += dot(byClass[0][i], byClass[0][i + n]);
+        cross += dot(byClass[0][i], byClass[1][i]);
+    }
+    EXPECT_GT(same / n, cross / n + 0.5);
+}
+
+TEST(FeatureTable, BytesPerNode)
+{
+    FeatureTable ft(10, 602, 2);
+    EXPECT_EQ(ft.bytesPerNode(), 602u * 4);
+}
+
+TEST(FeatureTableDeath, OutOfRangeLabelPanics)
+{
+    FeatureTable ft(10, 4, 2);
+    EXPECT_DEATH(ft.label(10), "out of range");
+}
+
+namespace
+{
+
+Subgraph
+sampleSome(const CsrGraph &g, unsigned batch, Rng &rng)
+{
+    SageSampler sampler({10, 5});
+    auto targets = selectTargets(g, batch, rng);
+    return sampler.sample(g, targets, rng);
+}
+
+} // namespace
+
+TEST(GpuModel, MoreWorkTakesLonger)
+{
+    PowerLawParams p;
+    p.num_nodes = 4096;
+    p.avg_degree = 30;
+    CsrGraph g = generatePowerLaw(p);
+    Rng rng(1);
+
+    ModelConfig mc;
+    mc.in_dim = 32;
+    mc.depth = 2;
+    GpuConfig gc;
+    GpuTimingModel gpu(gc, mc);
+
+    Subgraph small = sampleSome(g, 32, rng);
+    Subgraph large = sampleSome(g, 512, rng);
+    EXPECT_GT(gpu.batchTime(large), gpu.batchTime(small));
+    EXPECT_GT(gpu.forwardMacs(large), gpu.forwardMacs(small));
+}
+
+TEST(GpuModel, LaunchOverheadIsFloor)
+{
+    PowerLawParams p;
+    p.num_nodes = 256;
+    p.avg_degree = 4;
+    CsrGraph g = generatePowerLaw(p);
+    Rng rng(2);
+    ModelConfig mc;
+    mc.in_dim = 4;
+    mc.hidden_dim = 4;
+    mc.depth = 2;
+    GpuConfig gc;
+    gc.launch_overhead = sim::us(123);
+    GpuTimingModel gpu(gc, mc);
+    Subgraph sg = sampleSome(g, 4, rng);
+    EXPECT_GE(gpu.batchTime(sg), sim::us(123));
+}
+
+TEST(GpuModel, ThroughputScalesInversely)
+{
+    PowerLawParams p;
+    p.num_nodes = 2048;
+    p.avg_degree = 20;
+    CsrGraph g = generatePowerLaw(p);
+    Rng rng(3);
+    ModelConfig mc;
+    mc.in_dim = 64;
+    mc.depth = 2;
+
+    GpuConfig fast;
+    fast.effective_tflops = 2.0;
+    fast.launch_overhead = 0;
+    GpuConfig slow = fast;
+    slow.effective_tflops = 1.0;
+
+    Subgraph sg = sampleSome(g, 256, rng);
+    sim::Tick tf = GpuTimingModel(fast, mc).batchTime(sg);
+    sim::Tick ts = GpuTimingModel(slow, mc).batchTime(sg);
+    EXPECT_NEAR(static_cast<double>(ts) / tf, 2.0, 0.01);
+}

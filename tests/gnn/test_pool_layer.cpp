@@ -1,0 +1,169 @@
+/** @file Gradient checks and behavioural tests for the max-pooling
+ *  aggregator variant (GraphSAGE pool, Fig 2's pooling function). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/pool_layer.hh"
+#include "sim/random.hh"
+
+using namespace smartsage::gnn;
+using smartsage::sim::Rng;
+
+namespace
+{
+
+SampledBlock
+tinyBlock()
+{
+    SampledBlock b;
+    b.offsets = {0, 2, 3};    // dst0 <- {src2, src3}, dst1 <- {src1}
+    b.src_index = {2, 3, 1};
+    return b;
+}
+
+double
+lossOf(const Tensor2D &out)
+{
+    double l = 0;
+    for (float v : out.data())
+        l += 0.5 * double(v) * v;
+    return l;
+}
+
+} // namespace
+
+TEST(SagePoolLayer, ForwardShape)
+{
+    Rng rng(1);
+    SagePoolLayer layer(3, 5, 2, false, rng);
+    SampledBlock block = tinyBlock();
+    Tensor2D h = Tensor2D::uniform(4, 3, 1.0f, rng);
+    SagePoolContext ctx;
+    Tensor2D out = layer.forward(h, block, ctx);
+    EXPECT_EQ(out.rows(), 2u);
+    EXPECT_EQ(out.cols(), 2u);
+    EXPECT_EQ(ctx.pooled.rows(), 2u);
+    EXPECT_EQ(ctx.pooled.cols(), 5u);
+}
+
+TEST(SagePoolLayer, PooledIsElementwiseMaxOfReluedMlp)
+{
+    Rng rng(2);
+    SagePoolLayer layer(2, 3, 2, false, rng);
+    SampledBlock block = tinyBlock();
+    Tensor2D h = Tensor2D::uniform(4, 2, 1.0f, rng);
+    SagePoolContext ctx;
+    layer.forward(h, block, ctx);
+
+    // Recompute z = relu(h * W_pool + b_pool) by hand for dst0's srcs
+    // {2, 3} and check the max.
+    for (unsigned c = 0; c < 3; ++c) {
+        auto z = [&](std::size_t r) {
+            float acc = layer.mutableBPool().at(0, c);
+            for (unsigned j = 0; j < 2; ++j)
+                acc += h.at(r, j) * layer.mutableWPool().at(j, c);
+            return acc > 0 ? acc : 0.0f;
+        };
+        EXPECT_NEAR(ctx.pooled.at(0, c), std::max(z(2), z(3)), 1e-5);
+        EXPECT_NEAR(ctx.pooled.at(1, c), z(1), 1e-5);
+    }
+}
+
+TEST(SagePoolLayer, IsolatedDstPoolsZero)
+{
+    Rng rng(3);
+    SagePoolLayer layer(2, 3, 2, false, rng);
+    SampledBlock block;
+    block.offsets = {0, 0};
+    Tensor2D h(1, 2);
+    SagePoolContext ctx;
+    layer.forward(h, block, ctx);
+    for (unsigned c = 0; c < 3; ++c)
+        EXPECT_FLOAT_EQ(ctx.pooled.at(0, c), 0.0f);
+}
+
+class SagePoolGradCheck : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(SagePoolGradCheck, MatchesNumericalGradients)
+{
+    bool relu = GetParam();
+    Rng rng(4);
+    SagePoolLayer layer(3, 4, 2, relu, rng);
+    SampledBlock block = tinyBlock();
+    Rng drng(5);
+    Tensor2D h = Tensor2D::uniform(4, 3, 1.0f, drng);
+
+    SagePoolContext ctx;
+    Tensor2D out = layer.forward(h, block, ctx);
+    SagePoolGrads grads;
+    Tensor2D d_out = out; // dL/dout for L = sum(out^2)/2
+    Tensor2D d_in = layer.backward(d_out, ctx, grads);
+
+    const float eps = 1e-3f;
+    auto check = [&](Tensor2D &param, const Tensor2D &grad,
+                     const char *name) {
+        for (std::size_t i = 0; i < param.rows(); ++i) {
+            for (std::size_t j = 0; j < param.cols(); ++j) {
+                float saved = param.at(i, j);
+                SagePoolContext c1, c2;
+                param.at(i, j) = saved + eps;
+                double lp = lossOf(layer.forward(h, block, c1));
+                param.at(i, j) = saved - eps;
+                double lm = lossOf(layer.forward(h, block, c2));
+                param.at(i, j) = saved;
+                EXPECT_NEAR(grad.at(i, j), (lp - lm) / (2 * eps), 3e-2)
+                    << name << "[" << i << "," << j << "]";
+            }
+        }
+    };
+    check(layer.mutableWPool(), grads.w_pool, "w_pool");
+    check(layer.mutableBPool(), grads.b_pool, "b_pool");
+    check(layer.mutableWSelf(), grads.w_self, "w_self");
+    check(layer.mutableWNeigh(), grads.w_neigh, "w_neigh");
+    check(layer.mutableBias(), grads.bias, "bias");
+
+    for (std::size_t i = 0; i < h.rows(); ++i) {
+        for (std::size_t j = 0; j < h.cols(); ++j) {
+            float saved = h.at(i, j);
+            SagePoolContext c1, c2;
+            h.at(i, j) = saved + eps;
+            double lp = lossOf(layer.forward(h, block, c1));
+            h.at(i, j) = saved - eps;
+            double lm = lossOf(layer.forward(h, block, c2));
+            h.at(i, j) = saved;
+            EXPECT_NEAR(d_in.at(i, j), (lp - lm) / (2 * eps), 3e-2)
+                << "h[" << i << "," << j << "]";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LinearAndRelu, SagePoolGradCheck,
+                         ::testing::Values(false, true));
+
+TEST(SagePoolLayer, TrainingStepReducesQuadraticLoss)
+{
+    Rng rng(6);
+    SagePoolLayer layer(3, 4, 2, true, rng);
+    SampledBlock block = tinyBlock();
+    Rng drng(7);
+    Tensor2D h = Tensor2D::uniform(4, 3, 1.0f, drng);
+
+    double before = 0, after = 0;
+    {
+        SagePoolContext ctx;
+        Tensor2D out = layer.forward(h, block, ctx);
+        before = lossOf(out);
+        SagePoolGrads grads;
+        layer.backward(out, ctx, grads);
+        layer.applyGrads(grads, 0.05f);
+    }
+    {
+        SagePoolContext ctx;
+        after = lossOf(layer.forward(h, block, ctx));
+    }
+    EXPECT_LT(after, before);
+}

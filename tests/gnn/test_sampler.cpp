@@ -1,0 +1,237 @@
+/** @file Tests for GraphSAGE/GraphSAINT samplers and Subgraph structure. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gnn/sampler.hh"
+#include "graph/builder.hh"
+#include "graph/powerlaw.hh"
+
+using namespace smartsage::gnn;
+using namespace smartsage::graph;
+using smartsage::sim::Rng;
+
+namespace
+{
+
+CsrGraph
+testGraph()
+{
+    PowerLawParams p;
+    p.num_nodes = 2048;
+    p.avg_degree = 20;
+    p.seed = 5;
+    return generatePowerLaw(p);
+}
+
+/** Counts visitor events and validates sampled edges exist. */
+class CheckingVisitor : public SampleVisitor
+{
+  public:
+    explicit CheckingVisitor(const CsrGraph &g) : graph_(g) {}
+
+    void onBatchStart(std::size_t n) override { batch_targets = n; }
+    void onOffsetRead(LocalNodeId) override { ++offset_reads; }
+
+    void
+    onEdgeEntryRead(LocalNodeId u, std::uint64_t entry) override
+    {
+        ++entry_reads;
+        EXPECT_GE(entry, graph_.edgeOffset(u));
+        EXPECT_LT(entry, graph_.edgeOffset(u) + graph_.degree(u));
+    }
+
+    void
+    onSampled(LocalNodeId u, LocalNodeId v) override
+    {
+        ++sampled;
+        auto nbrs = graph_.neighbors(u);
+        EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), v), nbrs.end());
+    }
+
+    void onBatchEnd() override { ++batch_ends; }
+
+    const CsrGraph &graph_;
+    std::size_t batch_targets = 0;
+    std::uint64_t offset_reads = 0, entry_reads = 0, sampled = 0;
+    int batch_ends = 0;
+};
+
+} // namespace
+
+TEST(SageSampler, RespectsFanouts)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({5, 3});
+    Rng rng(1);
+    auto targets = selectTargets(g, 64, rng);
+    Subgraph sg = sampler.sample(g, targets, rng);
+
+    ASSERT_EQ(sg.depth(), 2u);
+    EXPECT_EQ(sg.targets().size(), 64u);
+    for (std::size_t h = 0; h < 2; ++h) {
+        const auto &block = sg.blocks[h];
+        unsigned fanout = h == 0 ? 5 : 3;
+        for (std::size_t u = 0; u < block.numDsts(); ++u) {
+            std::uint32_t cnt = block.offsets[u + 1] - block.offsets[u];
+            LocalNodeId node = sg.frontiers[h][u];
+            std::uint64_t deg = g.degree(node);
+            EXPECT_LE(cnt, fanout);
+            if (deg <= fanout)
+                EXPECT_EQ(cnt, deg); // whole neighborhood taken
+            else
+                EXPECT_EQ(cnt, fanout);
+        }
+    }
+}
+
+TEST(SageSampler, SamplesAreDistinctWhenDegreeExceedsFanout)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({8});
+    Rng rng(2);
+    auto targets = selectTargets(g, 128, rng);
+    Subgraph sg = sampler.sample(g, targets, rng);
+    const auto &block = sg.blocks[0];
+    for (std::size_t u = 0; u < block.numDsts(); ++u) {
+        std::set<std::uint32_t> uniq(
+            block.src_index.begin() + block.offsets[u],
+            block.src_index.begin() + block.offsets[u + 1]);
+        // Distinct edge slots can map to the same neighbor only via
+        // multi-edges; on this generator duplicates are rare, so the
+        // distinct-index property must give near-full uniqueness.
+        EXPECT_GE(uniq.size(),
+                  (block.offsets[u + 1] - block.offsets[u]) * 3 / 4);
+    }
+}
+
+TEST(SageSampler, SubgraphInvariantsHold)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({10, 5});
+    Rng rng(3);
+    auto targets = selectTargets(g, 32, rng);
+    Subgraph sg = sampler.sample(g, targets, rng);
+    sg.checkInvariants();
+    SUCCEED();
+}
+
+TEST(SageSampler, VisitorSeesEveryAccess)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({4, 2});
+    Rng rng(4);
+    auto targets = selectTargets(g, 16, rng);
+    CheckingVisitor vis(g);
+    Subgraph sg = sampler.sample(g, targets, rng, &vis);
+
+    EXPECT_EQ(vis.batch_targets, 16u);
+    EXPECT_EQ(vis.batch_ends, 1);
+    // One offset read per frontier node per hop.
+    std::uint64_t expected_offsets =
+        sg.frontiers[0].size() + sg.frontiers[1].size();
+    EXPECT_EQ(vis.offset_reads, expected_offsets);
+    EXPECT_EQ(vis.sampled, sg.totalSampledEdges());
+    EXPECT_EQ(vis.entry_reads, vis.sampled);
+}
+
+TEST(SageSampler, DeterministicGivenRngState)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({6, 4});
+    Rng r1(9), r2(9);
+    auto t1 = selectTargets(g, 32, r1);
+    auto t2 = selectTargets(g, 32, r2);
+    EXPECT_EQ(t1, t2);
+    Subgraph a = sampler.sample(g, t1, r1);
+    Subgraph b = sampler.sample(g, t2, r2);
+    EXPECT_EQ(a.frontiers, b.frontiers);
+    EXPECT_EQ(a.blocks[0].src_index, b.blocks[0].src_index);
+}
+
+TEST(SageSampler, FrontiersHaveSelfPrefix)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({5, 5});
+    Rng rng(6);
+    auto targets = selectTargets(g, 16, rng);
+    Subgraph sg = sampler.sample(g, targets, rng);
+    for (std::size_t h = 0; h + 1 < sg.frontiers.size(); ++h) {
+        for (std::size_t i = 0; i < sg.frontiers[h].size(); ++i)
+            EXPECT_EQ(sg.frontiers[h + 1][i], sg.frontiers[h][i]);
+    }
+}
+
+TEST(SageSampler, IsolatedTargetsProduceEmptyLists)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 1); // nodes 2, 3 isolated
+    CsrGraph g = std::move(b).build();
+    SageSampler sampler({3});
+    Rng rng(7);
+    Subgraph sg = sampler.sample(g, {2, 3}, rng);
+    EXPECT_EQ(sg.totalSampledEdges(), 0u);
+    sg.checkInvariants();
+}
+
+TEST(SageSampler, ExpectedEdgesUpperBound)
+{
+    SageSampler sampler({25, 10});
+    // 1024 targets: 1024*25 hop-1 + (1024 + 25600)*10 hop-2.
+    EXPECT_EQ(sampler.expectedEdges(1024),
+              1024u * 25 + (1024u + 25600u) * 10);
+}
+
+TEST(SaintSampler, WalkShape)
+{
+    CsrGraph g = testGraph();
+    SaintSampler sampler(3);
+    Rng rng(8);
+    auto roots = selectTargets(g, 64, rng);
+    Subgraph sg = sampler.sample(g, roots, rng);
+    ASSERT_EQ(sg.depth(), 3u);
+    sg.checkInvariants();
+    // Each step samples at most one neighbor per frontier node.
+    for (std::size_t h = 0; h < sg.depth(); ++h) {
+        const auto &block = sg.blocks[h];
+        for (std::size_t u = 0; u < block.numDsts(); ++u)
+            EXPECT_LE(block.offsets[u + 1] - block.offsets[u], 1u);
+    }
+}
+
+TEST(SaintSampler, VisitorEntryPerStep)
+{
+    CsrGraph g = testGraph();
+    SaintSampler sampler(2);
+    Rng rng(9);
+    auto roots = selectTargets(g, 32, rng);
+    CheckingVisitor vis(g);
+    Subgraph sg = sampler.sample(g, roots, rng, &vis);
+    EXPECT_EQ(vis.sampled, sg.totalSampledEdges());
+}
+
+TEST(SelectTargets, DistinctAndInRange)
+{
+    CsrGraph g = testGraph();
+    Rng rng(10);
+    auto targets = selectTargets(g, 256, rng);
+    std::set<LocalNodeId> uniq(targets.begin(), targets.end());
+    EXPECT_EQ(uniq.size(), 256u);
+    for (auto t : targets)
+        EXPECT_LT(t, g.numNodes());
+}
+
+TEST(SamplerDeath, EmptyFanoutsPanics)
+{
+    EXPECT_DEATH(SageSampler({}), "fanout");
+}
+
+TEST(SamplerDeath, BatchLargerThanGraphPanics)
+{
+    GraphBuilder b(2);
+    b.addEdge(0, 1);
+    CsrGraph g = std::move(b).build();
+    Rng rng(1);
+    EXPECT_DEATH(selectTargets(g, 3, rng), "batch larger");
+}

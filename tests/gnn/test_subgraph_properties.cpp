@@ -1,0 +1,119 @@
+/** @file Parameterized property sweeps over sampled subgraphs: the
+ *  structural guarantees every downstream consumer relies on must hold
+ *  across batch sizes, fanout shapes, and datasets. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gnn/sampler.hh"
+#include "graph/datasets.hh"
+
+using namespace smartsage;
+using namespace smartsage::gnn;
+using smartsage::sim::Rng;
+
+namespace
+{
+
+struct SweepParam
+{
+    std::size_t batch;
+    std::vector<unsigned> fanouts;
+};
+
+const graph::CsrGraph &
+sweepGraph()
+{
+    static graph::CsrGraph g =
+        graph::datasetSpec(graph::DatasetId::Reddit).buildInMemory();
+    return g;
+}
+
+} // namespace
+
+class SubgraphSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(SubgraphSweep, InvariantsAndBounds)
+{
+    auto [batch, fanouts] = GetParam();
+    const auto &g = sweepGraph();
+    SageSampler sampler(fanouts);
+    Rng rng(batch * 7 + fanouts.size());
+    auto targets = selectTargets(g, batch, rng);
+    Subgraph sg = sampler.sample(g, targets, rng);
+
+    sg.checkInvariants();
+    EXPECT_EQ(sg.depth(), fanouts.size());
+    EXPECT_EQ(sg.targets().size(), batch);
+
+    // Frontier growth is bounded by the fanout product.
+    std::uint64_t bound = batch;
+    for (std::size_t h = 0; h < fanouts.size(); ++h) {
+        bound += bound * fanouts[h];
+        EXPECT_LE(sg.frontiers[h + 1].size(), bound + 1);
+    }
+    EXPECT_LE(sg.totalSampledEdges(),
+              sampler.expectedEdges(batch));
+    EXPECT_EQ(sg.numUniqueNodes(), sg.frontiers.back().size());
+
+    // The dense ID list is strictly smaller than block-granular
+    // movement of the same trace would be — the ISP premise.
+    EXPECT_LT(sg.idListBytes(8),
+              (sg.totalSampledEdges() + 1) * 4096);
+}
+
+TEST_P(SubgraphSweep, FrontiersContainNoDuplicates)
+{
+    auto [batch, fanouts] = GetParam();
+    const auto &g = sweepGraph();
+    SageSampler sampler(fanouts);
+    Rng rng(batch * 13 + 1);
+    auto targets = selectTargets(g, batch, rng);
+    Subgraph sg = sampler.sample(g, targets, rng);
+
+    for (const auto &frontier : sg.frontiers) {
+        std::set<graph::LocalNodeId> uniq(frontier.begin(),
+                                          frontier.end());
+        EXPECT_EQ(uniq.size(), frontier.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SubgraphSweep,
+    ::testing::Values(SweepParam{16, {5}}, SweepParam{64, {10, 5}},
+                      SweepParam{128, {25, 10}},
+                      SweepParam{32, {4, 4, 4}},
+                      SweepParam{256, {2, 2}}));
+
+TEST(SubgraphAcrossDatasets, EveryDatasetSamplesCleanly)
+{
+    SageSampler sampler({10, 5});
+    for (auto id : graph::allDatasets()) {
+        graph::CsrGraph g = graph::datasetSpec(id).buildInMemory();
+        Rng rng(3);
+        auto targets = selectTargets(g, 64, rng);
+        Subgraph sg = sampler.sample(g, targets, rng);
+        sg.checkInvariants();
+        EXPECT_GT(sg.totalSampledEdges(), 0u)
+            << graph::datasetName(id);
+    }
+}
+
+TEST(SubgraphAcrossDatasets, DenserGraphsSampleMoreEdges)
+{
+    // With fanout 25 over hop 1, graphs whose degrees exceed the
+    // fanout saturate it; the sparsest dataset (OGBN) must sample
+    // fewer edges per batch than the densest (Movielens).
+    SageSampler sampler({25});
+    auto edges_for = [&](graph::DatasetId id) {
+        graph::CsrGraph g = graph::datasetSpec(id).buildInMemory();
+        Rng rng(4);
+        auto targets = selectTargets(g, 128, rng);
+        return sampler.sample(g, targets, rng).totalSampledEdges();
+    };
+    EXPECT_GT(edges_for(graph::DatasetId::Movielens),
+              edges_for(graph::DatasetId::Ogbn100M));
+}

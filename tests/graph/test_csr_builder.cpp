@@ -1,0 +1,142 @@
+/** @file Unit tests for CsrGraph and GraphBuilder. */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "graph/csr.hh"
+
+using namespace smartsage::graph;
+
+namespace
+{
+
+CsrGraph
+triangle()
+{
+    GraphBuilder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 0);
+    return std::move(b).build();
+}
+
+} // namespace
+
+TEST(CsrGraph, BasicShape)
+{
+    CsrGraph g = triangle();
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.neighbors(0)[0], 1u);
+    EXPECT_EQ(g.neighbors(2)[0], 0u);
+}
+
+TEST(CsrGraph, EdgeOffsetsAreCumulative)
+{
+    GraphBuilder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    b.addEdge(2, 1);
+    CsrGraph g = std::move(b).build();
+    EXPECT_EQ(g.edgeOffset(0), 0u);
+    EXPECT_EQ(g.edgeOffset(1), 2u);
+    EXPECT_EQ(g.edgeOffset(2), 2u);
+}
+
+TEST(CsrGraph, DegreeStats)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    b.addEdge(0, 3);
+    b.addEdge(1, 0);
+    CsrGraph g = std::move(b).build();
+    EXPECT_DOUBLE_EQ(g.avgDegree(), 1.0);
+    EXPECT_EQ(g.maxDegree(), 3u);
+}
+
+TEST(CsrGraph, IsolatedNodesHaveZeroDegree)
+{
+    GraphBuilder b(5);
+    b.addEdge(0, 4);
+    CsrGraph g = std::move(b).build();
+    for (LocalNodeId u = 1; u < 4; ++u)
+        EXPECT_EQ(g.degree(u), 0u);
+}
+
+TEST(CsrGraph, ByteAccounting)
+{
+    CsrGraph g = triangle();
+    EXPECT_EQ(g.edgeListBytes(), 3 * sizeof(LocalNodeId));
+    EXPECT_EQ(g.offsetBytes(), 4 * sizeof(EdgeIndex));
+}
+
+TEST(GraphBuilder, NeighborListsComeOutSorted)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 3);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    CsrGraph g = std::move(b).build();
+    auto n = g.neighbors(0);
+    EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(GraphBuilder, DedupDropsDuplicates)
+{
+    GraphBuilder b(2);
+    b.addEdge(0, 1);
+    b.addEdge(0, 1);
+    b.addEdge(0, 1);
+    CsrGraph g = std::move(b).build(true);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphBuilder, WithoutDedupKeepsMultiEdges)
+{
+    GraphBuilder b(2);
+    b.addEdge(0, 1);
+    b.addEdge(0, 1);
+    CsrGraph g = std::move(b).build(false);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(GraphBuilder, UndirectedAddsMirror)
+{
+    GraphBuilder b(3);
+    b.addUndirectedEdge(0, 2);
+    CsrGraph g = std::move(b).build();
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(GraphBuilder, UndirectedSelfLoopAddedOnce)
+{
+    GraphBuilder b(2);
+    b.addUndirectedEdge(1, 1);
+    CsrGraph g = std::move(b).build();
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphBuilderDeath, OutOfRangeEdgePanics)
+{
+    GraphBuilder b(2);
+    EXPECT_DEATH(b.addEdge(0, 2), "out of range");
+}
+
+TEST(CsrGraphDeath, MalformedOffsetsPanics)
+{
+    std::vector<EdgeIndex> offsets = {0, 2, 1}; // decreasing
+    std::vector<LocalNodeId> nbrs = {1};
+    EXPECT_DEATH(CsrGraph(std::move(offsets), std::move(nbrs)),
+                 "nondecreasing");
+}
+
+TEST(CsrGraphDeath, NeighborOutOfRangePanics)
+{
+    std::vector<EdgeIndex> offsets = {0, 1};
+    std::vector<LocalNodeId> nbrs = {7};
+    EXPECT_DEATH(CsrGraph(std::move(offsets), std::move(nbrs)),
+                 "out of range");
+}

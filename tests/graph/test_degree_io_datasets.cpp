@@ -1,0 +1,144 @@
+/** @file Tests for degree analysis, graph serialization, and the five
+ *  Table I dataset configs. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hh"
+#include "graph/datasets.hh"
+#include "graph/degree.hh"
+#include "graph/io.hh"
+#include "graph/powerlaw.hh"
+
+using namespace smartsage::graph;
+
+TEST(Degree, CountsAndBuckets)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 1); // deg(0)=2
+    b.addEdge(0, 2);
+    b.addEdge(1, 2); // deg(1)=1
+    CsrGraph g = std::move(b).build();
+    DegreeDistribution dd(g);
+    EXPECT_EQ(dd.counts().at(0), 2u); // nodes 2, 3
+    EXPECT_EQ(dd.counts().at(1), 1u);
+    EXPECT_EQ(dd.counts().at(2), 1u);
+    EXPECT_EQ(dd.maxDegree(), 2u);
+
+    auto buckets = dd.logBuckets();
+    ASSERT_FALSE(buckets.empty());
+    EXPECT_EQ(buckets.front().lo, 0u);
+    std::uint64_t total = 0;
+    for (const auto &bk : buckets)
+        total += bk.count;
+    EXPECT_EQ(total, g.numNodes());
+}
+
+TEST(Degree, BucketsArePowerOfTwoSpaced)
+{
+    PowerLawParams p;
+    p.num_nodes = 2048;
+    p.avg_degree = 20;
+    CsrGraph g = generatePowerLaw(p);
+    auto buckets = DegreeDistribution(g).logBuckets();
+    for (std::size_t i = 0; i + 1 < buckets.size(); ++i)
+        EXPECT_LE(buckets[i].hi, buckets[i + 1].lo + buckets[i + 1].hi);
+    for (const auto &bk : buckets)
+        EXPECT_TRUE(bk.hi == 1 || bk.hi == bk.lo * 2);
+}
+
+TEST(GraphIo, RoundTripPreservesGraph)
+{
+    PowerLawParams p;
+    p.num_nodes = 512;
+    p.avg_degree = 7;
+    CsrGraph g = generatePowerLaw(p);
+
+    std::stringstream ss;
+    std::uint64_t written = saveCsr(g, ss);
+    EXPECT_GT(written, g.edgeListBytes());
+
+    CsrGraph back = loadCsr(ss);
+    EXPECT_EQ(back.offsets(), g.offsets());
+    EXPECT_EQ(back.rawNeighbors(), g.rawNeighbors());
+}
+
+TEST(GraphIoDeath, BadMagicIsFatal)
+{
+    std::stringstream ss;
+    ss << "not a graph file at all";
+    EXPECT_DEATH(loadCsr(ss), "magic");
+}
+
+TEST(GraphIoDeath, TruncatedStreamIsFatal)
+{
+    PowerLawParams p;
+    p.num_nodes = 64;
+    CsrGraph g = generatePowerLaw(p);
+    std::stringstream ss;
+    saveCsr(g, ss);
+    std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_DEATH(loadCsr(cut), "truncated");
+}
+
+TEST(Datasets, AllFiveExistInPaperOrder)
+{
+    const auto &all = allDatasets();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(datasetName(all[0]), "Reddit");
+    EXPECT_EQ(datasetName(all[1]), "Movielens");
+    EXPECT_EQ(datasetName(all[2]), "Amazon");
+    EXPECT_EQ(datasetName(all[3]), "OGBN-100M");
+    EXPECT_EQ(datasetName(all[4]), "Protein-PI");
+}
+
+TEST(Datasets, PaperStatsMatchTableOne)
+{
+    const auto &reddit = datasetSpec(DatasetId::Reddit);
+    EXPECT_DOUBLE_EQ(reddit.paper_in_memory.nodes, 233.0e3);
+    EXPECT_DOUBLE_EQ(reddit.paper_large.edges, 53.9e9);
+    EXPECT_EQ(reddit.feature_dim, 602u);
+
+    const auto &ml = datasetSpec(DatasetId::Movielens);
+    EXPECT_DOUBLE_EQ(ml.paper_large.size_gb, 442.0);
+    EXPECT_EQ(ml.feature_dim, 1024u);
+}
+
+TEST(Datasets, LargeScaleDensifies)
+{
+    // The densification power law (Fig 13): large-scale variants have
+    // higher average degree than the in-memory bases.
+    for (auto id : allDatasets()) {
+        const auto &spec = datasetSpec(id);
+        CsrGraph small = spec.buildInMemory();
+        CsrGraph large = spec.buildLargeScale();
+        EXPECT_GT(large.numNodes(), small.numNodes()) << spec.name;
+        EXPECT_GT(large.avgDegree(), small.avgDegree()) << spec.name;
+    }
+}
+
+TEST(Datasets, RelativeDegreeOrderingFollowsTableOne)
+{
+    // Movielens is the densest graph in Table I and OGBN the sparsest;
+    // the sim-scale configs must preserve that ordering.
+    double ml =
+        datasetSpec(DatasetId::Movielens).buildLargeScale().avgDegree();
+    double rd =
+        datasetSpec(DatasetId::Reddit).buildLargeScale().avgDegree();
+    double am =
+        datasetSpec(DatasetId::Amazon).buildLargeScale().avgDegree();
+    double og =
+        datasetSpec(DatasetId::Ogbn100M).buildLargeScale().avgDegree();
+    EXPECT_GT(ml, rd);
+    EXPECT_GT(rd, am);
+    EXPECT_GT(am, og);
+}
+
+TEST(Datasets, BuildsAreDeterministic)
+{
+    CsrGraph a = datasetSpec(DatasetId::Amazon).buildInMemory();
+    CsrGraph b = datasetSpec(DatasetId::Amazon).buildInMemory();
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+}

@@ -1,0 +1,131 @@
+/** @file Tests for the R-MAT and power-law graph generators. */
+
+#include <gtest/gtest.h>
+
+#include "graph/degree.hh"
+#include "graph/powerlaw.hh"
+#include "graph/rmat.hh"
+
+using namespace smartsage::graph;
+
+TEST(Rmat, ProducesRequestedSize)
+{
+    RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 8.0;
+    CsrGraph g = generateRmat(p);
+    EXPECT_EQ(g.numNodes(), 1024u);
+    EXPECT_EQ(g.numEdges(), 8192u);
+}
+
+TEST(Rmat, DeterministicForSeed)
+{
+    RmatParams p;
+    p.scale = 9;
+    p.seed = 42;
+    CsrGraph a = generateRmat(p);
+    CsrGraph b = generateRmat(p);
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+    EXPECT_EQ(a.offsets(), b.offsets());
+}
+
+TEST(Rmat, SkewedDistributionHasHubs)
+{
+    RmatParams p;
+    p.scale = 12;
+    p.edge_factor = 16.0;
+    CsrGraph g = generateRmat(p);
+    // R-MAT with a=0.57 concentrates edges: max degree far exceeds avg.
+    EXPECT_GT(static_cast<double>(g.maxDegree()), 8.0 * g.avgDegree());
+}
+
+TEST(Rmat, UndirectedDoublesEdges)
+{
+    RmatParams p;
+    p.scale = 8;
+    p.edge_factor = 4.0;
+    p.undirected = true;
+    CsrGraph g = generateRmat(p);
+    EXPECT_EQ(g.numEdges(), 2u * 4 * 256);
+}
+
+TEST(Rmat, NoSelfLoops)
+{
+    RmatParams p;
+    p.scale = 9;
+    CsrGraph g = generateRmat(p);
+    for (std::uint64_t u = 0; u < g.numNodes(); ++u) {
+        for (LocalNodeId v : g.neighbors(static_cast<LocalNodeId>(u)))
+            EXPECT_NE(v, u);
+    }
+}
+
+TEST(PowerLaw, DeterministicForSeed)
+{
+    PowerLawParams p;
+    p.num_nodes = 2048;
+    CsrGraph a = generatePowerLaw(p);
+    CsrGraph b = generatePowerLaw(p);
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+}
+
+TEST(PowerLaw, NoSelfLoops)
+{
+    PowerLawParams p;
+    p.num_nodes = 1024;
+    p.avg_degree = 12;
+    CsrGraph g = generatePowerLaw(p);
+    for (std::uint64_t u = 0; u < g.numNodes(); ++u) {
+        for (LocalNodeId v : g.neighbors(static_cast<LocalNodeId>(u)))
+            EXPECT_NE(v, u);
+    }
+}
+
+TEST(PowerLaw, SlopeIsNegative)
+{
+    PowerLawParams p;
+    p.num_nodes = 1 << 14;
+    p.avg_degree = 24;
+    CsrGraph g = generatePowerLaw(p);
+    DegreeDistribution dd(g);
+    EXPECT_LT(dd.powerLawSlope(), -0.5);
+}
+
+TEST(PowerLaw, RespectsMaxDegreeCap)
+{
+    PowerLawParams p;
+    p.num_nodes = 4096;
+    p.avg_degree = 16;
+    p.max_degree = 64;
+    CsrGraph g = generatePowerLaw(p);
+    EXPECT_LE(g.maxDegree(), 64u);
+}
+
+/** Property sweep: the generator hits the requested average degree. */
+struct AvgParam
+{
+    std::uint64_t nodes;
+    double avg;
+};
+
+class PowerLawAvg : public ::testing::TestWithParam<AvgParam>
+{
+};
+
+TEST_P(PowerLawAvg, AvgDegreeWithinTenPercent)
+{
+    auto [nodes, avg] = GetParam();
+    PowerLawParams p;
+    p.num_nodes = nodes;
+    p.avg_degree = avg;
+    p.seed = nodes + static_cast<std::uint64_t>(avg);
+    CsrGraph g = generatePowerLaw(p);
+    EXPECT_NEAR(g.avgDegree(), avg, avg * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PowerLawAvg,
+                         ::testing::Values(AvgParam{4096, 14.0},
+                                           AvgParam{4096, 56.0},
+                                           AvgParam{8192, 110.0},
+                                           AvgParam{16384, 18.0},
+                                           AvgParam{2048, 75.0}));

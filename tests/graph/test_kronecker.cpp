@@ -1,0 +1,141 @@
+/** @file Tests for Kronecker fractal expansion (paper Section V). */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "graph/degree.hh"
+#include "graph/kronecker.hh"
+#include "graph/powerlaw.hh"
+
+using namespace smartsage::graph;
+
+namespace
+{
+
+CsrGraph
+path3()
+{
+    GraphBuilder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    return std::move(b).build();
+}
+
+} // namespace
+
+TEST(KroneckerSeed, DefaultSeedShape)
+{
+    KroneckerSeed s = KroneckerSeed::defaultSeed();
+    EXPECT_EQ(s.k(), 2u);
+    EXPECT_EQ(s.nnz(), 3u);
+    EXPECT_DOUBLE_EQ(s.densification(), 1.5);
+}
+
+TEST(KroneckerSeed, RowsMatchEdges)
+{
+    KroneckerSeed s(3, {{0, 1}, {0, 2}, {1, 0}, {2, 2}});
+    EXPECT_EQ(s.row(0).size(), 2u);
+    EXPECT_EQ(s.row(1).size(), 1u);
+    EXPECT_EQ(s.row(2).size(), 1u);
+}
+
+TEST(KroneckerSeedDeath, EmptyRowPanics)
+{
+    // Row 1 would orphan every (u, 1) node.
+    EXPECT_DEATH(KroneckerSeed(2, {{0, 0}, {0, 1}}), "orphan");
+}
+
+TEST(Kronecker, NodeAndEdgeCounts)
+{
+    CsrGraph base = path3();
+    CsrGraph g = kroneckerExpand(base, KroneckerSeed::defaultSeed());
+    EXPECT_EQ(g.numNodes(), base.numNodes() * 2);
+    EXPECT_EQ(g.numEdges(), base.numEdges() * 3);
+}
+
+TEST(Kronecker, ExactEdgeSemantics)
+{
+    // base: 0->1.  seed: {(0,0),(0,1),(1,0)}.
+    // Expanded edges: (0,0)->(1,0), (0,0)->(1,1), (0,1)->(1,0)
+    // with node (u,i) = u*2+i.
+    GraphBuilder b(2);
+    b.addEdge(0, 1);
+    CsrGraph base = std::move(b).build();
+    CsrGraph g = kroneckerExpand(base, KroneckerSeed::defaultSeed());
+    ASSERT_EQ(g.numNodes(), 4u);
+    ASSERT_EQ(g.numEdges(), 3u);
+    auto n0 = g.neighbors(0); // (0,0)
+    ASSERT_EQ(n0.size(), 2u);
+    EXPECT_EQ(n0[0], 2u); // (1,0)
+    EXPECT_EQ(n0[1], 3u); // (1,1)
+    auto n1 = g.neighbors(1); // (0,1)
+    ASSERT_EQ(n1.size(), 1u);
+    EXPECT_EQ(n1[0], 2u); // (1,0)
+    EXPECT_EQ(g.degree(2), 0u);
+    EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Kronecker, DegreeFormulaHolds)
+{
+    PowerLawParams p;
+    p.num_nodes = 512;
+    p.avg_degree = 9;
+    CsrGraph base = generatePowerLaw(p);
+    KroneckerSeed seed = KroneckerSeed::defaultSeed();
+    CsrGraph g = kroneckerExpand(base, seed);
+    for (std::uint64_t u = 0; u < base.numNodes(); ++u) {
+        for (unsigned i = 0; i < seed.k(); ++i) {
+            auto id = static_cast<LocalNodeId>(u * seed.k() + i);
+            EXPECT_EQ(g.degree(id),
+                      base.degree(static_cast<LocalNodeId>(u)) *
+                          seed.row(i).size());
+        }
+    }
+}
+
+TEST(Kronecker, MultiRoundComposition)
+{
+    CsrGraph base = path3();
+    KroneckerSeed seed = KroneckerSeed::defaultSeed();
+    CsrGraph two_rounds = kroneckerExpand(base, seed, 2);
+    EXPECT_EQ(two_rounds.numNodes(), base.numNodes() * 4);
+    EXPECT_EQ(two_rounds.numEdges(), base.numEdges() * 9);
+}
+
+TEST(Kronecker, DensificationRaisesAvgDegree)
+{
+    PowerLawParams p;
+    p.num_nodes = 1024;
+    p.avg_degree = 10;
+    CsrGraph base = generatePowerLaw(p);
+    CsrGraph g =
+        kroneckerExpand(base, KroneckerSeed::defaultSeed(), 2);
+    // nnz/k = 1.5 per round: avg degree x2.25 after two rounds.
+    EXPECT_NEAR(g.avgDegree(), base.avgDegree() * 2.25, 1e-9);
+}
+
+TEST(Kronecker, PowerLawShapeSurvivesExpansion)
+{
+    // Fig 13's claim: expansion preserves the degree distribution's
+    // power-law slope.
+    PowerLawParams p;
+    p.num_nodes = 4096;
+    p.avg_degree = 30;
+    CsrGraph base = generatePowerLaw(p);
+    CsrGraph g =
+        kroneckerExpand(base, KroneckerSeed::defaultSeed(), 2);
+    double s_base = DegreeDistribution(base).powerLawSlope();
+    double s_exp = DegreeDistribution(g).powerLawSlope();
+    EXPECT_LT(s_base, -0.5);
+    EXPECT_LT(s_exp, -0.5);
+    EXPECT_NEAR(s_base, s_exp, 0.8);
+}
+
+TEST(Kronecker, InvariantsHoldOnExpandedGraph)
+{
+    CsrGraph base = path3();
+    CsrGraph g =
+        kroneckerExpand(base, KroneckerSeed::defaultSeed(), 3);
+    g.checkInvariants(); // panics on violation
+    SUCCEED();
+}

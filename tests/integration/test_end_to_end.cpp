@@ -1,0 +1,173 @@
+/** @file Integration tests: whole-system runs that assert the paper's
+ *  qualitative claims hold in the simulator. */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "gnn/model.hh"
+#include "gnn/sampler.hh"
+#include "pipeline/producer.hh"
+
+using namespace smartsage;
+using namespace smartsage::core;
+
+namespace
+{
+
+const Workload &
+workload()
+{
+    static Workload wl =
+        Workload::make(graph::DatasetId::ProteinPI, false);
+    return wl;
+}
+
+SystemConfig
+config(DesignPoint dp, unsigned workers = 4)
+{
+    SystemConfig sc;
+    sc.design = dp;
+    sc.fanouts = {10, 5};
+    sc.pipeline.batch_size = 128;
+    sc.pipeline.num_batches = 6;
+    sc.pipeline.workers = workers;
+    return sc;
+}
+
+double
+samplingThroughput(DesignPoint dp, unsigned workers)
+{
+    GnnSystem system(config(dp), workload());
+    return system.runSamplingOnly(workers, 8).batchesPerSecond();
+}
+
+} // namespace
+
+TEST(EndToEnd, StorageTierOrderingHolds)
+{
+    // The paper's fundamental ordering (Figs 6, 18): DRAM fastest,
+    // PMEM close behind, mmap-SSD slowest of the CPU paths.
+    double dram = samplingThroughput(DesignPoint::DramOracle, 4);
+    double pmem = samplingThroughput(DesignPoint::Pmem, 4);
+    double mmap = samplingThroughput(DesignPoint::SsdMmap, 4);
+    EXPECT_GT(dram, pmem);
+    EXPECT_GT(pmem, mmap);
+}
+
+TEST(EndToEnd, DirectIoBeatsMmap)
+{
+    // SmartSAGE(SW)'s latency-optimized runtime wins (Section VI-A).
+    double sw = samplingThroughput(DesignPoint::SmartSageSw, 4);
+    double mmap = samplingThroughput(DesignPoint::SsdMmap, 4);
+    EXPECT_GT(sw, mmap);
+}
+
+TEST(EndToEnd, IspBeatsBothSsdHostPaths)
+{
+    double hwsw = samplingThroughput(DesignPoint::SmartSageHwSw, 4);
+    double sw = samplingThroughput(DesignPoint::SmartSageSw, 4);
+    double mmap = samplingThroughput(DesignPoint::SsdMmap, 4);
+    EXPECT_GT(hwsw, sw);
+    EXPECT_GT(hwsw, mmap);
+}
+
+TEST(EndToEnd, IspAdvantageShrinksWithWorkers)
+{
+    // Fig 17: HW/SW-over-SW speedup declines as workers scale, because
+    // the wimpy embedded cores saturate.
+    double r1 = samplingThroughput(DesignPoint::SmartSageHwSw, 1) /
+                samplingThroughput(DesignPoint::SmartSageSw, 1);
+    double r8 = samplingThroughput(DesignPoint::SmartSageHwSw, 8) /
+                samplingThroughput(DesignPoint::SmartSageSw, 8);
+    EXPECT_GT(r1, r8);
+    EXPECT_GT(r1, 1.0);
+}
+
+TEST(EndToEnd, IspCutsSsdToHostTraffic)
+{
+    // The ~20x SSD->DRAM data-movement reduction claim.
+    auto bytes_for = [&](DesignPoint dp) {
+        GnnSystem system(config(dp), workload());
+        system.runSamplingOnly(2, 6);
+        return system.ssd()->bytesToHost();
+    };
+    std::uint64_t mmap_bytes = bytes_for(DesignPoint::SsdMmap);
+    std::uint64_t isp_bytes = bytes_for(DesignPoint::SmartSageHwSw);
+    EXPECT_GT(mmap_bytes, 5 * isp_bytes);
+}
+
+TEST(EndToEnd, GpuIdleWorstOnMmap)
+{
+    // Fig 7: the mmap design starves the GPU.
+    auto idle = [&](DesignPoint dp) {
+        GnnSystem system(config(dp, 6), workload());
+        return system.runPipeline().gpu_idle_frac;
+    };
+    double dram_idle = idle(DesignPoint::DramOracle);
+    double mmap_idle = idle(DesignPoint::SsdMmap);
+    EXPECT_GT(mmap_idle, dram_idle);
+    EXPECT_GT(mmap_idle, 0.5);
+}
+
+TEST(EndToEnd, PipelineIsDeterministic)
+{
+    GnnSystem a(config(DesignPoint::SmartSageHwSw), workload());
+    GnnSystem b(config(DesignPoint::SmartSageHwSw), workload());
+    auto ra = a.runPipeline();
+    auto rb = b.runPipeline();
+    EXPECT_EQ(ra.makespan, rb.makespan);
+    EXPECT_DOUBLE_EQ(ra.gpu_idle_frac, rb.gpu_idle_frac);
+}
+
+TEST(EndToEnd, FunctionalResultIndependentOfStorageDesign)
+{
+    // Whatever the storage path, the produced subgraphs are the same
+    // functional objects: training on them must behave identically
+    // given identical RNG streams.
+    auto subgraph_for = [&](DesignPoint dp) {
+        GnnSystem system(config(dp), workload());
+        sim::Rng rng(99);
+        auto targets = gnn::selectTargets(workload().graph, 64, rng);
+        auto job = system.producer().startBatch(targets, rng);
+        while (!job->done())
+            job->step(0);
+        return job->takeSubgraph();
+    };
+    gnn::Subgraph a = subgraph_for(DesignPoint::DramOracle);
+    gnn::Subgraph b = subgraph_for(DesignPoint::SmartSageHwSw);
+    EXPECT_EQ(a.frontiers, b.frontiers);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t h = 0; h < a.blocks.size(); ++h)
+        EXPECT_EQ(a.blocks[h].src_index, b.blocks[h].src_index);
+}
+
+TEST(EndToEnd, TrainingOnProducedSubgraphsLearns)
+{
+    // Close the loop: subgraphs coming out of the ISP producer train a
+    // real model.
+    GnnSystem system(config(DesignPoint::SmartSageHwSw), workload());
+
+    gnn::ModelConfig mc;
+    mc.in_dim = 16;
+    mc.hidden_dim = 16;
+    mc.num_classes = 4;
+    mc.depth = 2;
+    mc.learning_rate = 0.1f;
+    gnn::SageModel model(mc);
+    gnn::FeatureTable ft(workload().graph.numNodes(), mc.in_dim,
+                         mc.num_classes);
+
+    sim::Rng rng(7);
+    double first = 0, last = 0;
+    for (int i = 0; i < 20; ++i) {
+        auto targets = gnn::selectTargets(workload().graph, 128, rng);
+        auto job = system.producer().startBatch(targets, rng);
+        while (!job->done())
+            job->step(0);
+        double loss = model.trainStep(job->takeSubgraph(), ft);
+        if (i == 0)
+            first = loss;
+        last = loss;
+    }
+    EXPECT_LT(last, first);
+}

@@ -1,0 +1,140 @@
+/** @file Sensitivity-study integration tests mirroring Section VI-F of
+ *  the paper, plus stats-report coverage. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/system.hh"
+
+using namespace smartsage;
+using namespace smartsage::core;
+
+namespace
+{
+
+const Workload &
+workload()
+{
+    static Workload wl =
+        Workload::make(graph::DatasetId::Reddit, false);
+    return wl;
+}
+
+SystemConfig
+config(DesignPoint dp)
+{
+    SystemConfig sc;
+    sc.design = dp;
+    sc.fanouts = {10, 5};
+    sc.pipeline.batch_size = 128;
+    return sc;
+}
+
+double
+speedupOverMmap(const SystemConfig &hwsw_cfg,
+                const SystemConfig &mmap_cfg, unsigned workers,
+                std::size_t batches)
+{
+    GnnSystem hwsw(hwsw_cfg, workload());
+    GnnSystem mmap(mmap_cfg, workload());
+    return hwsw.runSamplingOnly(workers, batches).batchesPerSecond() /
+           mmap.runSamplingOnly(workers, batches).batchesPerSecond();
+}
+
+} // namespace
+
+TEST(Sensitivity, BatchSizeHasLittleEffectOnSpeedup)
+{
+    // Section VI-F: "the chosen mini-batch size [has] little effect on
+    // SmartSAGE's achieved speedup."
+    std::vector<double> speedups;
+    for (std::size_t bs : {64u, 128u, 256u}) {
+        SystemConfig hw = config(DesignPoint::SmartSageHwSw);
+        SystemConfig mm = config(DesignPoint::SsdMmap);
+        hw.pipeline.batch_size = bs;
+        mm.pipeline.batch_size = bs;
+        speedups.push_back(speedupOverMmap(hw, mm, 4, 8));
+    }
+    double lo = *std::min_element(speedups.begin(), speedups.end());
+    double hi = *std::max_element(speedups.begin(), speedups.end());
+    EXPECT_GT(lo, 1.0);           // HW/SW always wins
+    EXPECT_LT(hi / lo, 2.0);      // and the win is batch-size stable
+}
+
+TEST(Sensitivity, LargerSamplingRateShrinksIspAdvantage)
+{
+    // Fig 21's trend between the default and 2x sampling rates.
+    auto ratio_at = [&](std::vector<unsigned> fanouts) {
+        SystemConfig hw = config(DesignPoint::SmartSageHwSw);
+        SystemConfig mm = config(DesignPoint::SsdMmap);
+        hw.fanouts = fanouts;
+        mm.fanouts = fanouts;
+        return speedupOverMmap(hw, mm, 4, 8);
+    };
+    double at_default = ratio_at({10, 5});
+    double at_double = ratio_at({20, 10});
+    EXPECT_GT(at_default, at_double * 0.95);
+}
+
+TEST(Sensitivity, SaintSamplerAlsoBenefitsFromIsp)
+{
+    // Fig 20's robustness claim under the random-walk sampler.
+    SystemConfig hw = config(DesignPoint::SmartSageHwSw);
+    SystemConfig mm = config(DesignPoint::SsdMmap);
+    hw.use_saint = true;
+    hw.saint_walk_length = 3;
+    mm.use_saint = true;
+    mm.saint_walk_length = 3;
+    EXPECT_GT(speedupOverMmap(hw, mm, 4, 8), 1.0);
+}
+
+TEST(Sensitivity, CoalescingGranularityMonotonicity)
+{
+    // Fig 15 trend at the system level: 1024 >= 64 >= 1.
+    auto tput_at = [&](std::size_t coalesce) {
+        SystemConfig sc = config(DesignPoint::SmartSageHwSw);
+        sc.isp.coalesce_targets = coalesce;
+        GnnSystem system(sc, workload());
+        return system.runSamplingOnly(1, 6).batchesPerSecond();
+    };
+    double full = tput_at(1024);
+    double mid = tput_at(64);
+    double fine = tput_at(1);
+    EXPECT_GE(full, mid * 0.99);
+    EXPECT_GT(mid, fine);
+}
+
+TEST(Stats, DumpReportsSsdCountersAfterRun)
+{
+    GnnSystem system(config(DesignPoint::SmartSageHwSw), workload());
+    system.runSamplingOnly(2, 4);
+    std::ostringstream os;
+    system.dumpStats(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("ssd.flash.pages_read"), std::string::npos);
+    EXPECT_NE(out.find("ssd.page_buffer.hit_rate"), std::string::npos);
+    EXPECT_NE(out.find("graph.edges"), std::string::npos);
+}
+
+TEST(Stats, DumpReportsHostCountersForMmap)
+{
+    GnnSystem system(config(DesignPoint::SsdMmap), workload());
+    system.runSamplingOnly(2, 4);
+    std::ostringstream os;
+    system.dumpStats(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("host.page_cache.hit_rate"), std::string::npos);
+    EXPECT_NE(out.find("host.page_faults"), std::string::npos);
+}
+
+TEST(Stats, DumpReportsScratchpadForDirectIo)
+{
+    GnnSystem system(config(DesignPoint::SmartSageSw), workload());
+    system.runSamplingOnly(2, 4);
+    std::ostringstream os;
+    system.dumpStats(os);
+    EXPECT_NE(os.str().find("host.direct_io.submits"),
+              std::string::npos);
+}

@@ -1,0 +1,230 @@
+/** @file Tests for producers, the worker scheduler, the training
+ *  pipeline, and the Fig 5 memory profiler. */
+
+#include <gtest/gtest.h>
+
+#include "gnn/gpu_model.hh"
+#include "gnn/sampler.hh"
+#include "graph/powerlaw.hh"
+#include "pipeline/producer.hh"
+#include "pipeline/profiler.hh"
+#include "pipeline/scheduler.hh"
+#include "pipeline/trainer.hh"
+
+using namespace smartsage;
+using namespace smartsage::pipeline;
+namespace sim = smartsage::sim;
+
+namespace
+{
+
+struct Fixture
+{
+    graph::CsrGraph graph;
+    host::HostConfig host;
+    graph::EdgeLayout layout;
+    gnn::SageSampler sampler{{8, 4}};
+
+    Fixture()
+    {
+        graph::PowerLawParams p;
+        p.num_nodes = 4096;
+        p.avg_degree = 30;
+        p.seed = 23;
+        graph = graph::generatePowerLaw(p);
+        host.page_cache_bytes = sim::KiB(512);
+        host.scratchpad_bytes = sim::KiB(512);
+    }
+};
+
+} // namespace
+
+TEST(Producer, CpuJobFinishesAndYieldsSubgraph)
+{
+    Fixture f;
+    host::DramEdgeStore store(f.host);
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+    sim::Rng rng(1);
+    auto targets = gnn::selectTargets(f.graph, 64, rng);
+    auto job = producer.startBatch(targets, rng);
+
+    sim::Tick t = 0;
+    std::size_t steps = 0;
+    while (!job->done()) {
+        sim::Tick next = job->step(t);
+        EXPECT_GE(next, t);
+        t = next;
+        ++steps;
+    }
+    EXPECT_GT(steps, 64u); // at least one step per frontier node
+    gnn::Subgraph sg = job->takeSubgraph();
+    EXPECT_EQ(sg.targets().size(), 64u);
+    sg.checkInvariants();
+}
+
+TEST(Scheduler, ProducesRequestedBatchCount)
+{
+    Fixture f;
+    host::DramEdgeStore store(f.host);
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+    ScheduleConfig sc;
+    sc.workers = 4;
+    sc.num_batches = 10;
+    sc.batch_size = 32;
+    auto batches = runWorkers(producer, f.graph, sc);
+    ASSERT_EQ(batches.size(), 10u);
+    for (const auto &b : batches) {
+        EXPECT_EQ(b.stats.num_targets, 32u);
+        EXPECT_GT(b.sampling_time, 0u);
+        EXPECT_GT(b.stats.total_edges, 0u);
+    }
+}
+
+TEST(Scheduler, ResultsSortedByReadyTime)
+{
+    Fixture f;
+    host::DramEdgeStore store(f.host);
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+    ScheduleConfig sc;
+    sc.workers = 3;
+    sc.num_batches = 9;
+    sc.batch_size = 16;
+    auto batches = runWorkers(producer, f.graph, sc);
+    for (std::size_t i = 1; i < batches.size(); ++i)
+        EXPECT_GE(batches[i].ready, batches[i - 1].ready);
+}
+
+TEST(Scheduler, MoreWorkersFinishSoonerOnCpuPath)
+{
+    Fixture f;
+    host::PmemEdgeStore store(f.host); // stateless path: clean compare
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+
+    ScheduleConfig one;
+    one.workers = 1;
+    one.num_batches = 8;
+    one.batch_size = 64;
+    auto serial = runWorkers(producer, f.graph, one);
+
+    ScheduleConfig eight = one;
+    eight.workers = 8;
+    auto parallel = runWorkers(producer, f.graph, eight);
+
+    EXPECT_LT(parallel.back().ready, serial.back().ready / 4);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns)
+{
+    Fixture f;
+    host::DramEdgeStore store(f.host);
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+    ScheduleConfig sc;
+    sc.workers = 2;
+    sc.num_batches = 6;
+    sc.batch_size = 16;
+    auto a = runWorkers(producer, f.graph, sc);
+    auto b = runWorkers(producer, f.graph, sc);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].ready, b[i].ready);
+}
+
+TEST(Trainer, BreakdownAndIdleAreConsistent)
+{
+    Fixture f;
+    host::DramEdgeStore store(f.host);
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+
+    gnn::ModelConfig mc;
+    mc.in_dim = 32;
+    mc.depth = 2;
+    gnn::GpuTimingModel gpu(gnn::GpuConfig{}, mc);
+    gnn::FeatureTable ft(f.graph.numNodes(), 32, 8);
+
+    PipelineConfig pc;
+    pc.workers = 4;
+    pc.num_batches = 8;
+    pc.batch_size = 64;
+    TrainingPipeline pipe(pc, f.host, gpu, ft);
+    PipelineResult r = pipe.run(producer, f.graph);
+
+    EXPECT_EQ(r.batches, 8u);
+    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GE(r.gpu_idle_frac, 0.0);
+    EXPECT_LE(r.gpu_idle_frac, 1.0);
+    EXPECT_GT(r.throughput(), 0.0);
+    EXPECT_GT(r.stages.sampling, 0.0);
+    EXPECT_GT(r.stages.feature, 0.0);
+    EXPECT_GT(r.stages.transfer, 0.0);
+    EXPECT_GT(r.stages.gpu, 0.0);
+    EXPECT_GT(r.stages.other, 0.0);
+
+    auto n = r.stages.normalized();
+    EXPECT_NEAR(n.sampling + n.feature + n.transfer + n.gpu + n.other,
+                1.0, 1e-9);
+}
+
+TEST(Trainer, GpuBusyWhenProducersAreFast)
+{
+    // With many workers over DRAM, the GPU should rarely starve
+    // (Fig 7, in-memory bars).
+    Fixture f;
+    host::DramEdgeStore store(f.host);
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+    gnn::ModelConfig mc;
+    mc.in_dim = 256;
+    mc.depth = 2;
+    gnn::GpuTimingModel gpu(gnn::GpuConfig{}, mc);
+    gnn::FeatureTable ft(f.graph.numNodes(), 256, 8);
+
+    PipelineConfig pc;
+    pc.workers = 12;
+    pc.num_batches = 12;
+    pc.batch_size = 128;
+    TrainingPipeline pipe(pc, f.host, gpu, ft);
+    PipelineResult r = pipe.run(producer, f.graph);
+    EXPECT_LT(r.gpu_idle_frac, 0.5);
+}
+
+TEST(Profiler, MissRateBetweenZeroAndOne)
+{
+    Fixture f;
+    SamplingMemoryProfiler prof(f.host, f.layout);
+    sim::Rng rng(2);
+    auto targets = gnn::selectTargets(f.graph, 128, rng);
+    f.sampler.sample(f.graph, targets, rng, &prof);
+
+    EXPECT_GT(prof.llcMissRate(), 0.0);
+    EXPECT_LT(prof.llcMissRate(), 1.0);
+    EXPECT_GT(prof.dramBwUtilization(12), 0.0);
+    EXPECT_LE(prof.dramBwUtilization(12), 1.0);
+}
+
+TEST(Profiler, BandwidthUtilizationIsLowDespiteMissRate)
+{
+    // Fig 5's headline: sampling is latency-bound — high LLC miss rate
+    // but low DRAM bandwidth utilization for a single worker. Use an
+    // LLC smaller than the edge array, as at real scale.
+    Fixture f;
+    host::HostConfig tight = f.host;
+    tight.llc_bytes = sim::KiB(64);
+    SamplingMemoryProfiler prof(tight, f.layout);
+    sim::Rng rng(3);
+    for (int b = 0; b < 4; ++b) {
+        auto targets = gnn::selectTargets(f.graph, 256, rng);
+        f.sampler.sample(f.graph, targets, rng, &prof);
+    }
+    EXPECT_GT(prof.llcMissRate(), 0.3);
+    EXPECT_LT(prof.dramBwUtilization(1), 0.1);
+}
+
+TEST(Profiler, ResetClears)
+{
+    Fixture f;
+    SamplingMemoryProfiler prof(f.host, f.layout);
+    sim::Rng rng(4);
+    auto targets = gnn::selectTargets(f.graph, 32, rng);
+    f.sampler.sample(f.graph, targets, rng, &prof);
+    prof.reset();
+    EXPECT_DOUBLE_EQ(prof.dramBwUtilization(1), 0.0);
+}

@@ -1,0 +1,111 @@
+/** @file Unit and property tests for the xoshiro256** RNG wrapper. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/random.hh"
+
+using namespace smartsage::sim;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, BernoulliExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Random, ForkedStreamsAreIndependent)
+{
+    Rng base(123);
+    Rng s0 = base.fork(0);
+    Rng s1 = base.fork(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (s0.next() == s1.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, ForkIsDeterministic)
+{
+    Rng base(123);
+    Rng a = base.fork(5);
+    Rng b = Rng(123).fork(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+/** Property sweep: bounded draws look uniform for several bounds. */
+class RandomUniformity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomUniformity, RoughlyUniform)
+{
+    std::uint64_t bound = GetParam();
+    Rng rng(bound * 31 + 1);
+    std::vector<std::uint64_t> counts(bound, 0);
+    const std::uint64_t draws = 20000;
+    for (std::uint64_t i = 0; i < draws; ++i)
+        ++counts[rng.nextBounded(bound)];
+    double expect = static_cast<double>(draws) / bound;
+    for (std::uint64_t c : counts) {
+        EXPECT_GT(c, expect * 0.7);
+        EXPECT_LT(c, expect * 1.3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RandomUniformity,
+                         ::testing::Values(2, 3, 7, 16, 33));
+
+TEST(Random, MeanOfDoublesNearHalf)
+{
+    Rng rng(77);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}

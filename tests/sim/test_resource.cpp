@@ -1,0 +1,122 @@
+/** @file Unit tests for the busy-until contention models. */
+
+#include <gtest/gtest.h>
+
+#include "sim/resource.hh"
+
+using namespace smartsage::sim;
+
+TEST(Server, IdleServerStartsImmediately)
+{
+    Server s;
+    auto iv = s.request(100, 50);
+    EXPECT_EQ(iv.start, 100u);
+    EXPECT_EQ(iv.finish, 150u);
+    EXPECT_EQ(iv.waited(100), 0u);
+}
+
+TEST(Server, BackToBackRequestsQueue)
+{
+    Server s;
+    s.request(0, 100);
+    auto iv = s.request(10, 100);
+    EXPECT_EQ(iv.start, 100u);
+    EXPECT_EQ(iv.finish, 200u);
+    EXPECT_EQ(iv.waited(10), 90u);
+}
+
+TEST(Server, GapLeavesServerIdle)
+{
+    Server s;
+    s.request(0, 10);
+    auto iv = s.request(100, 10);
+    EXPECT_EQ(iv.start, 100u);
+    EXPECT_EQ(s.busyTime(), 20u);
+    EXPECT_DOUBLE_EQ(s.utilization(200), 0.1);
+}
+
+TEST(Server, ResetClearsHistory)
+{
+    Server s;
+    s.request(0, 1000);
+    s.reset();
+    EXPECT_EQ(s.nextFree(), 0u);
+    EXPECT_EQ(s.busyTime(), 0u);
+    EXPECT_EQ(s.served(), 0u);
+}
+
+TEST(ServerPool, SpreadsAcrossMembers)
+{
+    ServerPool pool("p", 4);
+    // Four simultaneous requests should all start immediately.
+    for (int i = 0; i < 4; ++i) {
+        auto iv = pool.request(0, 100);
+        EXPECT_EQ(iv.start, 0u);
+    }
+    // The fifth queues behind one of them.
+    auto iv = pool.request(0, 100);
+    EXPECT_EQ(iv.start, 100u);
+}
+
+TEST(ServerPool, RequestOnPinsToMember)
+{
+    ServerPool pool("p", 2);
+    pool.requestOn(0, 0, 100);
+    auto iv = pool.requestOn(0, 0, 100);
+    EXPECT_EQ(iv.start, 100u); // same member, must queue
+    auto other = pool.requestOn(1, 0, 100);
+    EXPECT_EQ(other.start, 0u); // other member is free
+}
+
+TEST(ServerPool, UtilizationAveragesMembers)
+{
+    ServerPool pool("p", 2);
+    pool.requestOn(0, 0, 100);
+    EXPECT_DOUBLE_EQ(pool.utilization(100), 0.5);
+}
+
+TEST(ServerPoolDeath, OutOfRangeMemberPanics)
+{
+    ServerPool pool("p", 2);
+    EXPECT_DEATH(pool.requestOn(2, 0, 10), "out of range");
+}
+
+TEST(BandwidthLink, TransferTimeMatchesBandwidth)
+{
+    BandwidthLink link("l", 1.0, 0); // 1 GB/s, no latency
+    auto iv = link.transfer(0, 1000000000ull);
+    EXPECT_EQ(iv.finish, sec(1));
+}
+
+TEST(BandwidthLink, LatencyAddsAfterWire)
+{
+    BandwidthLink link("l", 1.0, us(5));
+    auto iv = link.transfer(0, 1000000ull); // 1 ms wire
+    EXPECT_EQ(iv.finish, ms(1) + us(5));
+}
+
+TEST(BandwidthLink, WireSerializesButLatencyDoesNot)
+{
+    BandwidthLink link("l", 1.0, us(5));
+    link.transfer(0, 1000000ull);
+    auto second = link.transfer(0, 1000000ull);
+    // Second transfer waits for the wire (1 ms) but not the first
+    // transfer's latency.
+    EXPECT_EQ(second.start, ms(1));
+    EXPECT_EQ(second.finish, ms(2) + us(5));
+}
+
+TEST(BandwidthLink, TracksBytes)
+{
+    BandwidthLink link("l", 2.0, 0);
+    link.transfer(0, 100);
+    link.transfer(0, 200);
+    EXPECT_EQ(link.bytesMoved(), 300u);
+}
+
+TEST(BandwidthLink, UtilizationFractionOfPeak)
+{
+    BandwidthLink link("l", 1.0, 0);
+    link.transfer(0, 500000000ull); // 0.5 GB moved
+    EXPECT_NEAR(link.utilization(sec(1)), 0.5, 1e-9);
+}

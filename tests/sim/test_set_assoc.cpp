@@ -1,0 +1,113 @@
+/** @file Unit and property tests for the generic set-associative LRU. */
+
+#include <gtest/gtest.h>
+
+#include "sim/set_assoc.hh"
+#include "sim/types.hh"
+#include "sim/random.hh"
+
+using namespace smartsage::sim;
+
+TEST(SetAssoc, ColdMissThenHit)
+{
+    SetAssocLru c(KiB(64), 64, 4);
+    EXPECT_FALSE(c.access(10));
+    EXPECT_TRUE(c.access(10));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssoc, LineOfUsesLineBytes)
+{
+    SetAssocLru c(KiB(64), 64, 4);
+    EXPECT_EQ(c.lineOf(0), 0u);
+    EXPECT_EQ(c.lineOf(63), 0u);
+    EXPECT_EQ(c.lineOf(64), 1u);
+    EXPECT_EQ(c.lineOf(6400), 100u);
+}
+
+TEST(SetAssoc, LruEvictsOldest)
+{
+    // One set of 2 ways: force everything into the same set by using a
+    // cache with exactly one set.
+    SetAssocLru c(128, 64, 2); // 2 lines, 2 ways -> 1 set
+    EXPECT_EQ(c.numSets(), 1u);
+    c.access(1);
+    c.access(2);
+    c.access(1);    // refresh 1; LRU is now 2
+    c.access(3);    // evicts 2
+    EXPECT_TRUE(c.lookup(1));
+    EXPECT_TRUE(c.lookup(3));
+    EXPECT_FALSE(c.lookup(2));
+}
+
+TEST(SetAssoc, WorkingSetWithinCapacityEventuallyAllHits)
+{
+    SetAssocLru c(KiB(256), 64, 16);
+    // Working set = 1/8 of capacity, so conflict misses are unlikely.
+    const std::uint64_t lines = KiB(32) / 64;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        c.access(i);
+    std::uint64_t before = c.misses();
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint64_t i = 0; i < lines; ++i)
+            c.access(i);
+    }
+    EXPECT_EQ(c.misses(), before);
+}
+
+TEST(SetAssoc, RandomStreamOverLargeSpaceMostlyMisses)
+{
+    SetAssocLru c(KiB(64), 64, 8);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        c.access(rng.nextBounded(1u << 24));
+    EXPECT_GT(c.missRate(), 0.95);
+}
+
+TEST(SetAssoc, ResetRestoresColdState)
+{
+    SetAssocLru c(KiB(64), 64, 4);
+    c.access(5);
+    c.reset();
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+    EXPECT_FALSE(c.access(5));
+}
+
+TEST(SetAssocDeath, TooSmallForOneSetPanics)
+{
+    EXPECT_DEATH(SetAssocLru(64, 64, 4), "smaller than one set");
+}
+
+/** Property sweep over shapes: capacity is respected exactly. */
+struct ShapeParam
+{
+    std::uint64_t capacity;
+    std::uint64_t line;
+    unsigned ways;
+};
+
+class SetAssocShapes : public ::testing::TestWithParam<ShapeParam>
+{
+};
+
+TEST_P(SetAssocShapes, SequentialFillWithinSetsNeverEvicts)
+{
+    auto p = GetParam();
+    SetAssocLru c(p.capacity, p.line, p.ways);
+    // Insert exactly ways distinct lines into one set by mapping
+    // through the cache's own behaviour: repeated re-touch of a small
+    // set of lines must keep hitting.
+    std::uint64_t distinct = p.ways; // conservative per-set bound
+    for (std::uint64_t i = 0; i < distinct; ++i)
+        c.access(i * 7919); // spread across sets
+    for (std::uint64_t i = 0; i < distinct; ++i)
+        EXPECT_TRUE(c.lookup(i * 7919));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SetAssocShapes,
+    ::testing::Values(ShapeParam{KiB(16), 64, 2},
+                      ShapeParam{KiB(64), 64, 8},
+                      ShapeParam{MiB(1), 4096, 16},
+                      ShapeParam{KiB(512), 16384, 16}));

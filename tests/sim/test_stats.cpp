@@ -1,0 +1,99 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace smartsage::sim;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s;
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Distribution, BasicMoments)
+{
+    Distribution d;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Distribution, PercentilesInterpolate)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_NEAR(d.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(d.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(d.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(d.percentile(99), 99.01, 0.1);
+}
+
+TEST(Distribution, PercentileAfterMoreSamplesResorts)
+{
+    Distribution d;
+    d.sample(10);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 10.0);
+    d.sample(0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 10.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 0.0);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+}
+
+TEST(StatGroup, DumpContainsRegisteredStats)
+{
+    Scalar s;
+    s += 7;
+    Distribution d;
+    d.sample(1);
+    d.sample(3);
+
+    StatGroup group("ssd");
+    group.addScalar("reads", &s, "host reads");
+    group.addDistribution("latency", &d, "read latency");
+
+    std::ostringstream os;
+    group.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("ssd.reads"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("ssd.latency::mean"), std::string::npos);
+    EXPECT_NE(out.find("# host reads"), std::string::npos);
+}
+
+TEST(DistributionDeath, BadPercentilePanics)
+{
+    Distribution d;
+    d.sample(1);
+    EXPECT_DEATH(d.percentile(101), "out of range");
+}

@@ -1,0 +1,57 @@
+/** @file Unit tests for sim/types.hh unit helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace smartsage::sim;
+
+TEST(Types, UnitConstructorsScale)
+{
+    EXPECT_EQ(ns(1), 1u);
+    EXPECT_EQ(us(1), 1000u);
+    EXPECT_EQ(ms(1), 1000000u);
+    EXPECT_EQ(sec(1), 1000000000u);
+    EXPECT_EQ(us(2.5), 2500u);
+}
+
+TEST(Types, ConversionRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(sec(3)), 3.0);
+    EXPECT_DOUBLE_EQ(toMicros(us(42)), 42.0);
+}
+
+TEST(Types, ByteHelpers)
+{
+    EXPECT_EQ(KiB(4), 4096u);
+    EXPECT_EQ(MiB(1), 1048576u);
+    EXPECT_EQ(GiB(1), 1073741824u);
+}
+
+TEST(Types, TransferTimeBasic)
+{
+    // 1 GB at 1 GB/s = 1 second.
+    EXPECT_EQ(transferTime(1000000000ull, 1.0), sec(1));
+    // 4 KiB at 4.096 GB/s = 1 us.
+    EXPECT_EQ(transferTime(4096, 4.096), us(1));
+}
+
+TEST(Types, TransferTimeZeroBytesIsFree)
+{
+    EXPECT_EQ(transferTime(0, 1.0), 0u);
+}
+
+TEST(Types, TransferTimeNeverRoundsToZeroForNonEmpty)
+{
+    EXPECT_GE(transferTime(1, 1000.0), 1u);
+}
+
+TEST(Types, TransferTimeMonotonicInBytes)
+{
+    Tick prev = 0;
+    for (std::uint64_t b = 1; b <= 1u << 20; b *= 4) {
+        Tick t = transferTime(b, 3.2);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}

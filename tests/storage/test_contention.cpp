@@ -1,0 +1,136 @@
+/** @file Property tests of storage-stack contention: scaling with
+ *  channels/cores and the throughput effects the ISP design relies on. */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd_device.hh"
+#include "sim/random.hh"
+
+using namespace smartsage::ssd;
+namespace sim = smartsage::sim;
+
+namespace
+{
+
+/** Total time for @p n random-page block reads issued back-to-back. */
+sim::Tick
+serialReadTime(SsdDevice &ssd, unsigned n)
+{
+    sim::Rng rng(5);
+    sim::Tick t = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint64_t addr = rng.nextBounded(1u << 28) & ~4095ull;
+        t = ssd.readBlocks(t, addr, 4096);
+    }
+    return t;
+}
+
+/** Makespan of @p n reads all issued at tick 0 (open loop). */
+sim::Tick
+parallelReadTime(SsdDevice &ssd, unsigned n)
+{
+    sim::Rng rng(5);
+    sim::Tick last = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint64_t addr = rng.nextBounded(1u << 28) & ~4095ull;
+        last = std::max(last, ssd.readBlocks(0, addr, 4096));
+    }
+    return last;
+}
+
+} // namespace
+
+TEST(Contention, OpenLoopBeatsClosedLoop)
+{
+    SsdConfig cfg;
+    cfg.page_buffer_bytes = sim::MiB(1);
+    SsdDevice a(cfg), b(cfg);
+    // Independent requests overlap inside the device; a blocking
+    // caller cannot exploit that.
+    EXPECT_LT(parallelReadTime(a, 64), serialReadTime(b, 64));
+}
+
+/** Channel-count sweep: more channels, earlier completion. */
+class ChannelScaling : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ChannelScaling, MoreChannelsNeverSlower)
+{
+    unsigned channels = GetParam();
+    SsdConfig narrow;
+    narrow.flash.channels = channels;
+    narrow.page_buffer_bytes = sim::MiB(1);
+    SsdConfig wide = narrow;
+    wide.flash.channels = channels * 2;
+
+    SsdDevice a(narrow), b(wide);
+    sim::Tick t_narrow = parallelReadTime(a, 128);
+    sim::Tick t_wide = parallelReadTime(b, 128);
+    EXPECT_LE(t_wide, t_narrow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelScaling,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Contention, MoreEmbeddedCoresRaiseCommandThroughput)
+{
+    SsdConfig two;
+    two.embedded_cores = 2;
+    two.page_buffer_bytes = sim::MiB(64); // all hits: isolate the cores
+    SsdConfig four = two;
+    four.embedded_cores = 4;
+
+    SsdDevice a(two), b(four);
+    // Warm the page buffer so only command handling remains.
+    a.readBlocks(0, 0, 4096);
+    b.readBlocks(0, 0, 4096);
+    sim::Tick last_a = 0, last_b = 0;
+    for (int i = 0; i < 32; ++i) {
+        last_a = std::max(last_a, a.readBlocks(sim::ms(1), 0, 4096));
+        last_b = std::max(last_b, b.readBlocks(sim::ms(1), 0, 4096));
+    }
+    EXPECT_LT(last_b, last_a);
+}
+
+TEST(Contention, FirmwareDutyCycleSlowsEverything)
+{
+    SsdConfig light;
+    light.firmware_duty = 0.0;
+    light.page_buffer_bytes = sim::MiB(1);
+    SsdConfig heavy = light;
+    heavy.firmware_duty = 0.6;
+
+    SsdDevice a(light), b(heavy);
+    EXPECT_LT(serialReadTime(a, 32), serialReadTime(b, 32));
+}
+
+TEST(Contention, BiggerPageBufferCutsFlashReads)
+{
+    SsdConfig small_buf;
+    small_buf.page_buffer_bytes = sim::KiB(512);
+    SsdConfig big_buf = small_buf;
+    big_buf.page_buffer_bytes = sim::MiB(64);
+
+    SsdDevice a(small_buf), b(big_buf);
+    // Two passes over the same 8 MiB region: the big buffer retains it.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t addr = 0; addr < sim::MiB(8);
+             addr += sim::KiB(16)) {
+            a.readBlocks(0, addr, 4096);
+            b.readBlocks(0, addr, 4096);
+        }
+    }
+    EXPECT_GT(a.flashArray().pagesRead(), b.flashArray().pagesRead());
+    EXPECT_GT(b.pageBuffer().hitRate(), a.pageBuffer().hitRate());
+}
+
+TEST(Contention, PcieSerializesLargeTransfers)
+{
+    SsdConfig cfg;
+    SsdDevice ssd(cfg);
+    sim::Tick first = ssd.dmaToHost(0, sim::MiB(4));
+    sim::Tick second = ssd.dmaToHost(0, sim::MiB(4));
+    // Second transfer queues behind the first on the wire.
+    EXPECT_GE(second, 2 * (first - cfg.pcie_latency));
+}

@@ -1,0 +1,122 @@
+/** @file Tests for the NAND flash array timing model. */
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_array.hh"
+
+using namespace smartsage::flash;
+namespace sim = smartsage::sim;
+
+namespace
+{
+
+FlashConfig
+smallConfig()
+{
+    FlashConfig c;
+    c.channels = 2;
+    c.dies_per_channel = 2;
+    c.page_bytes = sim::KiB(16);
+    c.read_latency = sim::us(50);
+    c.channel_gbps = 1.6; // 16 KiB in ~10.24 us
+    return c;
+}
+
+} // namespace
+
+TEST(Flash, SinglePageReadLatency)
+{
+    FlashArray arr(smallConfig());
+    sim::Tick done = arr.readPage({0, 0, 0}, 0);
+    EXPECT_EQ(done, sim::us(50) + smallConfig().pageTransferTime());
+}
+
+TEST(Flash, DistinctDiesOverlap)
+{
+    FlashArray arr(smallConfig());
+    sim::Tick a = arr.readPage({0, 0, 0}, 0);
+    sim::Tick b = arr.readPage({1, 0, 1}, 0); // other channel+die
+    // Fully parallel: both complete at single-read latency.
+    EXPECT_EQ(a, b);
+}
+
+TEST(Flash, SameDieSerializesOnTr)
+{
+    FlashArray arr(smallConfig());
+    sim::Tick a = arr.readPage({0, 0, 0}, 0);
+    sim::Tick b = arr.readPage({0, 0, 1}, 0);
+    EXPECT_GE(b, a + sim::us(50) - smallConfig().pageTransferTime());
+    EXPECT_GT(b, a);
+}
+
+TEST(Flash, SameChannelSerializesOnTransfer)
+{
+    FlashArray arr(smallConfig());
+    // Two dies of channel 0: tR overlaps, channel transfers serialize.
+    sim::Tick a = arr.readPage({0, 0, 0}, 0);
+    sim::Tick b = arr.readPage({0, 1, 0}, 0);
+    EXPECT_EQ(b, a + smallConfig().pageTransferTime());
+}
+
+TEST(Flash, CountsPages)
+{
+    FlashArray arr(smallConfig());
+    arr.readPage({0, 0, 0}, 0);
+    arr.readPage({1, 1, 0}, 0);
+    EXPECT_EQ(arr.pagesRead(), 2u);
+}
+
+TEST(Flash, UtilizationTracksBusyTime)
+{
+    FlashArray arr(smallConfig());
+    arr.readPage({0, 0, 0}, 0);
+    // One of 4 dies busy for 50us over a 50us horizon -> 25%.
+    EXPECT_NEAR(arr.dieUtilization(sim::us(50)), 0.25, 1e-6);
+    EXPECT_GT(arr.channelUtilization(sim::us(50)), 0.0);
+}
+
+TEST(Flash, ResetClearsTimeline)
+{
+    FlashArray arr(smallConfig());
+    arr.readPage({0, 0, 0}, 0);
+    arr.reset();
+    EXPECT_EQ(arr.pagesRead(), 0u);
+    sim::Tick done = arr.readPage({0, 0, 0}, 0);
+    EXPECT_EQ(done, sim::us(50) + smallConfig().pageTransferTime());
+}
+
+TEST(FlashDeath, BadChannelPanics)
+{
+    FlashArray arr(smallConfig());
+    EXPECT_DEATH(arr.readPage({9, 0, 0}, 0), "out of range");
+}
+
+/** Property: N pages over D dies finish no later than serial / min(N,D)
+ *  plus transfer serialization. */
+class FlashParallelism : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FlashParallelism, ScalesAcrossDies)
+{
+    unsigned pages = GetParam();
+    FlashConfig c = smallConfig();
+    FlashArray arr(c);
+    sim::Tick last = 0;
+    for (unsigned i = 0; i < pages; ++i) {
+        PageAddress addr{i % c.channels,
+                         (i / c.channels) % c.dies_per_channel, i};
+        last = std::max(last, arr.readPage(addr, 0));
+    }
+    sim::Tick serial =
+        pages * (c.read_latency + c.pageTransferTime());
+    // Parallelism must beat serial for page counts above die count.
+    if (pages > c.totalDies())
+        EXPECT_LT(last, serial);
+    // ...but can't beat the per-die bound.
+    sim::Tick bound = (pages / c.totalDies()) * c.read_latency;
+    EXPECT_GE(last, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageCounts, FlashParallelism,
+                         ::testing::Values(2, 8, 64, 256));

@@ -1,0 +1,209 @@
+/** @file Tests for the host-side LLC model and the four I/O paths. */
+
+#include <gtest/gtest.h>
+
+#include "host/io_path.hh"
+#include "host/llc.hh"
+#include "sim/random.hh"
+
+using namespace smartsage::host;
+namespace sim = smartsage::sim;
+
+namespace
+{
+
+HostConfig
+testHost()
+{
+    HostConfig c;
+    c.llc_bytes = sim::KiB(64); // small so misses are easy to force
+    c.page_cache_bytes = sim::KiB(256);
+    c.scratchpad_bytes = sim::KiB(256);
+    return c;
+}
+
+smartsage::ssd::SsdConfig
+testSsd()
+{
+    smartsage::ssd::SsdConfig c;
+    c.page_buffer_bytes = sim::MiB(1);
+    return c;
+}
+
+} // namespace
+
+TEST(Llc, SequentialStreamMostlyHits)
+{
+    LlcModel llc(testHost());
+    for (std::uint64_t a = 0; a < sim::KiB(16); a += 8)
+        llc.access(a, 8);
+    // 8 B strides in 64 B lines: 1 miss per 8 accesses.
+    EXPECT_NEAR(llc.missRate(), 0.125, 0.01);
+}
+
+TEST(Llc, RandomStreamMostlyMisses)
+{
+    LlcModel llc(testHost());
+    sim::Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        llc.access(rng.next() % (1ull << 30), 8);
+    EXPECT_GT(llc.missRate(), 0.9);
+}
+
+TEST(Llc, MissCostsDramLatency)
+{
+    HostConfig c = testHost();
+    LlcModel llc(c);
+    EXPECT_EQ(llc.access(0, 8), c.dram_latency);
+    EXPECT_EQ(llc.access(0, 8), c.llc_hit);
+}
+
+TEST(Llc, DramBytesCountLineFills)
+{
+    HostConfig c = testHost();
+    LlcModel llc(c);
+    llc.access(0, 8);
+    llc.access(0, 8); // hit
+    EXPECT_EQ(llc.dramBytes(), c.llc_line);
+}
+
+TEST(Llc, BwUtilizationScalesWithWorkers)
+{
+    LlcModel llc(testHost());
+    sim::Rng rng(2);
+    for (int i = 0; i < 5000; ++i)
+        llc.access(rng.next() % (1ull << 30), 8);
+    double one = llc.dramBwUtilization(1);
+    double twelve = llc.dramBwUtilization(12);
+    EXPECT_GT(one, 0.0);
+    EXPECT_LE(twelve, 1.0);
+    EXPECT_GT(twelve, one);
+}
+
+TEST(DramStore, ReadAdvancesByAccessLatency)
+{
+    HostConfig c = testHost();
+    DramEdgeStore store(c);
+    sim::Tick t = store.read(100, 0, 8);
+    EXPECT_EQ(t, 100 + c.dram_latency); // cold miss
+    t = store.read(t, 0, 8);
+    EXPECT_EQ(t, 100 + c.dram_latency + c.llc_hit);
+}
+
+TEST(MmapStore, FaultThenResidentHit)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    MmapEdgeStore store(c, ssd);
+
+    sim::Tick miss_done = store.read(0, 0, 8);
+    EXPECT_GT(miss_done, c.page_fault_cost); // went to the device
+    EXPECT_EQ(store.pageFaults(), 1u);
+
+    sim::Tick hit_done = store.read(miss_done, 4, 8) - miss_done;
+    EXPECT_EQ(hit_done, c.page_cache_hit);
+    EXPECT_EQ(store.pageFaults(), 1u);
+}
+
+TEST(MmapStore, CrossPageReadFaultsTwice)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    MmapEdgeStore store(c, ssd);
+    store.read(0, c.os_page_bytes - 4, 8); // straddles two pages
+    EXPECT_EQ(store.pageFaults(), 2u);
+}
+
+TEST(DirectIoStore, GatherCoalescesIntoOneSubmit)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    DirectIoEdgeStore store(c, ssd);
+
+    // Entries scattered over 4 blocks of one node chunk.
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 4; ++i)
+        addrs.push_back(i * c.os_page_bytes + 16);
+    store.readGather(0, addrs, 8);
+    EXPECT_EQ(store.submits(), 1u);
+}
+
+TEST(DirectIoStore, GatherBeatsMmapOnMultiBlockNodes)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd_m(testSsd()), ssd_d(testSsd());
+    MmapEdgeStore mm(c, ssd_m);
+    DirectIoEdgeStore dio(c, ssd_d);
+
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 8; ++i)
+        addrs.push_back(i * c.os_page_bytes);
+
+    sim::Tick t_mm = mm.readGather(0, addrs, 8);
+    sim::Tick t_dio = dio.readGather(0, addrs, 8);
+    EXPECT_LT(t_dio, t_mm);
+}
+
+TEST(DirectIoStore, ScratchpadHitsAreCheap)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    DirectIoEdgeStore store(c, ssd);
+    std::vector<std::uint64_t> addrs = {64};
+    sim::Tick warm = store.readGather(0, addrs, 8);
+    sim::Tick hit = store.readGather(warm, addrs, 8);
+    EXPECT_EQ(hit - warm, c.scratchpad_hit);
+}
+
+TEST(PmemStore, PerChunkLatency)
+{
+    HostConfig c = testHost();
+    PmemEdgeStore store(c);
+    // Within one 256 B chunk.
+    EXPECT_EQ(store.read(0, 0, 8), c.pmem_latency);
+    // Straddling two chunks.
+    EXPECT_EQ(store.read(0, c.pmem_access_bytes - 4, 8),
+              2 * c.pmem_latency);
+}
+
+TEST(PmemStore, NoCachingEffect)
+{
+    HostConfig c = testHost();
+    PmemEdgeStore store(c);
+    sim::Tick first = store.read(0, 0, 8);
+    sim::Tick second = store.read(first, 0, 8) - first;
+    EXPECT_EQ(second, c.pmem_latency); // same cost every time
+}
+
+TEST(Stores, DefaultGatherMatchesSerialReads)
+{
+    HostConfig c = testHost();
+    PmemEdgeStore a(c), b(c);
+    std::vector<std::uint64_t> addrs = {0, 1000, 2000};
+    sim::Tick gathered = a.readGather(0, addrs, 8);
+    sim::Tick serial = 0;
+    for (auto addr : addrs)
+        serial = b.read(serial, addr, 8);
+    EXPECT_EQ(gathered, serial);
+}
+
+TEST(Stores, LatencyOrderingAcrossTiers)
+{
+    // DRAM < PMEM < direct I/O < mmap for one cold 8 B read.
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd_m(testSsd()), ssd_d(testSsd());
+    DramEdgeStore dram(c);
+    PmemEdgeStore pmem(c);
+    MmapEdgeStore mm(c, ssd_m);
+    DirectIoEdgeStore dio(c, ssd_d);
+
+    sim::Tick t_dram = dram.read(0, 0, 8);
+    sim::Tick t_pmem = pmem.read(0, 0, 8);
+    sim::Tick t_mm = mm.read(0, 0, 8);
+    std::vector<std::uint64_t> one = {0};
+    sim::Tick t_dio = dio.readGather(0, one, 8);
+
+    EXPECT_LT(t_dram, t_pmem);
+    EXPECT_LT(t_pmem, t_dio);
+    EXPECT_LT(t_dio, t_mm);
+}
