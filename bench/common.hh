@@ -5,8 +5,8 @@
  * Every binary in bench/ regenerates one table or figure of the paper:
  * it runs the same workloads through the same design points and prints
  * the rows/series the paper reports. Absolute numbers come from the
- * simulator's calibrated timing model (DESIGN.md Section 5); the shapes
- * are the reproduction target.
+ * simulator's calibrated timing model (DESIGN.md Section 4, "Timing
+ * model"); the shapes are the reproduction target.
  */
 
 #ifndef SMARTSAGE_BENCH_COMMON_HH
@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "core/report.hh"
 #include "core/system.hh"
@@ -24,13 +25,19 @@ namespace ssbench
 
 using namespace smartsage;
 
-/** Workload cache: each dataset's graph is built once per process. */
+/**
+ * Workload cache: each dataset's graph is built once per process.
+ * Returned references stay valid for the process lifetime; the lookup
+ * is mutex-guarded so harnesses may warm workloads from pool threads.
+ */
 inline core::Workload &
 workload(graph::DatasetId id, bool large_scale = true)
 {
+    static std::mutex mutex;
     static std::map<std::pair<int, bool>,
                     std::unique_ptr<core::Workload>>
         cache;
+    std::lock_guard<std::mutex> lock(mutex);
     auto key = std::make_pair(static_cast<int>(id), large_scale);
     auto it = cache.find(key);
     if (it == cache.end()) {

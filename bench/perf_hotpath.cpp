@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Hot-path microbenchmark: times the three compute hot paths — frontier
+ * sampling, GEMM/aggregate kernels, and the multi-worker functional
+ * sampling/training pipeline — in both their naive (seed) and optimized
+ * forms, and emits machine-readable BENCH_hotpath.json so every future
+ * PR can be checked against this perf trajectory.
+ *
+ * Naive forms: SageSampler::sampleBaseline (per-batch hash dedup,
+ * virtual visitor dispatch) and KernelMode::Naive (reference loops).
+ * Fast forms: sampleInto through a reusable SampleScratch (flat
+ * epoch-stamped dedup, statically dispatched no-op visitor) and
+ * KernelMode::Tiled, with the pipeline running real worker threads.
+ *
+ * Usage: perf_hotpath [--quick] [--out <path>] [--workers <n>]
+ *   --quick    CI smoke sizes (seconds, looser statistics)
+ *   --out      JSON output path (default: BENCH_hotpath.json)
+ *   --workers  pipeline worker threads (default: hardware concurrency)
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gnn/feature_table.hh"
+#include "gnn/model.hh"
+#include "gnn/sampler.hh"
+#include "graph/powerlaw.hh"
+#include "pipeline/producer.hh"
+#include "sim/random.hh"
+#include "sim/thread_pool.hh"
+
+using namespace smartsage;
+
+namespace
+{
+
+double
+now_s()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One naive-vs-fast measurement. */
+struct Pair
+{
+    double naive = 0; //!< metric for the naive path (per second)
+    double fast = 0;  //!< metric for the optimized path (per second)
+
+    double speedup() const { return naive > 0 ? fast / naive : 0.0; }
+};
+
+struct BenchConfig
+{
+    std::uint64_t num_nodes = 1ULL << 19;
+    double avg_degree = 16.0;
+    std::vector<unsigned> fanouts = {25, 10};
+    std::size_t batch_size = 1024;
+    std::size_t sampler_batches = 8;
+    std::size_t gemm_rows = 16384;
+    unsigned dim = 32;
+    std::size_t kernel_reps = 4;
+    std::size_t pipeline_batches = 10;
+    unsigned workers = std::max(1u, std::thread::hardware_concurrency());
+};
+
+/** Sampler throughput in sampled edges per second. */
+Pair
+benchSampler(const graph::CsrGraph &g, const BenchConfig &cfg)
+{
+    gnn::SageSampler sampler(cfg.fanouts);
+    const std::uint64_t seed = 0xbe7c;
+
+    // Identical batches on both paths: per-index RNG forks.
+    auto targetsFor = [&](std::size_t i, sim::Rng &rng,
+                          gnn::SampleScratch &scratch,
+                          std::vector<graph::LocalNodeId> &targets) {
+        rng = sim::Rng(seed).fork(i);
+        gnn::selectTargetsInto(g, cfg.batch_size, rng, scratch, targets);
+    };
+
+    Pair p;
+    {
+        std::uint64_t edges = 0;
+        gnn::SampleScratch scratch;
+        std::vector<graph::LocalNodeId> targets;
+        sim::Rng rng(0);
+        targetsFor(0, rng, scratch, targets); // warmup batch
+        edges += sampler.sampleBaseline(g, targets, rng)
+                     .totalSampledEdges();
+        edges = 0;
+        double t0 = now_s();
+        for (std::size_t i = 0; i < cfg.sampler_batches; ++i) {
+            targetsFor(i, rng, scratch, targets);
+            edges += sampler.sampleBaseline(g, targets, rng)
+                         .totalSampledEdges();
+        }
+        p.naive = static_cast<double>(edges) / (now_s() - t0);
+    }
+    {
+        std::uint64_t edges = 0;
+        gnn::SampleScratch scratch;
+        std::vector<graph::LocalNodeId> targets;
+        gnn::Subgraph sg;
+        sim::Rng rng(0);
+        targetsFor(0, rng, scratch, targets); // warmup batch
+        sampler.sampleInto(g, targets, rng, scratch, sg);
+        double t0 = now_s();
+        for (std::size_t i = 0; i < cfg.sampler_batches; ++i) {
+            targetsFor(i, rng, scratch, targets);
+            sampler.sampleInto(g, targets, rng, scratch, sg);
+            edges += sg.totalSampledEdges();
+        }
+        p.fast = static_cast<double>(edges) / (now_s() - t0);
+    }
+    return p;
+}
+
+/** GFLOP/s of one GEMM variant under the given kernel mode. */
+template <typename F>
+double
+gemmGflops(F &&call, double flops, std::size_t reps,
+           gnn::KernelMode mode)
+{
+    gnn::ScopedKernelMode guard(mode);
+    call(); // warmup
+    double t0 = now_s();
+    for (std::size_t r = 0; r < reps; ++r)
+        call();
+    double dt = now_s() - t0;
+    return flops * static_cast<double>(reps) / dt / 1e9;
+}
+
+/** End-to-end functional batch throughput (sample + train), batches/s. */
+Pair
+benchPipeline(const graph::CsrGraph &g, const BenchConfig &cfg)
+{
+    gnn::FeatureTable features(g.numNodes(), cfg.dim, 16);
+    gnn::SageSampler sampler(cfg.fanouts);
+
+    gnn::ModelConfig mc;
+    mc.in_dim = cfg.dim;
+    mc.hidden_dim = cfg.dim;
+    mc.num_classes = 16;
+    mc.depth = static_cast<unsigned>(cfg.fanouts.size());
+
+    pipeline::ParallelSampleConfig psc;
+    psc.workers = cfg.workers;
+    psc.num_batches = cfg.pipeline_batches;
+    psc.batch_size = cfg.batch_size;
+    psc.seed = 0xe2e;
+
+    Pair p;
+    {
+        // Naive: seed-style serial loop — hash-based sampler, naive
+        // kernels, one thread, and the allocating forward/backward API
+        // (fresh context and gradient tensors per batch, as the seed's
+        // trainStep did).
+        gnn::ScopedKernelMode guard(gnn::KernelMode::Naive);
+        gnn::SageModel model(mc);
+        double t0 = 0;
+        // One untimed warmup batch (i == 0), then the timed run.
+        for (std::size_t i = 0; i <= psc.num_batches; ++i) {
+            if (i == 1)
+                t0 = now_s();
+            sim::Rng rng = sim::Rng(psc.seed).fork(i);
+            auto targets = gnn::selectTargets(g, psc.batch_size, rng);
+            gnn::Subgraph sg = sampler.sampleBaseline(g, targets, rng);
+
+            std::vector<gnn::SageContext> ctxs;
+            gnn::Tensor2D logits = model.forward(sg, features, &ctxs);
+            auto labels = features.labels(sg.targets());
+            gnn::Tensor2D d_logits;
+            gnn::softmaxCrossEntropy(logits, labels, d_logits);
+            gnn::Tensor2D d = std::move(d_logits);
+            auto &layers = model.mutableLayers();
+            for (std::size_t l = layers.size(); l-- > 0;) {
+                gnn::SageLayerGrads grads;
+                d = layers[l].backward(d, ctxs[l], grads);
+                layers[l].applyGrads(grads,
+                                     model.config().learning_rate);
+            }
+        }
+        p.naive =
+            static_cast<double>(psc.num_batches) / (now_s() - t0);
+    }
+    {
+        // Fast: flat-table sampler on pool workers feeding the tiled
+        // kernels through the overlapped pipeline.
+        gnn::ScopedKernelMode guard(gnn::KernelMode::Tiled);
+        gnn::SageModel model(mc);
+        sim::ThreadPool pool(cfg.workers);
+        // Untimed warmup batch to populate the scratch/workspaces.
+        auto warm = psc;
+        warm.num_batches = 1;
+        pipeline::runSamplingPipeline(
+            g, sampler, warm, &pool,
+            [&](std::size_t, pipeline::FunctionalBatch &&batch) {
+                model.trainStep(batch.subgraph, features);
+            });
+        double t0 = now_s();
+        pipeline::runSamplingPipeline(
+            g, sampler, psc, &pool,
+            [&](std::size_t, pipeline::FunctionalBatch &&batch) {
+                model.trainStep(batch.subgraph, features);
+            });
+        p.fast =
+            static_cast<double>(psc.num_batches) / (now_s() - t0);
+    }
+    return p;
+}
+
+void
+writeJson(std::ostream &os, const BenchConfig &cfg, const Pair &sampler,
+          const Pair &mm, const Pair &mm_tn, const Pair &mm_nt,
+          const Pair &pipeline)
+{
+    auto obj = [&os](const char *name, const Pair &p, const char *unit,
+                     bool last = false) {
+        os << "    \"" << name << "\": {\"naive\": " << p.naive
+           << ", \"fast\": " << p.fast << ", \"speedup\": "
+           << p.speedup() << ", \"unit\": \"" << unit << "\"}"
+           << (last ? "\n" : ",\n");
+    };
+    os.precision(6);
+    os << "{\n"
+       << "  \"bench\": \"perf_hotpath\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"config\": {\n"
+       << "    \"num_nodes\": " << cfg.num_nodes << ",\n"
+       << "    \"avg_degree\": " << cfg.avg_degree << ",\n"
+       << "    \"batch_size\": " << cfg.batch_size << ",\n"
+       << "    \"fanouts\": [" << cfg.fanouts[0];
+    for (std::size_t i = 1; i < cfg.fanouts.size(); ++i)
+        os << ", " << cfg.fanouts[i];
+    os << "],\n"
+       << "    \"dim\": " << cfg.dim << ",\n"
+       << "    \"workers\": " << cfg.workers << "\n"
+       << "  },\n"
+       << "  \"results\": {\n";
+    obj("sampler_edges_per_s", sampler, "edges/s");
+    obj("matmul_gflops", mm, "GFLOP/s");
+    obj("matmul_tn_gflops", mm_tn, "GFLOP/s");
+    obj("matmul_nt_gflops", mm_nt, "GFLOP/s");
+    obj("pipeline_batches_per_s", pipeline, "batches/s", true);
+    os << "  },\n"
+       << "  \"acceptance\": {\n"
+       << "    \"sampler_speedup_target\": 3.0,\n"
+       << "    \"sampler_speedup\": " << sampler.speedup() << ",\n"
+       << "    \"pipeline_speedup_target\": 2.0,\n"
+       << "    \"pipeline_speedup\": " << pipeline.speedup() << ",\n"
+       << "    \"pass\": "
+       << ((sampler.speedup() >= 3.0 && pipeline.speedup() >= 2.0)
+               ? "true"
+               : "false")
+       << "\n  }\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig cfg;
+    std::string out_path = "BENCH_hotpath.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            cfg.num_nodes = 1ULL << 16;
+            cfg.sampler_batches = 4;
+            cfg.gemm_rows = 4096;
+            cfg.kernel_reps = 2;
+            cfg.pipeline_batches = 4;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--workers" && i + 1 < argc) {
+            int n = std::atoi(argv[++i]);
+            if (n < 1) {
+                std::cerr << "perf_hotpath: --workers needs a count "
+                             ">= 1\n";
+                return 2;
+            }
+            cfg.workers = static_cast<unsigned>(n);
+        } else {
+            std::cerr << "usage: perf_hotpath [--quick] [--out <path>] "
+                         "[--workers <n>]\n";
+            return 2;
+        }
+    }
+
+    std::cout << "perf_hotpath: building power-law graph ("
+              << cfg.num_nodes << " nodes, avg degree "
+              << cfg.avg_degree << ")...\n";
+    graph::PowerLawParams params;
+    params.num_nodes = cfg.num_nodes;
+    params.avg_degree = cfg.avg_degree;
+    params.seed = 42;
+    graph::CsrGraph g = graph::generatePowerLaw(params);
+
+    std::cout << "perf_hotpath: sampler (" << cfg.sampler_batches
+              << " batches x " << cfg.batch_size << " targets)...\n";
+    Pair sampler = benchSampler(g, cfg);
+
+    std::cout << "perf_hotpath: GEMM kernels (" << cfg.gemm_rows
+              << " rows)...\n";
+    const std::size_t m = cfg.gemm_rows, d = 64;
+    sim::Rng krng(7);
+    gnn::Tensor2D a =
+        gnn::Tensor2D::uniform(m, d, 1.0f, krng);
+    gnn::Tensor2D w = gnn::Tensor2D::uniform(d, d, 1.0f, krng);
+    gnn::Tensor2D dz = gnn::Tensor2D::uniform(m, d, 1.0f, krng);
+    const double flops = 2.0 * static_cast<double>(m) * d * d;
+
+    Pair mm, mm_tn, mm_nt;
+    mm.naive = gemmGflops([&] { gnn::matmul(a, w); }, flops,
+                          cfg.kernel_reps, gnn::KernelMode::Naive);
+    mm.fast = gemmGflops([&] { gnn::matmul(a, w); }, flops,
+                         cfg.kernel_reps, gnn::KernelMode::Tiled);
+    mm_tn.naive = gemmGflops([&] { gnn::matmulTN(a, dz); }, flops,
+                             cfg.kernel_reps, gnn::KernelMode::Naive);
+    mm_tn.fast = gemmGflops([&] { gnn::matmulTN(a, dz); }, flops,
+                            cfg.kernel_reps, gnn::KernelMode::Tiled);
+    mm_nt.naive = gemmGflops([&] { gnn::matmulNT(dz, w); }, flops,
+                             cfg.kernel_reps, gnn::KernelMode::Naive);
+    mm_nt.fast = gemmGflops([&] { gnn::matmulNT(dz, w); }, flops,
+                            cfg.kernel_reps, gnn::KernelMode::Tiled);
+
+    std::cout << "perf_hotpath: end-to-end pipeline ("
+              << cfg.pipeline_batches << " batches, " << cfg.workers
+              << " workers)...\n";
+    Pair pipeline = benchPipeline(g, cfg);
+
+    auto report = [](const char *name, const Pair &p, const char *unit) {
+        std::cout << "  " << name << ": naive " << p.naive << " " << unit
+                  << ", fast " << p.fast << " " << unit << "  ("
+                  << p.speedup() << "x)\n";
+    };
+    std::cout.precision(4);
+    report("sampler   ", sampler, "edges/s");
+    report("matmul    ", mm, "GFLOP/s");
+    report("matmulTN  ", mm_tn, "GFLOP/s");
+    report("matmulNT  ", mm_nt, "GFLOP/s");
+    report("pipeline  ", pipeline, "batches/s");
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "perf_hotpath: cannot open " << out_path << "\n";
+        return 1;
+    }
+    writeJson(json, cfg, sampler, mm, mm_tn, mm_nt, pipeline);
+    std::cout << "perf_hotpath: wrote " << out_path << "\n";
+
+    const bool pass =
+        sampler.speedup() >= 3.0 && pipeline.speedup() >= 2.0;
+    std::cout << "perf_hotpath: acceptance "
+              << (pass ? "PASS" : "FAIL") << " (sampler "
+              << sampler.speedup() << "x >= 3x, pipeline "
+              << pipeline.speedup() << "x >= 2x)\n";
+    return pass ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include "design_point.hh"
 #include "gnn/feature_table.hh"
 #include "gnn/gpu_model.hh"
+#include "gnn/model.hh"
 #include "gnn/sampler.hh"
 #include "graph/datasets.hh"
 #include "graph/layout.hh"
@@ -118,6 +119,54 @@ class GnnSystem
 
     SamplingResult runSamplingOnly(unsigned workers,
                                    std::size_t batches);
+
+    /**
+     * Wall-clock outcome of a *functional* multi-worker run: real
+     * subgraphs sampled (and optionally a real model trained) on host
+     * threads, as opposed to the simulated-time results above.
+     */
+    struct FunctionalResult
+    {
+        double wall_seconds = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t sampled_edges = 0;
+        double mean_loss = 0; //!< training runs only
+
+        double
+        edgesPerSecond() const
+        {
+            return wall_seconds > 0
+                       ? static_cast<double>(sampled_edges) / wall_seconds
+                       : 0.0;
+        }
+
+        double
+        batchesPerSecond() const
+        {
+            return wall_seconds > 0
+                       ? static_cast<double>(batches) / wall_seconds
+                       : 0.0;
+        }
+    };
+
+    /**
+     * Functionally sample @p batches mini-batches over @p workers host
+     * threads. Output batches (and therefore sampled_edges) are
+     * bit-identical for any worker count at a fixed pipeline seed; see
+     * pipeline::runSamplingPipeline.
+     */
+    FunctionalResult runFunctionalSampling(unsigned workers,
+                                           std::size_t batches);
+
+    /**
+     * The real per-batch sampling/training loop: @p workers sampler
+     * threads feed @p model's trainStep, which consumes batches in
+     * strict batch order on the calling thread — so the trained model
+     * state is also independent of the worker count.
+     */
+    FunctionalResult runFunctionalTraining(gnn::SageModel &model,
+                                           unsigned workers,
+                                           std::size_t batches);
 
     const SystemConfig &config() const { return config_; }
     const Workload &workload() const { return workload_; }

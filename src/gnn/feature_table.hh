@@ -45,6 +45,10 @@ class FeatureTable
     std::vector<std::uint32_t>
     labels(std::span<const graph::LocalNodeId> nodes) const;
 
+    /** labels() into a caller-owned buffer (capacity reused). */
+    void labelsInto(std::span<const graph::LocalNodeId> nodes,
+                    std::vector<std::uint32_t> &out) const;
+
     unsigned dim() const { return dim_; }
     unsigned numClasses() const { return num_classes_; }
     std::uint64_t numNodes() const { return num_nodes_; }
@@ -57,6 +61,8 @@ class FeatureTable
     unsigned dim_;
     unsigned num_classes_;
     std::uint64_t seed_;
+    /** Cached raw class centroid rows (num_classes x dim). */
+    std::vector<float> centroid_;
 
     float element(std::uint64_t node, unsigned col) const;
 };

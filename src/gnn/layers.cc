@@ -1,5 +1,6 @@
 #include "layers.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -18,67 +19,122 @@ SageMeanLayer::SageMeanLayer(unsigned in_dim, unsigned out_dim, bool relu,
     bias_ = Tensor2D(1, out_dim);
 }
 
-Tensor2D
-SageMeanLayer::aggregate(const Tensor2D &h_src,
-                         const SampledBlock &block) const
+void
+SageMeanLayer::aggregateInto(const Tensor2D &h_src,
+                             const SampledBlock &block,
+                             Tensor2D &agg) const
 {
-    Tensor2D agg(block.numDsts(), in_dim_);
-    for (std::size_t u = 0; u < block.numDsts(); ++u) {
-        std::uint32_t lo = block.offsets[u];
-        std::uint32_t hi = block.offsets[u + 1];
-        if (lo == hi)
-            continue; // isolated node: aggregate stays zero
-        auto arow = agg.row(u);
-        for (std::uint32_t e = lo; e < hi; ++e) {
-            auto srow = h_src.row(block.src_index[e]);
+    if (kernelMode() == KernelMode::Naive) {
+        agg.resizeToZero(block.numDsts(), in_dim_);
+        // Reference: accumulate, then a second pass for the mean scale.
+        for (std::size_t u = 0; u < block.numDsts(); ++u) {
+            std::uint32_t lo = block.offsets[u];
+            std::uint32_t hi = block.offsets[u + 1];
+            if (lo == hi)
+                continue; // isolated node: aggregate stays zero
+            auto arow = agg.row(u);
+            for (std::uint32_t e = lo; e < hi; ++e) {
+                auto srow = h_src.row(block.src_index[e]);
+                for (unsigned j = 0; j < in_dim_; ++j)
+                    arow[j] += srow[j];
+            }
+            float inv = 1.0f / static_cast<float>(hi - lo);
             for (unsigned j = 0; j < in_dim_; ++j)
+                arow[j] *= inv;
+        }
+        return;
+    }
+
+    // Fast path: every row is written exactly once per contributing
+    // edge — the first edge assigns (no zero-fill pass over the
+    // tensor), middles accumulate, and the mean scale is fused into the
+    // final edge while the row is still register/L1 hot. Only isolated
+    // rows need explicit zeroing.
+    agg.resizeTo(block.numDsts(), in_dim_);
+    const std::size_t dim = in_dim_;
+    const float *src = h_src.data().data();
+    float *out = agg.data().data();
+    for (std::size_t u = 0; u < block.numDsts(); ++u) {
+        const std::uint32_t lo = block.offsets[u];
+        const std::uint32_t hi = block.offsets[u + 1];
+        float *arow = out + u * dim;
+        if (lo == hi) {
+            for (std::size_t j = 0; j < dim; ++j)
+                arow[j] = 0.0f;
+            continue;
+        }
+        const float *first = src + block.src_index[lo] * dim;
+        if (hi - lo == 1) {
+            for (std::size_t j = 0; j < dim; ++j)
+                arow[j] = first[j];
+            continue;
+        }
+        for (std::size_t j = 0; j < dim; ++j)
+            arow[j] = first[j];
+        for (std::uint32_t e = lo + 1; e < hi - 1; ++e) {
+            const float *srow = src + block.src_index[e] * dim;
+            for (std::size_t j = 0; j < dim; ++j)
                 arow[j] += srow[j];
         }
-        float inv = 1.0f / static_cast<float>(hi - lo);
-        for (unsigned j = 0; j < in_dim_; ++j)
-            arow[j] *= inv;
+        const float inv = 1.0f / static_cast<float>(hi - lo);
+        const float *last = src + block.src_index[hi - 1] * dim;
+        for (std::size_t j = 0; j < dim; ++j)
+            arow[j] = (arow[j] + last[j]) * inv;
     }
-    return agg;
 }
 
 Tensor2D
 SageMeanLayer::forward(const Tensor2D &h_src, const SampledBlock &block,
                        SageContext &ctx) const
 {
+    Tensor2D out;
+    forwardInto(h_src, block, ctx, out);
+    return out;
+}
+
+void
+SageMeanLayer::forwardInto(const Tensor2D &h_src,
+                           const SampledBlock &block, SageContext &ctx,
+                           Tensor2D &out) const
+{
     SS_ASSERT(h_src.cols() == in_dim_, "layer input width mismatch");
     std::size_t n_dst = block.numDsts();
     SS_ASSERT(h_src.rows() >= n_dst,
               "src activations must cover the dst prefix");
 
-    // Self term: dsts are the prefix of the src frontier.
-    Tensor2D h_self(n_dst, in_dim_);
-    for (std::size_t u = 0; u < n_dst; ++u) {
-        auto dst = h_self.row(u);
-        auto src = h_src.row(u);
-        for (unsigned j = 0; j < in_dim_; ++j)
-            dst[j] = src[j];
-    }
+    // Self term: dsts are the prefix of the src frontier, so the whole
+    // block is one contiguous copy.
+    ctx.h_self.resizeTo(n_dst, in_dim_);
+    std::copy_n(h_src.data().data(), n_dst * in_dim_,
+                ctx.h_self.data().data());
 
-    Tensor2D h_agg = aggregate(h_src, block);
+    aggregateInto(h_src, block, ctx.h_agg);
 
-    Tensor2D out = matmul(h_self, w_self_);
-    out += matmul(h_agg, w_neigh_);
+    matmulInto(ctx.h_self, w_self_, out);
+    matmulAccumulate(ctx.h_agg, w_neigh_, out);
     addBias(out, bias_);
 
-    ctx.h_self = std::move(h_self);
-    ctx.h_agg = std::move(h_agg);
     ctx.block = &block;
     ctx.src_rows = h_src.rows();
     if (relu_)
-        ctx.relu_mask = reluForward(out);
+        reluForwardInto(out, ctx.relu_mask);
     else
         ctx.relu_mask.clear();
-    return out;
 }
 
 Tensor2D
 SageMeanLayer::backward(const Tensor2D &d_out, const SageContext &ctx,
                         SageLayerGrads &grads) const
+{
+    Tensor2D dz = d_out; // copy; masked in place by backwardInto
+    Tensor2D d_src;
+    backwardInto(dz, ctx, grads, d_src);
+    return d_src;
+}
+
+void
+SageMeanLayer::backwardInto(Tensor2D &d_out, const SageContext &ctx,
+                            SageLayerGrads &grads, Tensor2D &d_src) const
 {
     SS_ASSERT(ctx.block, "backward without forward context");
     const SampledBlock &block = *ctx.block;
@@ -86,14 +142,14 @@ SageMeanLayer::backward(const Tensor2D &d_out, const SageContext &ctx,
     SS_ASSERT(d_out.rows() == n_dst && d_out.cols() == out_dim_,
               "output grad shape mismatch");
 
-    Tensor2D dz = d_out; // copy; mask in place
     if (relu_)
-        reluBackward(dz, ctx.relu_mask);
+        reluBackward(d_out, ctx.relu_mask);
+    const Tensor2D &dz = d_out;
 
     // Parameter gradients.
-    grads.w_self = matmulTN(ctx.h_self, dz);
-    grads.w_neigh = matmulTN(ctx.h_agg, dz);
-    grads.bias = Tensor2D(1, out_dim_);
+    matmulTNInto(ctx.h_self, dz, grads.w_self);
+    matmulTNInto(ctx.h_agg, dz, grads.w_neigh);
+    grads.bias.resizeToZero(1, out_dim_);
     for (std::size_t u = 0; u < n_dst; ++u) {
         auto zrow = dz.row(u);
         auto brow = grads.bias.row(0);
@@ -103,30 +159,32 @@ SageMeanLayer::backward(const Tensor2D &d_out, const SageContext &ctx,
 
     // Input gradients: self path lands on the dst prefix rows; the
     // aggregation path scatters 1/deg shares to every sampled src.
-    Tensor2D d_src(ctx.src_rows, in_dim_);
-    Tensor2D d_self = matmulNT(dz, w_self_);
-    for (std::size_t u = 0; u < n_dst; ++u) {
-        auto drow = d_src.row(u);
-        auto srow = d_self.row(u);
-        for (unsigned j = 0; j < in_dim_; ++j)
-            drow[j] += srow[j];
-    }
+    const std::size_t dim = in_dim_;
+    matmulNTInto(dz, w_self_, ctx.d_self_ws);
+    d_src.resizeTo(ctx.src_rows, dim);
+    float *dst = d_src.data().data();
+    std::copy_n(ctx.d_self_ws.data().data(), n_dst * dim, dst);
+    std::fill(dst + n_dst * dim, dst + ctx.src_rows * dim, 0.0f);
 
-    Tensor2D d_agg = matmulNT(dz, w_neigh_);
+    matmulNTInto(dz, w_neigh_, ctx.d_agg_ws);
+    float *aggdata = ctx.d_agg_ws.data().data();
     for (std::size_t u = 0; u < n_dst; ++u) {
         std::uint32_t lo = block.offsets[u];
         std::uint32_t hi = block.offsets[u + 1];
         if (lo == hi)
             continue;
         float inv = 1.0f / static_cast<float>(hi - lo);
-        auto arow = d_agg.row(u);
+        float *arow = aggdata + u * dim;
+        // Pre-scale the dst row once, then scatter plain adds: one
+        // multiply per element instead of one per (edge, element).
+        for (std::size_t j = 0; j < dim; ++j)
+            arow[j] *= inv;
         for (std::uint32_t e = lo; e < hi; ++e) {
-            auto drow = d_src.row(block.src_index[e]);
-            for (unsigned j = 0; j < in_dim_; ++j)
-                drow[j] += arow[j] * inv;
+            float *drow = dst + block.src_index[e] * dim;
+            for (std::size_t j = 0; j < dim; ++j)
+                drow[j] += arow[j];
         }
     }
-    return d_src;
 }
 
 void

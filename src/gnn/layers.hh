@@ -33,6 +33,11 @@ struct SageContext
     std::vector<char> relu_mask; //!< empty when the layer is linear
     const SampledBlock *block = nullptr;
     std::size_t src_rows = 0;  //!< |frontier[h+1]| for dH_src sizing
+
+    /** Backward GEMM workspaces (reused across batches); scratch
+     *  only, so mutating them through a const context is fine. */
+    mutable Tensor2D d_self_ws;
+    mutable Tensor2D d_agg_ws;
 };
 
 /** One GraphSAGE layer with mean aggregation. */
@@ -68,6 +73,24 @@ class SageMeanLayer
     Tensor2D backward(const Tensor2D &d_out, const SageContext &ctx,
                       SageLayerGrads &grads) const;
 
+    /**
+     * Workspace-reusing forward: same math as forward(), but every
+     * intermediate (including ctx tensors and @p out) is reshaped in
+     * place, so a warm caller performs no allocation. The training hot
+     * loop (SageModel::trainStep) runs on this path.
+     */
+    void forwardInto(const Tensor2D &h_src, const SampledBlock &block,
+                     SageContext &ctx, Tensor2D &out) const;
+
+    /**
+     * Workspace-reusing backward. @p d_out is consumed in place (the
+     * ReLU mask is applied to it); @p d_src receives the input
+     * gradient. @p ctx provides the forward tensors and two scratch
+     * workspaces.
+     */
+    void backwardInto(Tensor2D &d_out, const SageContext &ctx,
+                      SageLayerGrads &grads, Tensor2D &d_src) const;
+
     /** SGD step: p -= lr * g. */
     void applyGrads(const SageLayerGrads &grads, float lr);
 
@@ -96,9 +119,10 @@ class SageMeanLayer
     Tensor2D w_neigh_; //!< in_dim x out_dim
     Tensor2D bias_;    //!< 1 x out_dim
 
-    /** Mean-aggregate src activations into per-dst rows. */
-    Tensor2D aggregate(const Tensor2D &h_src,
-                       const SampledBlock &block) const;
+    /** Mean-aggregate src activations into per-dst rows (reshapes
+     *  @p agg in place). */
+    void aggregateInto(const Tensor2D &h_src, const SampledBlock &block,
+                       Tensor2D &agg) const;
 };
 
 } // namespace smartsage::gnn

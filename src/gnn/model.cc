@@ -19,50 +19,58 @@ SageModel::SageModel(const ModelConfig &config) : config_(config)
     }
 }
 
-Tensor2D
-SageModel::forward(const Subgraph &sg, const FeatureTable &ft,
-                   std::vector<SageContext> *ctxs) const
+const Tensor2D &
+SageModel::runForward(const Subgraph &sg, const FeatureTable &ft,
+                      std::vector<SageContext> &ctxs, Tensor2D &act_a,
+                      Tensor2D &act_b) const
 {
     SS_ASSERT(sg.depth() == config_.depth,
               "subgraph depth ", sg.depth(), " != model depth ",
               config_.depth);
     SS_ASSERT(ft.dim() == config_.in_dim, "feature width mismatch");
 
-    if (ctxs) {
-        ctxs->clear();
-        ctxs->resize(layers_.size());
-    }
+    ctxs.resize(layers_.size());
 
     // Layer l consumes block[depth-1-l]: the deepest hop feeds the
-    // first layer.
-    Tensor2D h;
-    ft.gather(sg.inputNodes(), h);
+    // first layer. Activations ping-pong between the two buffers.
+    ft.gather(sg.inputNodes(), act_a);
+    Tensor2D *cur = &act_a, *nxt = &act_b;
     for (std::size_t l = 0; l < layers_.size(); ++l) {
         const SampledBlock &block = sg.blocks[sg.depth() - 1 - l];
-        SageContext local;
-        SageContext &ctx = ctxs ? (*ctxs)[l] : local;
-        h = layers_[l].forward(h, block, ctx);
+        layers_[l].forwardInto(*cur, block, ctxs[l], *nxt);
+        std::swap(cur, nxt);
     }
-    return h;
+    return *cur;
+}
+
+Tensor2D
+SageModel::forward(const Subgraph &sg, const FeatureTable &ft,
+                   std::vector<SageContext> *ctxs) const
+{
+    std::vector<SageContext> local;
+    Tensor2D act_a, act_b;
+    const Tensor2D &out =
+        runForward(sg, ft, ctxs ? *ctxs : local, act_a, act_b);
+    return &out == &act_a ? std::move(act_a) : std::move(act_b);
 }
 
 double
 SageModel::trainStep(const Subgraph &sg, const FeatureTable &ft)
 {
-    std::vector<SageContext> ctxs;
-    Tensor2D logits = forward(sg, ft, &ctxs);
+    // Hot path: every buffer below is a member workspace, so a warm
+    // trainStep allocates nothing.
+    const Tensor2D &logits = runForward(sg, ft, ctxs_, act_a_, act_b_);
 
-    auto labels = ft.labels(sg.targets());
-    Tensor2D d_logits;
-    double loss = softmaxCrossEntropy(logits, labels, d_logits);
+    ft.labelsInto(sg.targets(), labels_ws_);
+    double loss = softmaxCrossEntropy(logits, labels_ws_, grad_a_);
 
     // Backward through the stack; gradients apply immediately (plain
     // SGD, single worker semantics).
-    Tensor2D d = std::move(d_logits);
+    Tensor2D *d = &grad_a_, *dn = &grad_b_;
     for (std::size_t l = layers_.size(); l-- > 0;) {
-        SageLayerGrads grads;
-        d = layers_[l].backward(d, ctxs[l], grads);
-        layers_[l].applyGrads(grads, config_.learning_rate);
+        layers_[l].backwardInto(*d, ctxs_[l], grads_ws_, *dn);
+        layers_[l].applyGrads(grads_ws_, config_.learning_rate);
+        std::swap(d, dn);
     }
     return loss;
 }

@@ -63,6 +63,25 @@ class SageModel
   private:
     ModelConfig config_;
     std::vector<SageMeanLayer> layers_;
+
+    /**
+     * Shared layer walk: gathers input features into @p act_a and
+     * ping-pongs activations through the stack. Returns a reference to
+     * whichever buffer holds the logits. forward() passes fresh local
+     * buffers; trainStep() passes the member workspaces.
+     */
+    const Tensor2D &runForward(const Subgraph &sg, const FeatureTable &ft,
+                               std::vector<SageContext> &ctxs,
+                               Tensor2D &act_a, Tensor2D &act_b) const;
+
+    // trainStep workspaces, reused across batches so the steady-state
+    // training loop performs no tensor allocation. evaluate()/forward()
+    // keep the allocating path (they are const and rarely hot).
+    std::vector<SageContext> ctxs_;
+    Tensor2D act_a_, act_b_;   //!< forward activation ping-pong
+    Tensor2D grad_a_, grad_b_; //!< backward gradient ping-pong
+    SageLayerGrads grads_ws_;
+    std::vector<std::uint32_t> labels_ws_;
 };
 
 } // namespace smartsage::gnn

@@ -7,6 +7,21 @@
  * train on — and simultaneously *observable*: every memory touch is
  * reported to a SampleVisitor, which is how the storage timing models
  * replay the exact access stream of each design point.
+ *
+ * Two execution paths produce bit-identical subgraphs:
+ *
+ *  - the **fast path** (`sampleInto` with a null visitor): frontier
+ *    dedup through a reusable epoch-stamped flat table, a caller-owned
+ *    SampleScratch arena, and statically dispatched (no-op) visitor
+ *    calls — zero allocation and zero virtual dispatch per edge in
+ *    steady state;
+ *  - the **instrumented path** (non-null visitor): the same algorithm
+ *    with every access forwarded through the virtual SampleVisitor
+ *    interface, used by the storage timing drivers.
+ *
+ * `sampleBaseline` preserves the original per-batch
+ * `std::unordered_map`/`unordered_set` implementation as the reference
+ * the golden tests and `bench/perf_hotpath` compare against.
  */
 
 #ifndef SMARTSAGE_GNN_SAMPLER_HH
@@ -16,6 +31,7 @@
 #include <vector>
 
 #include "graph/csr.hh"
+#include "sim/flat_table.hh"
 #include "sim/random.hh"
 #include "subgraph.hh"
 
@@ -58,8 +74,24 @@ class SampleVisitor
 };
 
 /** No-op visitor for functional-only use. */
-class NullVisitor : public SampleVisitor
+class NullVisitor final : public SampleVisitor
 {
+};
+
+/**
+ * Reusable per-worker sampling arena. After the first batch against a
+ * given graph, sampling through the same scratch performs no heap
+ * allocation. One instance per thread — instances are not
+ * synchronized.
+ */
+struct SampleScratch
+{
+    /** Frontier dedup: node id -> position within the next frontier. */
+    sim::FlatEpochTable<std::uint32_t> frontier_index;
+    /** Floyd-sampled edge slots of the node being expanded. */
+    std::vector<std::uint64_t> picks;
+    /** Partial Fisher-Yates pool for selectTargetsInto. */
+    std::vector<graph::LocalNodeId> fy_pool;
 };
 
 /** Common interface of all mini-batch subgraph samplers. */
@@ -69,13 +101,24 @@ class AnySampler
     virtual ~AnySampler() = default;
 
     /**
-     * Sample a subgraph for @p targets, reporting every memory touch
-     * to @p visitor (may be null).
+     * Sample a subgraph for @p targets into @p out, reusing @p scratch
+     * and @p out's buffers (zero steady-state allocation with a null
+     * @p visitor; instrumented path when @p visitor is non-null).
      */
-    virtual Subgraph sample(const graph::CsrGraph &graph,
+    virtual void sampleInto(const graph::CsrGraph &graph,
                             const std::vector<graph::LocalNodeId> &targets,
-                            sim::Rng &rng,
+                            sim::Rng &rng, SampleScratch &scratch,
+                            Subgraph &out,
                             SampleVisitor *visitor = nullptr) const = 0;
+
+    /**
+     * Convenience wrapper: sample into a fresh Subgraph through a
+     * thread-local scratch. Same output as sampleInto.
+     */
+    Subgraph sample(const graph::CsrGraph &graph,
+                    const std::vector<graph::LocalNodeId> &targets,
+                    sim::Rng &rng,
+                    SampleVisitor *visitor = nullptr) const;
 };
 
 /**
@@ -89,14 +132,20 @@ class SageSampler : public AnySampler
     /** @param fanouts per-hop sample sizes, e.g. {25, 10} (paper default) */
     explicit SageSampler(std::vector<unsigned> fanouts);
 
-    /**
-     * Sample a subgraph for @p targets.
-     * @param visitor receives the access stream (may be null)
-     */
-    Subgraph sample(const graph::CsrGraph &graph,
+    void sampleInto(const graph::CsrGraph &graph,
                     const std::vector<graph::LocalNodeId> &targets,
-                    sim::Rng &rng,
+                    sim::Rng &rng, SampleScratch &scratch, Subgraph &out,
                     SampleVisitor *visitor = nullptr) const override;
+
+    /**
+     * Reference implementation (pre-optimization hash-based dedup,
+     * virtual visitor dispatch). Bit-identical output to sampleInto;
+     * kept for golden tests and the perf_hotpath naive/fast comparison.
+     */
+    Subgraph sampleBaseline(const graph::CsrGraph &graph,
+                            const std::vector<graph::LocalNodeId> &targets,
+                            sim::Rng &rng,
+                            SampleVisitor *visitor = nullptr) const;
 
     const std::vector<unsigned> &fanouts() const { return fanouts_; }
 
@@ -118,10 +167,16 @@ class SaintSampler : public AnySampler
   public:
     explicit SaintSampler(unsigned walk_length);
 
-    Subgraph sample(const graph::CsrGraph &graph,
+    void sampleInto(const graph::CsrGraph &graph,
                     const std::vector<graph::LocalNodeId> &roots,
-                    sim::Rng &rng,
+                    sim::Rng &rng, SampleScratch &scratch, Subgraph &out,
                     SampleVisitor *visitor = nullptr) const override;
+
+    /** Reference implementation; see SageSampler::sampleBaseline. */
+    Subgraph sampleBaseline(const graph::CsrGraph &graph,
+                            const std::vector<graph::LocalNodeId> &roots,
+                            sim::Rng &rng,
+                            SampleVisitor *visitor = nullptr) const;
 
     unsigned walkLength() const { return walk_length_; }
 
@@ -129,7 +184,26 @@ class SaintSampler : public AnySampler
     unsigned walk_length_;
 };
 
-/** Uniformly draw @p count distinct target nodes for a mini-batch. */
+/**
+ * The calling thread's shared sampling arena, used by every
+ * convenience wrapper (AnySampler::sample, selectTargets, the parallel
+ * pipeline's workers) so a thread holds exactly one O(numNodes) dedup
+ * table no matter how many entry points it mixes.
+ */
+SampleScratch &threadSampleScratch();
+
+/**
+ * Uniformly draw @p count distinct target nodes for a mini-batch into
+ * @p out, reusing @p scratch. Sparse batches use epoch-stamped
+ * rejection sampling; once @p count approaches numNodes() (where
+ * rejection degrades to coupon-collector behavior) it switches to a
+ * partial Fisher-Yates shuffle over the scratch's index pool.
+ */
+void selectTargetsInto(const graph::CsrGraph &graph, std::size_t count,
+                       sim::Rng &rng, SampleScratch &scratch,
+                       std::vector<graph::LocalNodeId> &out);
+
+/** Convenience wrapper over selectTargetsInto (thread-local scratch). */
 std::vector<graph::LocalNodeId> selectTargets(const graph::CsrGraph &graph,
                                               std::size_t count,
                                               sim::Rng &rng);

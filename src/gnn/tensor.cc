@@ -1,12 +1,32 @@
 #include "tensor.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "sim/logging.hh"
 
 namespace smartsage::gnn
 {
+
+namespace
+{
+
+std::atomic<KernelMode> g_kernel_mode{KernelMode::Tiled};
+
+} // namespace
+
+void
+setKernelMode(KernelMode mode)
+{
+    g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode
+kernelMode()
+{
+    return g_kernel_mode.load(std::memory_order_relaxed);
+}
 
 Tensor2D::Tensor2D(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
@@ -56,12 +76,19 @@ Tensor2D::normSq() const
     return acc;
 }
 
-Tensor2D
-matmul(const Tensor2D &a, const Tensor2D &b)
+namespace
 {
-    SS_ASSERT(a.cols() == b.rows(), "matmul shape mismatch: ", a.cols(),
-              " vs ", b.rows());
-    Tensor2D c(a.rows(), b.cols());
+
+// Cache-blocked kernels. Blocks are sized so one B panel (KB x JB
+// floats = 32 KiB) stays L1-resident across the whole i sweep, and the
+// 4-way k unroll keeps four accumulator streams per C row in registers,
+// which is what lets GCC vectorize the j loop into FMAs.
+constexpr std::size_t kKB = 64;  //!< reduction-dim block
+constexpr std::size_t kJB = 128; //!< output-column block
+
+void
+matmulNaive(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
     for (std::size_t i = 0; i < a.rows(); ++i) {
         for (std::size_t k = 0; k < a.cols(); ++k) {
             float aik = a.at(i, k);
@@ -73,14 +100,47 @@ matmul(const Tensor2D &a, const Tensor2D &b)
                 crow[j] += aik * brow[j];
         }
     }
-    return c;
 }
 
-Tensor2D
-matmulTN(const Tensor2D &a, const Tensor2D &b)
+void
+matmulTiled(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
 {
-    SS_ASSERT(a.rows() == b.rows(), "matmulTN shape mismatch");
-    Tensor2D c(a.cols(), b.cols());
+    const std::size_t m = a.rows(), kdim = a.cols(), n = b.cols();
+    const float *adata = a.data().data();
+    const float *bdata = b.data().data();
+    float *cdata = c.data().data();
+
+    for (std::size_t kk = 0; kk < kdim; kk += kKB) {
+        const std::size_t kb = std::min(kKB, kdim - kk);
+        for (std::size_t jj = 0; jj < n; jj += kJB) {
+            const std::size_t jb = std::min(kJB, n - jj);
+            for (std::size_t i = 0; i < m; ++i) {
+                const float *arow = adata + i * kdim + kk;
+                float *crow = cdata + i * n + jj;
+                std::size_t k = 0;
+                for (; k + 4 <= kb; k += 4) {
+                    const float a0 = arow[k], a1 = arow[k + 1];
+                    const float a2 = arow[k + 2], a3 = arow[k + 3];
+                    const float *b0 = bdata + (kk + k) * n + jj;
+                    const float *b1 = b0 + n, *b2 = b1 + n, *b3 = b2 + n;
+                    for (std::size_t j = 0; j < jb; ++j)
+                        crow[j] += a0 * b0[j] + a1 * b1[j] +
+                                   a2 * b2[j] + a3 * b3[j];
+                }
+                for (; k < kb; ++k) {
+                    const float a0 = arow[k];
+                    const float *b0 = bdata + (kk + k) * n + jj;
+                    for (std::size_t j = 0; j < jb; ++j)
+                        crow[j] += a0 * b0[j];
+                }
+            }
+        }
+    }
+}
+
+void
+matmulTNNaive(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
     for (std::size_t k = 0; k < a.rows(); ++k) {
         auto arow = a.row(k);
         auto brow = b.row(k);
@@ -93,14 +153,48 @@ matmulTN(const Tensor2D &a, const Tensor2D &b)
                 crow[j] += aki * brow[j];
         }
     }
-    return c;
 }
 
-Tensor2D
-matmulNT(const Tensor2D &a, const Tensor2D &b)
+void
+matmulTNTiled(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
 {
-    SS_ASSERT(a.cols() == b.cols(), "matmulNT shape mismatch");
-    Tensor2D c(a.rows(), b.rows());
+    // C[i][j] = sum_r A[r][i] * B[r][j]; r is the reduction dim. Rows
+    // of B are processed four at a time so the panel stays cached
+    // across the full sweep of A's columns.
+    const std::size_t rdim = a.rows(), m = a.cols(), n = b.cols();
+    const float *adata = a.data().data();
+    const float *bdata = b.data().data();
+    float *cdata = c.data().data();
+
+    std::size_t r = 0;
+    for (; r + 4 <= rdim; r += 4) {
+        const float *a0 = adata + r * m;
+        const float *a1 = a0 + m, *a2 = a1 + m, *a3 = a2 + m;
+        const float *b0 = bdata + r * n;
+        const float *b1 = b0 + n, *b2 = b1 + n, *b3 = b2 + n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float w0 = a0[i], w1 = a1[i], w2 = a2[i], w3 = a3[i];
+            float *crow = cdata + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += w0 * b0[j] + w1 * b1[j] + w2 * b2[j] +
+                           w3 * b3[j];
+        }
+    }
+    for (; r < rdim; ++r) {
+        const float *arow = adata + r * m;
+        const float *brow = bdata + r * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float w = arow[i];
+            float *crow = cdata + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += w * brow[j];
+        }
+    }
+}
+
+void
+matmulNTNaive(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
     for (std::size_t i = 0; i < a.rows(); ++i) {
         auto arow = a.row(i);
         for (std::size_t j = 0; j < b.rows(); ++j) {
@@ -111,20 +205,128 @@ matmulNT(const Tensor2D &a, const Tensor2D &b)
             c.at(i, j) = acc;
         }
     }
+}
+
+void
+matmulNTTiled(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
+    // C[i][j] = dot(A row i, B row j). The reduction is split into
+    // eight explicit partial-sum lanes so the compiler can map them to
+    // vector registers without needing permission to reassociate a
+    // single serial chain (no fast-math: NaN/Inf still propagate).
+    constexpr std::size_t kLanes = 8;
+    const std::size_t m = a.rows(), n = b.rows(), kdim = a.cols();
+    const float *adata = a.data().data();
+    const float *bdata = b.data().data();
+    float *cdata = c.data().data();
+
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = adata + i * kdim;
+        float *crow = cdata + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = bdata + j * kdim;
+            float lane[kLanes] = {};
+            std::size_t k = 0;
+            for (; k + kLanes <= kdim; k += kLanes)
+                for (std::size_t l = 0; l < kLanes; ++l)
+                    lane[l] += arow[k + l] * brow[k + l];
+            float acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+                        ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+            for (; k < kdim; ++k)
+                acc += arow[k] * brow[k];
+            crow[j] = acc;
+        }
+    }
+}
+
+} // namespace
+
+Tensor2D
+matmul(const Tensor2D &a, const Tensor2D &b)
+{
+    Tensor2D c;
+    matmulInto(a, b, c);
     return c;
+}
+
+Tensor2D
+matmulTN(const Tensor2D &a, const Tensor2D &b)
+{
+    Tensor2D c;
+    matmulTNInto(a, b, c);
+    return c;
+}
+
+Tensor2D
+matmulNT(const Tensor2D &a, const Tensor2D &b)
+{
+    Tensor2D c;
+    matmulNTInto(a, b, c);
+    return c;
+}
+
+void
+matmulInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
+    SS_ASSERT(a.cols() == b.rows(), "matmul shape mismatch: ", a.cols(),
+              " vs ", b.rows());
+    c.resizeToZero(a.rows(), b.cols());
+    matmulAccumulate(a, b, c);
+}
+
+void
+matmulAccumulate(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
+    SS_ASSERT(a.cols() == b.rows() && c.rows() == a.rows() &&
+                  c.cols() == b.cols(),
+              "matmulAccumulate shape mismatch");
+    if (kernelMode() == KernelMode::Naive)
+        matmulNaive(a, b, c);
+    else
+        matmulTiled(a, b, c);
+}
+
+void
+matmulTNInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
+    SS_ASSERT(a.rows() == b.rows(), "matmulTN shape mismatch");
+    c.resizeToZero(a.cols(), b.cols());
+    if (kernelMode() == KernelMode::Naive)
+        matmulTNNaive(a, b, c);
+    else
+        matmulTNTiled(a, b, c);
+}
+
+void
+matmulNTInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
+    SS_ASSERT(a.cols() == b.cols(), "matmulNT shape mismatch");
+    // Both NT kernels overwrite every output element: reshape only.
+    c.resizeTo(a.rows(), b.rows());
+    if (kernelMode() == KernelMode::Naive)
+        matmulNTNaive(a, b, c);
+    else
+        matmulNTTiled(a, b, c);
 }
 
 std::vector<char>
 reluForward(Tensor2D &x)
 {
-    std::vector<char> mask(x.rows() * x.cols());
+    std::vector<char> mask;
+    reluForwardInto(x, mask);
+    return mask;
+}
+
+void
+reluForwardInto(Tensor2D &x, std::vector<char> &mask)
+{
+    mask.resize(x.rows() * x.cols());
     auto &d = x.data();
     for (std::size_t i = 0; i < d.size(); ++i) {
         mask[i] = d[i] > 0.0f;
         if (!mask[i])
             d[i] = 0.0f;
     }
-    return mask;
 }
 
 void
@@ -157,16 +359,22 @@ softmaxCrossEntropy(const Tensor2D &logits,
                     Tensor2D &grad)
 {
     SS_ASSERT(labels.size() == logits.rows(), "label count mismatch");
-    grad = Tensor2D(logits.rows(), logits.cols());
+    grad.resizeTo(logits.rows(), logits.cols()); // fully written below
     double loss = 0.0;
     const double inv_n = 1.0 / static_cast<double>(logits.rows());
 
+    // One exp per element: stash exp(v - max) per row, then normalize.
+    // thread_local so the warm training loop stays allocation-free.
+    thread_local std::vector<double> exps;
+    exps.resize(logits.cols());
     for (std::size_t i = 0; i < logits.rows(); ++i) {
         auto row = logits.row(i);
         float max_v = *std::max_element(row.begin(), row.end());
         double denom = 0.0;
-        for (float v : row)
-            denom += std::exp(static_cast<double>(v - max_v));
+        for (std::size_t j = 0; j < logits.cols(); ++j) {
+            exps[j] = std::exp(static_cast<double>(row[j] - max_v));
+            denom += exps[j];
+        }
         std::uint32_t y = labels[i];
         SS_ASSERT(y < logits.cols(), "label ", y, " out of range");
         double log_p =
@@ -174,8 +382,7 @@ softmaxCrossEntropy(const Tensor2D &logits,
         loss -= log_p * inv_n;
         auto grow = grad.row(i);
         for (std::size_t j = 0; j < logits.cols(); ++j) {
-            double p = std::exp(static_cast<double>(row[j] - max_v)) /
-                       denom;
+            double p = exps[j] / denom;
             grow[j] = static_cast<float>(
                 (p - (j == y ? 1.0 : 0.0)) * inv_n);
         }

@@ -54,6 +54,28 @@ class Tensor2D
     /** Zero every element, keeping the shape. */
     void zero();
 
+    /**
+     * Reshape to rows x cols reusing the existing buffer (contents
+     * unspecified afterwards). The workspace-reuse primitive of the
+     * training hot loop: steady-state reshapes never allocate once the
+     * buffer has grown to the episode's high-water mark.
+     */
+    void
+    resizeTo(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
+    /** resizeTo, then zero-fill. */
+    void
+    resizeToZero(std::size_t rows, std::size_t cols)
+    {
+        resizeTo(rows, cols);
+        zero();
+    }
+
     /** Frobenius-norm squared (for tests and gradient clipping). */
     double normSq() const;
 
@@ -61,6 +83,34 @@ class Tensor2D
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<float> data_;
+};
+
+/**
+ * GEMM/aggregate kernel selection. Tiled is the default: cache-blocked,
+ * register-tiled loops. Naive preserves the original reference loops
+ * and exists for golden equivalence tests and the perf_hotpath
+ * naive-vs-fast comparison. The flag is process-global and atomic;
+ * flip it only between batches, not mid-kernel.
+ */
+enum class KernelMode { Tiled, Naive };
+
+void setKernelMode(KernelMode mode);
+KernelMode kernelMode();
+
+/** RAII guard restoring the previous KernelMode (for tests/bench). */
+class ScopedKernelMode
+{
+  public:
+    explicit ScopedKernelMode(KernelMode mode) : prev_(kernelMode())
+    {
+        setKernelMode(mode);
+    }
+    ~ScopedKernelMode() { setKernelMode(prev_); }
+    ScopedKernelMode(const ScopedKernelMode &) = delete;
+    ScopedKernelMode &operator=(const ScopedKernelMode &) = delete;
+
+  private:
+    KernelMode prev_;
 };
 
 /** C = A * B. @pre A.cols == B.rows */
@@ -72,8 +122,26 @@ Tensor2D matmulTN(const Tensor2D &a, const Tensor2D &b);
 /** C = A * B^T. @pre A.cols == B.cols */
 Tensor2D matmulNT(const Tensor2D &a, const Tensor2D &b);
 
+// Workspace-reuse variants of the GEMMs: identical math, but the
+// output tensor is reshaped in place (no allocation once warm).
+
+/** c = A * B (c reshaped). */
+void matmulInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c);
+
+/** c += A * B. @pre c is a.rows x b.cols */
+void matmulAccumulate(const Tensor2D &a, const Tensor2D &b, Tensor2D &c);
+
+/** c = A^T * B (c reshaped). */
+void matmulTNInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c);
+
+/** c = A * B^T (c reshaped). */
+void matmulNTInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c);
+
 /** In-place ReLU; returns the pre-activation mask needed for backward. */
 std::vector<char> reluForward(Tensor2D &x);
+
+/** reluForward writing the mask into @p mask (capacity reused). */
+void reluForwardInto(Tensor2D &x, std::vector<char> &mask);
 
 /** dX = dY masked by the forward mask. */
 void reluBackward(Tensor2D &grad, const std::vector<char> &mask);

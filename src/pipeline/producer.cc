@@ -1,11 +1,202 @@
 #include "producer.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 
 #include "sim/logging.hh"
 
 namespace smartsage::pipeline
 {
+
+namespace
+{
+
+/** Sample batch @p i of @p config from its own RNG fork. */
+void
+sampleBatchIndex(const graph::CsrGraph &graph,
+                 const gnn::AnySampler &sampler,
+                 const ParallelSampleConfig &config, std::size_t i,
+                 FunctionalBatch &out)
+{
+    // Per-index RNG forks keep the output independent of how indices
+    // land on threads; the shared per-thread scratch gives each worker
+    // its own allocation-free arena.
+    gnn::SampleScratch &scratch = gnn::threadSampleScratch();
+    sim::Rng rng = sim::Rng(config.seed).fork(i);
+    gnn::selectTargetsInto(graph, config.batch_size, rng, scratch,
+                           out.targets);
+    sampler.sampleInto(graph, out.targets, rng, scratch, out.subgraph);
+}
+
+} // namespace
+
+void
+runSamplingPipeline(
+    const graph::CsrGraph &graph, const gnn::AnySampler &sampler,
+    const ParallelSampleConfig &config, sim::ThreadPool *pool,
+    const std::function<void(std::size_t, FunctionalBatch &&)> &consume)
+{
+    SS_ASSERT(config.num_batches > 0 && config.batch_size > 0,
+              "degenerate parallel sample run");
+    SS_ASSERT(config.workers > 0, "need at least one worker");
+    const std::size_t n = config.num_batches;
+
+    const std::size_t producers = std::min<std::size_t>(
+        {config.workers, pool ? pool->size() : 1, n});
+    if (!pool || producers <= 1) {
+        // Serial pipeline: produce then consume, one batch at a time.
+        for (std::size_t i = 0; i < n; ++i) {
+            FunctionalBatch batch;
+            sampleBatchIndex(graph, sampler, config, i, batch);
+            consume(i, std::move(batch));
+        }
+        return;
+    }
+    // Enough staged batches to keep every producer busy while the
+    // consumer catches up. Memory is O(window), never O(num_batches):
+    // slots form a ring, and the window backpressure guarantees slot
+    // i % slots is free (batch i - slots already consumed) before
+    // batch i is produced into it.
+    const std::size_t window = 2 * producers + 2;
+    const std::size_t slots = std::min(window, n);
+    constexpr std::size_t no_batch = static_cast<std::size_t>(-1);
+
+    std::vector<FunctionalBatch> staged(slots);
+    std::vector<std::size_t> slot_batch(slots, no_batch);
+    std::mutex m;
+    std::condition_variable cv_ready, cv_space;
+    std::size_t consumed = 0;
+    std::size_t live = 0;              // launched tasks, guarded by m
+    std::exception_ptr producer_error; // first failure, guarded by m
+    bool cancelled = false;            // abort signal, guarded by m
+    std::atomic<std::size_t> next{0};
+
+    auto submitProducer = [&] {
+        pool->submit([&] {
+            try {
+                for (;;) {
+                    std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n)
+                        break;
+                    {
+                        std::unique_lock<std::mutex> lock(m);
+                        cv_space.wait(lock, [&] {
+                            return i < consumed + window ||
+                                   producer_error || cancelled;
+                        });
+                        // Re-check after waking: a drain must not let a
+                        // released producer write into a ring slot that
+                        // another producer may still be filling.
+                        if (producer_error || cancelled)
+                            break;
+                    }
+                    sampleBatchIndex(graph, sampler, config, i,
+                                     staged[i % slots]);
+                    {
+                        std::unique_lock<std::mutex> lock(m);
+                        slot_batch[i % slots] = i;
+                    }
+                    cv_ready.notify_all();
+                }
+            } catch (...) {
+                {
+                    std::unique_lock<std::mutex> lock(m);
+                    if (!producer_error)
+                        producer_error = std::current_exception();
+                }
+                next.store(n, std::memory_order_relaxed);
+                cv_space.notify_all();
+            }
+            {
+                std::unique_lock<std::mutex> lock(m);
+                --live;
+            }
+            cv_ready.notify_all();
+        });
+    };
+
+    // Wait for *our* producers only — never the whole pool, which may
+    // be running unrelated tasks. Stealing the remaining indices and
+    // lifting the window lets every producer run to completion first.
+    auto drainProducers = [&] {
+        next.store(n, std::memory_order_relaxed);
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cancelled = true;
+        }
+        cv_space.notify_all();
+        std::unique_lock<std::mutex> lock(m);
+        cv_ready.wait(lock, [&] { return live == 0; });
+    };
+
+    // Launch producers one at a time; if a submit itself throws (e.g.
+    // allocation failure), the already-launched tasks still reference
+    // this frame — drain them before unwinding.
+    try {
+        for (std::size_t t = 0; t < producers; ++t) {
+            {
+                std::unique_lock<std::mutex> lock(m);
+                ++live;
+            }
+            try {
+                submitProducer();
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(m);
+                --live; // this task never launched
+                throw;
+            }
+        }
+    } catch (...) {
+        drainProducers();
+        throw;
+    }
+
+    try {
+        for (std::size_t i = 0; i < n; ++i) {
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cv_ready.wait(lock, [&] {
+                    return slot_batch[i % slots] == i || producer_error;
+                });
+                if (slot_batch[i % slots] != i)
+                    break; // a producer failed; abort consumption
+            }
+            consume(i, std::move(staged[i % slots]));
+            {
+                std::unique_lock<std::mutex> lock(m);
+                ++consumed;
+            }
+            cv_space.notify_all();
+        }
+    } catch (...) {
+        // The producers reference this frame's locals; drain them
+        // before unwinding the consumer's exception.
+        drainProducers();
+        throw;
+    }
+    drainProducers();
+    if (producer_error)
+        std::rethrow_exception(producer_error);
+}
+
+std::vector<FunctionalBatch>
+sampleBatchesParallel(const graph::CsrGraph &graph,
+                      const gnn::AnySampler &sampler,
+                      const ParallelSampleConfig &config,
+                      sim::ThreadPool *pool)
+{
+    std::vector<FunctionalBatch> batches(config.num_batches);
+    runSamplingPipeline(graph, sampler, config, pool,
+                        [&batches](std::size_t i,
+                                   FunctionalBatch &&batch) {
+                            batches[i] = std::move(batch);
+                        });
+    return batches;
+}
 
 SubgraphStats
 SubgraphStats::of(const gnn::Subgraph &sg)

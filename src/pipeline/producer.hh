@@ -29,10 +29,65 @@
 #include "isp/fpga_csd.hh"
 #include "isp/isp_engine.hh"
 #include "sim/random.hh"
+#include "sim/thread_pool.hh"
 #include "sim/types.hh"
 
 namespace smartsage::pipeline
 {
+
+/** One functionally sampled mini-batch of the parallel pipeline. */
+struct FunctionalBatch
+{
+    std::vector<graph::LocalNodeId> targets;
+    gnn::Subgraph subgraph;
+};
+
+/** Parameters of one parallel functional sampling run. */
+struct ParallelSampleConfig
+{
+    /** Producer concurrency cap; the effective count is
+     *  min(workers, pool size, num_batches). */
+    unsigned workers = 1;
+    std::size_t num_batches = 16;
+    std::size_t batch_size = 1024;
+    std::uint64_t seed = 0xba7c;
+};
+
+/**
+ * Overlapped functional pipeline: sampling runs on the pool's worker
+ * threads while @p consume runs on the calling thread, once per batch,
+ * in strict batch-index order (with bounded in-flight backpressure).
+ * This is the real multi-worker producer/consumer loop of Fig 4 — W
+ * samplers feeding one trainer — executing on host cores.
+ *
+ * Same determinism contract as sampleBatchesParallel: batch i is drawn
+ * from fork(i) of the master seed, so both the batches and the
+ * in-order consumer's state evolution are bit-identical for any worker
+ * count.
+ */
+void runSamplingPipeline(
+    const graph::CsrGraph &graph, const gnn::AnySampler &sampler,
+    const ParallelSampleConfig &config, sim::ThreadPool *pool,
+    const std::function<void(std::size_t, FunctionalBatch &&)> &consume);
+
+/**
+ * Sample @p config.num_batches real subgraphs over the pool's worker
+ * threads.
+ *
+ * Determinism contract: batch i draws its targets and its sampling
+ * stream from fork(i) of the master seed, and results are stored by
+ * batch index — so for a fixed seed the returned batches are
+ * **bit-identical for any worker count** (1, 2, 8, ...), regardless of
+ * thread scheduling. Each worker thread keeps a private SampleScratch,
+ * so steady-state sampling does not allocate.
+ *
+ * @param pool thread pool to run on; null runs inline on the caller.
+ */
+std::vector<FunctionalBatch>
+sampleBatchesParallel(const graph::CsrGraph &graph,
+                      const gnn::AnySampler &sampler,
+                      const ParallelSampleConfig &config,
+                      sim::ThreadPool *pool);
 
 /** Shape summary of a produced subgraph (enough for timing models). */
 struct SubgraphStats

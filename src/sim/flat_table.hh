@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Epoch-stamped flat dedup table.
+ *
+ * A dense-key replacement for the per-batch `std::unordered_map` /
+ * `unordered_set` the samplers used to allocate on every mini-batch:
+ * one slot per possible key, where a slot is "present" only when its
+ * stamp equals the table's current epoch. clear() is a single counter
+ * bump, so the table is reusable across batches with zero steady-state
+ * allocation and no O(n) reset — exactly the access pattern of frontier
+ * dedup, where keys are node ids in [0, numNodes).
+ */
+
+#ifndef SMARTSAGE_SIM_FLAT_TABLE_HH
+#define SMARTSAGE_SIM_FLAT_TABLE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+/**
+ * Flat epoch-stamped map from dense keys in [0, capacity) to @p Value.
+ *
+ * Not a general hash map: lookup is a single array index, so it only
+ * pays off when the key universe is bounded and addressable (node ids,
+ * edge slots). All operations are O(1); clear() never touches the
+ * slots.
+ */
+template <typename Value = std::uint32_t>
+class FlatEpochTable
+{
+  public:
+    FlatEpochTable() = default;
+
+    /** Table accepting keys in [0, capacity). Keeps current contents
+     *  logically cleared. Never shrinks. */
+    void
+    reserve(std::size_t capacity)
+    {
+        if (capacity > stamp_.size()) {
+            stamp_.resize(capacity, 0);
+            value_.resize(capacity);
+        }
+    }
+
+    std::size_t capacity() const { return stamp_.size(); }
+
+    /** Forget every entry in O(1). */
+    void
+    clear()
+    {
+        if (++epoch_ == 0) {
+            // Stamp wrap-around: invalidate stale stamps the slow way
+            // once every 2^32 clears.
+            std::fill(stamp_.begin(), stamp_.end(), 0);
+            epoch_ = 1;
+        }
+    }
+
+    bool
+    contains(std::uint64_t key) const
+    {
+        SS_ASSERT(key < stamp_.size(), "FlatEpochTable: key ", key,
+                  " out of range");
+        return stamp_[key] == epoch_;
+    }
+
+    /** @pre contains(key) */
+    const Value &
+    at(std::uint64_t key) const
+    {
+        SS_ASSERT(contains(key), "FlatEpochTable: missing key ", key);
+        return value_[key];
+    }
+
+    /**
+     * Insert @p value under @p key unless present.
+     * @return {current value, true if inserted}
+     * @pre key < capacity()
+     */
+    std::pair<Value &, bool>
+    tryEmplace(std::uint64_t key, const Value &value)
+    {
+        SS_ASSERT(key < stamp_.size(), "FlatEpochTable: key ", key,
+                  " out of range");
+        if (stamp_[key] == epoch_)
+            return {value_[key], false};
+        stamp_[key] = epoch_;
+        value_[key] = value;
+        return {value_[key], true};
+    }
+
+    /** Insert-or-skip membership test (set semantics). @return true if
+     *  @p key was newly inserted. */
+    bool
+    insert(std::uint64_t key)
+    {
+        SS_ASSERT(key < stamp_.size(), "FlatEpochTable: key ", key,
+                  " out of range");
+        if (stamp_[key] == epoch_)
+            return false;
+        stamp_[key] = epoch_;
+        return true;
+    }
+
+    /** Insert or overwrite @p key with @p value. @pre key < capacity() */
+    void
+    put(std::uint64_t key, const Value &value)
+    {
+        SS_ASSERT(key < stamp_.size(), "FlatEpochTable: key ", key,
+                  " out of range");
+        stamp_[key] = epoch_;
+        value_[key] = value;
+    }
+
+  private:
+    std::vector<std::uint32_t> stamp_;
+    std::vector<Value> value_;
+    // Starts at 1 so zero-initialized stamps read as absent: a fresh
+    // table is usable without a first clear().
+    std::uint32_t epoch_ = 1;
+};
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_FLAT_TABLE_HH

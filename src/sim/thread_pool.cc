@@ -1,0 +1,93 @@
+#include "thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    SS_ASSERT(task, "null task submitted");
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        SS_ASSERT(!stop_, "submit on a stopping pool");
+        tasks_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(lock,
+                             [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (err && !first_error_)
+                first_error_ = err;
+            if (--in_flight_ == 0)
+                all_idle_.notify_all();
+        }
+    }
+}
+
+} // namespace smartsage::sim

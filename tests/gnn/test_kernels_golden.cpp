@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Golden equivalence tests for the hot-path rework: tiled GEMM and
+ * fused aggregate kernels must match the naive reference within 1e-5,
+ * and the flat-table sampler fast path must be bit-identical to the
+ * hash-based baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gnn/layers.hh"
+#include "gnn/sampler.hh"
+#include "gnn/tensor.hh"
+#include "graph/powerlaw.hh"
+#include "sim/random.hh"
+
+using namespace smartsage::gnn;
+using namespace smartsage::graph;
+using smartsage::sim::Rng;
+
+namespace
+{
+
+CsrGraph
+testGraph()
+{
+    PowerLawParams p;
+    p.num_nodes = 4096;
+    p.avg_degree = 24;
+    p.seed = 11;
+    return generatePowerLaw(p);
+}
+
+void
+expectClose(const Tensor2D &a, const Tensor2D &b, double tol)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            // 1e-5 relative: reduction reordering legitimately
+            // perturbs long dot products by ~|value| * eps * terms.
+            double scale = std::max(
+                1.0, std::max(std::abs(double(a.at(i, j))),
+                              std::abs(double(b.at(i, j)))));
+            ASSERT_NEAR(a.at(i, j), b.at(i, j), tol * scale)
+                << "at (" << i << ", " << j << ")";
+        }
+    }
+}
+
+/** Run @p f under both kernel modes and compare the results. */
+template <typename F>
+void
+compareModes(F &&f, double tol)
+{
+    Tensor2D naive, tiled;
+    {
+        ScopedKernelMode guard(KernelMode::Naive);
+        naive = f();
+    }
+    {
+        ScopedKernelMode guard(KernelMode::Tiled);
+        tiled = f();
+    }
+    expectClose(naive, tiled, tol);
+}
+
+} // namespace
+
+TEST(KernelGolden, MatmulMatchesNaive)
+{
+    Rng rng(1);
+    // Odd sizes exercise every remainder path of the blocked kernels.
+    for (auto [m, k, n] :
+         {std::tuple<int, int, int>{1, 1, 1}, {7, 5, 3}, {37, 53, 29},
+          {130, 65, 129}, {256, 64, 64}}) {
+        Tensor2D a = Tensor2D::uniform(m, k, 1.0f, rng);
+        Tensor2D b = Tensor2D::uniform(k, n, 1.0f, rng);
+        compareModes([&] { return matmul(a, b); }, 1e-5);
+    }
+}
+
+TEST(KernelGolden, MatmulTNMatchesNaive)
+{
+    Rng rng(2);
+    // Reduction lengths stay layer-realistic (<= a few hundred): the
+    // 1e-5 bound is a per-term rounding budget, not a bound on
+    // arbitrarily long cancellation-heavy sums.
+    for (auto [r, m, n] :
+         {std::tuple<int, int, int>{1, 1, 1}, {6, 5, 3}, {129, 37, 65},
+          {300, 32, 16}}) {
+        Tensor2D a = Tensor2D::uniform(r, m, 1.0f, rng);
+        Tensor2D b = Tensor2D::uniform(r, n, 1.0f, rng);
+        compareModes([&] { return matmulTN(a, b); }, 1e-5);
+    }
+}
+
+TEST(KernelGolden, MatmulNTMatchesNaive)
+{
+    Rng rng(3);
+    for (auto [m, n, k] :
+         {std::tuple<int, int, int>{1, 1, 1}, {5, 7, 9}, {65, 130, 37},
+          {500, 33, 64}}) {
+        Tensor2D a = Tensor2D::uniform(m, k, 1.0f, rng);
+        Tensor2D b = Tensor2D::uniform(n, k, 1.0f, rng);
+        compareModes([&] { return matmulNT(a, b); }, 1e-5);
+    }
+}
+
+TEST(KernelGolden, IntoVariantsMatchAllocatingApi)
+{
+    Rng rng(4);
+    Tensor2D a = Tensor2D::uniform(40, 24, 1.0f, rng);
+    Tensor2D b = Tensor2D::uniform(24, 18, 1.0f, rng);
+    Tensor2D c;
+    matmulInto(a, b, c);
+    expectClose(c, matmul(a, b), 0.0);
+
+    // Accumulate on top of an existing product doubles it.
+    matmulAccumulate(a, b, c);
+    Tensor2D doubled = matmul(a, b);
+    doubled *= 2.0f;
+    expectClose(c, doubled, 1e-5);
+
+    // Reuse with a different (smaller) shape must still be exact.
+    Tensor2D a2 = Tensor2D::uniform(9, 8, 1.0f, rng);
+    Tensor2D b2 = Tensor2D::uniform(8, 5, 1.0f, rng);
+    matmulInto(a2, b2, c);
+    expectClose(c, matmul(a2, b2), 0.0);
+}
+
+TEST(KernelGolden, LayerForwardBackwardMatchNaive)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({12, 6});
+    Rng rng(5);
+    auto targets = selectTargets(g, 128, rng);
+    Subgraph sg = sampler.sample(g, targets, rng);
+    const SampledBlock &block = sg.blocks[1];
+
+    Rng wrng(6);
+    SageMeanLayer layer(16, 8, true, wrng);
+    Rng hrng(7);
+    Tensor2D h_src =
+        Tensor2D::uniform(sg.frontiers[2].size(), 16, 1.0f, hrng);
+    Tensor2D d_out = Tensor2D::uniform(block.numDsts(), 8, 1.0f, hrng);
+
+    auto run = [&](KernelMode mode, Tensor2D &out, Tensor2D &d_src,
+                   SageLayerGrads &grads) {
+        ScopedKernelMode guard(mode);
+        SageContext ctx;
+        out = layer.forward(h_src, block, ctx);
+        d_src = layer.backward(d_out, ctx, grads);
+    };
+
+    Tensor2D out_n, out_t, d_n, d_t;
+    SageLayerGrads g_n, g_t;
+    run(KernelMode::Naive, out_n, d_n, g_n);
+    run(KernelMode::Tiled, out_t, d_t, g_t);
+
+    expectClose(out_n, out_t, 1e-5);
+    expectClose(d_n, d_t, 1e-5);
+    expectClose(g_n.w_self, g_t.w_self, 1e-5);
+    expectClose(g_n.w_neigh, g_t.w_neigh, 1e-5);
+    expectClose(g_n.bias, g_t.bias, 1e-5);
+}
+
+TEST(SamplerGolden, SageFastPathBitIdenticalToBaseline)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({25, 10});
+    Rng r1(42), r2(42);
+    auto targets = selectTargets(g, 256, r1);
+    auto same = selectTargets(g, 256, r2); // keeps r2 in lockstep
+    ASSERT_EQ(targets, same);
+    Subgraph fast = sampler.sample(g, targets, r1);
+    Subgraph baseline = sampler.sampleBaseline(g, targets, r2);
+
+    ASSERT_EQ(fast.frontiers, baseline.frontiers);
+    ASSERT_EQ(fast.blocks.size(), baseline.blocks.size());
+    for (std::size_t h = 0; h < fast.blocks.size(); ++h) {
+        EXPECT_EQ(fast.blocks[h].offsets, baseline.blocks[h].offsets);
+        EXPECT_EQ(fast.blocks[h].src_index,
+                  baseline.blocks[h].src_index);
+    }
+}
+
+TEST(SamplerGolden, SaintFastPathBitIdenticalToBaseline)
+{
+    CsrGraph g = testGraph();
+    SaintSampler sampler(4);
+    Rng r1(43), r2(43);
+    auto roots = selectTargets(g, 128, r1);
+    auto same = selectTargets(g, 128, r2);
+    ASSERT_EQ(roots, same);
+
+    Subgraph fast = sampler.sample(g, roots, r1);
+    Subgraph baseline = sampler.sampleBaseline(g, roots, r2);
+    ASSERT_EQ(fast.frontiers, baseline.frontiers);
+    for (std::size_t h = 0; h < fast.blocks.size(); ++h) {
+        EXPECT_EQ(fast.blocks[h].offsets, baseline.blocks[h].offsets);
+        EXPECT_EQ(fast.blocks[h].src_index,
+                  baseline.blocks[h].src_index);
+    }
+}
+
+TEST(SamplerGolden, DuplicateTargetsStayBitIdenticalToBaseline)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({5, 3});
+    // Duplicates in the caller-provided batch: the prefix index must
+    // resolve the same way on both paths (last occurrence wins).
+    std::vector<LocalNodeId> targets = {7, 7, 12, 7, 12, 3};
+    Rng r1(17), r2(17);
+    Subgraph fast = sampler.sample(g, targets, r1);
+    Subgraph baseline = sampler.sampleBaseline(g, targets, r2);
+    ASSERT_EQ(fast.frontiers, baseline.frontiers);
+    for (std::size_t h = 0; h < fast.blocks.size(); ++h) {
+        EXPECT_EQ(fast.blocks[h].offsets, baseline.blocks[h].offsets);
+        EXPECT_EQ(fast.blocks[h].src_index,
+                  baseline.blocks[h].src_index);
+    }
+}
+
+TEST(SamplerGolden, ScratchReuseDoesNotChangeOutput)
+{
+    CsrGraph g = testGraph();
+    SageSampler sampler({8, 4});
+    SampleScratch scratch;
+    Subgraph reused;
+    std::vector<Subgraph> fresh;
+
+    for (int i = 0; i < 4; ++i) {
+        Rng ra(100 + i), rb(100 + i);
+        auto ta = selectTargets(g, 64, ra);
+        auto tb = selectTargets(g, 64, rb);
+        ASSERT_EQ(ta, tb);
+        sampler.sampleInto(g, ta, ra, scratch, reused);
+        fresh.push_back(sampler.sample(g, tb, rb));
+        EXPECT_EQ(reused.frontiers, fresh.back().frontiers);
+        for (std::size_t h = 0; h < reused.blocks.size(); ++h) {
+            EXPECT_EQ(reused.blocks[h].offsets,
+                      fresh.back().blocks[h].offsets);
+            EXPECT_EQ(reused.blocks[h].src_index,
+                      fresh.back().blocks[h].src_index);
+        }
+    }
+}
+
+TEST(SelectTargets, DenseBatchUsesEveryNodeAtMostOnce)
+{
+    CsrGraph g = testGraph();
+    // count == numNodes: a full permutation must come back.
+    Rng rng(9);
+    auto all = selectTargets(g, g.numNodes(), rng);
+    std::vector<bool> seen(g.numNodes(), false);
+    for (auto u : all) {
+        ASSERT_LT(u, g.numNodes());
+        ASSERT_FALSE(seen[u]) << "duplicate target " << u;
+        seen[u] = true;
+    }
+    EXPECT_EQ(all.size(), g.numNodes());
+
+    // Near-full batches (the old coupon-collector regime) stay fast
+    // and distinct.
+    Rng rng2(10);
+    auto most = selectTargets(g, g.numNodes() - 1, rng2);
+    std::fill(seen.begin(), seen.end(), false);
+    for (auto u : most) {
+        ASSERT_FALSE(seen[u]);
+        seen[u] = true;
+    }
+}

@@ -1,0 +1,114 @@
+/** @file Tests for the epoch-stamped flat dedup table. */
+
+#include <gtest/gtest.h>
+
+#include "sim/flat_table.hh"
+
+using smartsage::sim::FlatEpochTable;
+
+TEST(FlatEpochTable, FreshTableIsEmptyWithoutClear)
+{
+    FlatEpochTable<std::uint32_t> t;
+    t.reserve(32);
+    // No clear() yet: every key must read as absent.
+    for (std::uint64_t k = 0; k < 32; ++k)
+        EXPECT_FALSE(t.contains(k));
+    auto [v, inserted] = t.tryEmplace(4, 9);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(v, 9u);
+}
+
+TEST(FlatEpochTable, PutOverwrites)
+{
+    FlatEpochTable<std::uint32_t> t;
+    t.reserve(8);
+    t.put(3, 1);
+    t.put(3, 2); // last wins
+    EXPECT_EQ(t.at(3), 2u);
+    auto [v, inserted] = t.tryEmplace(3, 5);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(FlatEpochTable, InsertAndLookup)
+{
+    FlatEpochTable<std::uint32_t> t;
+    t.reserve(64);
+    t.clear();
+
+    EXPECT_FALSE(t.contains(3));
+    auto [v1, inserted1] = t.tryEmplace(3, 7);
+    EXPECT_TRUE(inserted1);
+    EXPECT_EQ(v1, 7u);
+    EXPECT_TRUE(t.contains(3));
+    EXPECT_EQ(t.at(3), 7u);
+
+    // Second emplace keeps the first value.
+    auto [v2, inserted2] = t.tryEmplace(3, 99);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(v2, 7u);
+    EXPECT_EQ(t.at(3), 7u);
+}
+
+TEST(FlatEpochTable, ClearIsConstantTimeForget)
+{
+    FlatEpochTable<std::uint32_t> t;
+    t.reserve(16);
+    t.clear();
+    for (std::uint64_t k = 0; k < 16; ++k)
+        t.tryEmplace(k, static_cast<std::uint32_t>(k));
+    for (std::uint64_t k = 0; k < 16; ++k)
+        EXPECT_TRUE(t.contains(k));
+
+    t.clear();
+    for (std::uint64_t k = 0; k < 16; ++k)
+        EXPECT_FALSE(t.contains(k));
+
+    // Entries inserted after a clear are independent of stale slots.
+    t.tryEmplace(5, 42);
+    EXPECT_TRUE(t.contains(5));
+    EXPECT_EQ(t.at(5), 42u);
+    EXPECT_FALSE(t.contains(4));
+}
+
+TEST(FlatEpochTable, SetSemantics)
+{
+    FlatEpochTable<char> t;
+    t.reserve(8);
+    t.clear();
+    EXPECT_TRUE(t.insert(2));
+    EXPECT_FALSE(t.insert(2));
+    EXPECT_TRUE(t.insert(7));
+    t.clear();
+    EXPECT_TRUE(t.insert(2));
+}
+
+TEST(FlatEpochTable, ReserveGrowsAndKeepsClearedState)
+{
+    FlatEpochTable<std::uint32_t> t;
+    t.reserve(4);
+    t.clear();
+    t.tryEmplace(1, 10);
+    t.reserve(1024); // grow; existing epoch state must survive
+    EXPECT_TRUE(t.contains(1));
+    EXPECT_FALSE(t.contains(1000));
+    t.tryEmplace(1000, 3);
+    EXPECT_EQ(t.at(1000), 3u);
+
+    // Shrinking requests are no-ops.
+    t.reserve(2);
+    EXPECT_EQ(t.capacity(), 1024u);
+    EXPECT_TRUE(t.contains(1000));
+}
+
+TEST(FlatEpochTable, ManyEpochsStayIsolated)
+{
+    FlatEpochTable<std::uint32_t> t;
+    t.reserve(4);
+    for (std::uint32_t round = 0; round < 10000; ++round) {
+        t.clear();
+        EXPECT_FALSE(t.contains(round % 4));
+        t.tryEmplace(round % 4, round);
+        EXPECT_EQ(t.at(round % 4), round);
+    }
+}

@@ -1,0 +1,59 @@
+/** @file Tests for the functional-path worker thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+using smartsage::sim::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, TaskExceptionIsRethrownFromWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    pool.submit([&count] { count.fetch_add(1); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool stays usable.
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
