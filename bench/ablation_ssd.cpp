@@ -1,74 +1,34 @@
 /**
  * @file
- * Design-choice ablations beyond the paper's figures (DESIGN.md §6):
+ * Design-choice ablations beyond the paper's figures (DESIGN.md §6),
+ * expressed as declarative scenarios on core::ExperimentRunner:
  *   1. SSD DRAM page-buffer size sweep — intra-batch reuse the ISP
- *      engine gets from the controller buffer.
- *   2. Flash channel-count sweep — the internal-bandwidth headroom
- *      that in-storage sampling exploits.
- *   3. Pipeline work-queue slack — worker count sweep for the mmap
- *      baseline (producer/consumer mismatch).
+ *      engine gets from the controller buffer ("page-buffer" family).
+ *   2. Flash geometry sweep — the internal-bandwidth headroom that
+ *      in-storage sampling exploits ("ssd-geometry" family).
+ *   3. Producer worker sweep — producer/consumer mismatch across
+ *      design points ("worker-scaling" family).
  */
 
 #include <iostream>
 
 #include "common.hh"
+#include "core/experiment.hh"
+#include "core/scenario.hh"
+#include "sim/logging.hh"
 
 using namespace ssbench;
 
 int
 main()
 {
-    auto &wl = workload(graph::DatasetId::Reddit);
-
-    // --- 1. page buffer sweep (HW/SW) ---
-    {
-        core::TableReporter t(
-            "Ablation: SSD page-buffer size (SmartSAGE HW/SW, Reddit)",
-            {"buffer fraction of edge file", "batches/s"});
-        for (double frac : {0.02, 0.15, 0.4, 0.8, 1.5}) {
-            auto sc = baseConfig(core::DesignPoint::SmartSageHwSw);
-            sc.ssd_buffer_fraction = frac;
-            core::GnnSystem system(sc, wl);
-            t.addRow({core::fmtPct(frac),
-                      core::fmt(system.runSamplingOnly(4, 8)
-                                    .batchesPerSecond(),
-                                2)});
-        }
-        t.print(std::cout);
-    }
-
-    // --- 2. flash channel sweep (HW/SW) ---
-    {
-        core::TableReporter t(
-            "Ablation: flash channels (SmartSAGE HW/SW, Reddit)",
-            {"channels", "batches/s"});
-        for (unsigned ch : {2u, 4u, 8u, 16u, 32u}) {
-            auto sc = baseConfig(core::DesignPoint::SmartSageHwSw);
-            sc.ssd.flash.channels = ch;
-            core::GnnSystem system(sc, wl);
-            t.addRow({std::to_string(ch),
-                      core::fmt(system.runSamplingOnly(4, 8)
-                                    .batchesPerSecond(),
-                                2)});
-        }
-        t.print(std::cout);
-    }
-
-    // --- 3. worker sweep for the mmap baseline ---
-    {
-        core::TableReporter t(
-            "Ablation: producer workers (SSD mmap, Reddit)",
-            {"workers", "batches/s", "GPU idle"});
-        for (unsigned w : {1u, 2u, 4u, 8u, 12u, 16u}) {
-            auto sc = baseConfig(core::DesignPoint::SsdMmap);
-            sc.pipeline.workers = w;
-            sc.pipeline.num_batches = 2 * w;
-            core::GnnSystem system(sc, wl);
-            auto r = system.runPipeline();
-            t.addRow({std::to_string(w), core::fmt(r.throughput(), 2),
-                      core::fmtPct(r.gpu_idle_frac)});
-        }
-        t.print(std::cout);
+    core::ExperimentRunner runner;
+    for (const char *family :
+         {"page-buffer", "ssd-geometry", "worker-scaling"}) {
+        const core::Scenario *scenario = core::findScenario(family);
+        SS_ASSERT(scenario, "missing built-in scenario ", family);
+        core::ExperimentRunner::table(runner.run(*scenario))
+            .print(std::cout);
     }
     return 0;
 }

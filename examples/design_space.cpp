@@ -1,87 +1,131 @@
 /**
  * @file
- * Design-space exploration: for one dataset, walk every design point
- * and print end-to-end throughput plus the component-level stats that
- * explain it (page-cache hit rates, SSD page-buffer behaviour, flash
- * utilization, sampling latency).
+ * Design-space sweep runner: expands the built-in scenario families
+ * (every design point, fanout sweep, SSD geometry, multi-tenant batch
+ * mix, batch-size sensitivity, page-buffer and worker sweeps) through
+ * core::ExperimentRunner, prints the paper-style tables, and emits the
+ * machine-readable BENCH_designspace.json trajectory artifact.
  *
- * Run: ./design_space [dataset] [workers] [--stats]
- *   --stats additionally dumps every system's component counters in
- *   gem5-stats style.
+ * Cells are independent deterministic simulations parallelized over
+ * --workers host threads; tables and JSON are bit-identical at any
+ * worker count.
+ *
+ * Run: ./design_space [dataset] [options]
+ *   --workers <n>    host threads for independent cells (default 1)
+ *   --family <name>  run one family (repeatable; default: all)
+ *   --out <path>     write BENCH_designspace.json here
+ *   --smoke          CI sizes: in-memory datasets, few batches
+ *   --stats          dump every cell's component counters
+ *   --list           list the built-in families and exit
  */
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/report.hh"
-#include "core/system.hh"
-#include "graph/datasets.hh"
-#include "host/io_path.hh"
+#include "core/experiment.hh"
+#include "core/scenario.hh"
 #include "sim/logging.hh"
 
 using namespace smartsage;
 
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: design_space [dataset] [--workers <n>] "
+                 "[--family <name>]... [--out <path>] [--smoke] "
+                 "[--stats] [--list]\n";
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    graph::DatasetId id = graph::DatasetId::Reddit;
-    if (argc >= 2) {
-        bool found = false;
-        for (auto d : graph::allDatasets()) {
-            if (graph::datasetName(d) == argv[1]) {
-                id = d;
-                found = true;
-            }
+    unsigned workers = 1;
+    bool smoke = false, stats = false;
+    std::string out_path;
+    std::vector<std::string> families;
+    const graph::DatasetId *dataset = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workers" && i + 1 < argc) {
+            int n = std::atoi(argv[++i]);
+            if (n < 1)
+                return usage();
+            workers = static_cast<unsigned>(n);
+        } else if (arg == "--family" && i + 1 < argc) {
+            families.push_back(argv[++i]);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--list") {
+            for (const auto &s : core::builtinScenarios())
+                std::cout << s.family << ": " << s.title << " ("
+                          << s.gridSize() << " cells)\n";
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else {
+            const graph::DatasetId *match = nullptr;
+            for (const auto &d : graph::allDatasets())
+                if (graph::datasetName(d) == arg)
+                    match = &d;
+            if (!match)
+                SS_FATAL("unknown dataset '", arg, "'");
+            dataset = match;
         }
-        if (!found)
-            SS_FATAL("unknown dataset '", argv[1], "'");
     }
-    unsigned workers = argc >= 3 ? std::stoul(argv[2]) : 12;
-    bool dump_stats =
-        argc >= 4 && std::string(argv[3]) == "--stats";
 
-    core::Workload wl = core::Workload::make(id);
-    SS_INFORM(graph::datasetName(id), ": ", wl.graph.numNodes(),
-              " nodes, ", wl.graph.numEdges(), " edges, avg deg ",
-              core::fmt(wl.graph.avgDegree(), 1), ", max deg ",
-              wl.graph.maxDegree(), ", feature dim ",
-              wl.features.dim());
-
-    core::TableReporter table(
-        "Design space, " + graph::datasetName(id) + ", " +
-            std::to_string(workers) + " workers",
-        {"design", "batches/s", "avg sample ms", "GPU idle",
-         "cache hit", "ssd pages", "notes"});
-
-    for (auto dp : core::allDesignPoints()) {
-        core::SystemConfig sc;
-        sc.design = dp;
-        sc.pipeline.workers = workers;
-        core::GnnSystem system(sc, wl);
-        auto result = system.runPipeline();
-
-        std::string cache = "-", pages = "-", notes;
-        if (auto *ssd = system.ssd()) {
-            cache = core::fmtPct(ssd->pageBuffer().hitRate());
-            pages = std::to_string(ssd->flashArray().pagesRead());
+    std::vector<core::Scenario> scenarios;
+    if (families.empty()) {
+        scenarios = core::builtinScenarios();
+    } else {
+        for (const auto &name : families) {
+            const core::Scenario *s = core::findScenario(name);
+            if (!s)
+                SS_FATAL("unknown scenario family '", name,
+                         "' (try --list)");
+            scenarios.push_back(*s);
         }
-        if (auto *mm = dynamic_cast<host::MmapEdgeStore *>(
-                system.edgeStore())) {
-            notes = "page cache " + core::fmtPct(mm->pageCacheHitRate()) +
-                    ", faults " + std::to_string(mm->pageFaults());
-        } else if (auto *dio = dynamic_cast<host::DirectIoEdgeStore *>(
-                       system.edgeStore())) {
-            notes = "scratchpad " +
-                    core::fmtPct(dio->scratchpadHitRate()) + ", submits " +
-                    std::to_string(dio->submits());
-        }
-        table.addRow({core::designName(dp), core::fmt(result.throughput(), 2),
-                      core::fmt(result.avg_sampling_us / 1000.0, 2),
-                      core::fmtPct(result.gpu_idle_frac), cache, pages,
-                      notes});
-        if (dump_stats)
-            system.dumpStats(std::cout);
     }
-    table.print(std::cout);
+    for (auto &s : scenarios) {
+        if (dataset)
+            s.datasets = {*dataset};
+        if (smoke)
+            s = core::smokeVariant(s);
+    }
+
+    core::RunnerOptions options;
+    options.workers = workers;
+    options.progress = true;
+    options.collect_stats = stats;
+    core::ExperimentRunner runner(options);
+
+    auto runs = runner.runAll(scenarios);
+    for (const auto &run : runs) {
+        core::ExperimentRunner::table(run).print(std::cout);
+        if (stats)
+            for (const auto &cell : run.cells)
+                std::cout << cell.stats;
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream json(out_path);
+        if (!json)
+            SS_FATAL("cannot open ", out_path);
+        core::writeDesignSpaceJson(json, runs);
+        std::cout << "design_space: wrote " << out_path << "\n";
+    }
     return 0;
 }

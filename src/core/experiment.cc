@@ -1,0 +1,313 @@
+#include "experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "host/io_path.hh"
+#include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+
+namespace smartsage::core
+{
+
+namespace
+{
+
+double
+finite(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+
+/**
+ * Execute one cell against its (shared, read-only) workload. Pure
+ * simulated time: the outcome depends only on the cell, never on which
+ * runner thread executes it.
+ */
+CellResult
+executeCell(const ExperimentCell &cell, const Workload &workload,
+            bool collect_stats)
+{
+    CellResult result;
+    result.cell = cell;
+    GnnSystem system(cell.config, workload);
+
+    auto add = [&result](const std::string &name, double value) {
+        result.metrics.push_back({name, finite(value)});
+    };
+
+    if (cell.kind == ExperimentKind::Pipeline) {
+        auto r = system.runPipeline();
+        add("batches_per_s", r.throughput());
+        add("avg_sample_ms", r.avg_sampling_us / 1000.0);
+        add("gpu_idle_frac", r.gpu_idle_frac);
+    } else {
+        auto r = system.runSamplingOnly(cell.sim_workers,
+                                        cell.num_batches);
+        add("batches_per_s", r.batchesPerSecond());
+        add("avg_sample_ms", r.avg_batch_us / 1000.0);
+    }
+
+    if (auto *ssd = system.ssd()) {
+        add("ssd_buffer_hit_frac", ssd->pageBuffer().hitRate());
+        add("flash_pages_read",
+            static_cast<double>(ssd->flashArray().pagesRead()));
+    }
+    if (auto *mm =
+            dynamic_cast<host::MmapEdgeStore *>(system.edgeStore())) {
+        result.notes = "page cache " + fmtPct(mm->pageCacheHitRate()) +
+                       ", faults " + std::to_string(mm->pageFaults());
+    } else if (auto *dio = dynamic_cast<host::DirectIoEdgeStore *>(
+                   system.edgeStore())) {
+        result.notes = "scratchpad " + fmtPct(dio->scratchpadHitRate()) +
+                       ", submits " + std::to_string(dio->submits());
+    }
+    if (collect_stats) {
+        std::ostringstream stats;
+        system.dumpStats(stats);
+        result.stats = stats.str();
+    }
+    return result;
+}
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+CellResult::metric(const std::string &name) const
+{
+    for (const auto &m : metrics)
+        if (m.name == name)
+            return m.value;
+    return 0.0;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(options)
+{
+    SS_ASSERT(options_.workers > 0, "need at least one runner worker");
+    if (options_.workers > 1)
+        pool_ = std::make_unique<sim::ThreadPool>(options_.workers);
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+const Workload &
+ExperimentRunner::workload(graph::DatasetId id, bool large_scale)
+{
+    auto key = std::make_pair(static_cast<int>(id), large_scale);
+    auto it = workloads_.find(key);
+    if (it == workloads_.end()) {
+        it = workloads_
+                 .emplace(key, std::make_unique<Workload>(
+                                   Workload::make(id, large_scale)))
+                 .first;
+    }
+    return *it->second;
+}
+
+ScenarioRun
+ExperimentRunner::run(const Scenario &scenario)
+{
+    ScenarioRun out;
+    out.scenario = scenario;
+    std::vector<ExperimentCell> cells = expandScenario(scenario);
+    if (options_.progress)
+        SS_INFORM("scenario ", scenario.family, ": ", cells.size(),
+                  " cells, ", scenario.num_batches, " batches each");
+
+    // Workloads are built up front on this thread; cells only read
+    // them concurrently.
+    for (auto id : scenario.datasets)
+        workload(id, scenario.large_scale);
+
+    out.cells.resize(cells.size());
+    sim::parallelFor(pool_.get(), cells.size(), [&](std::size_t i) {
+        const ExperimentCell &cell = cells[i];
+        const Workload &wl =
+            *workloads_.at({static_cast<int>(cell.dataset),
+                            cell.large_scale});
+        out.cells[i] = executeCell(cell, wl, options_.collect_stats);
+    });
+    return out;
+}
+
+std::vector<ScenarioRun>
+ExperimentRunner::runAll(const std::vector<Scenario> &scenarios)
+{
+    std::vector<ScenarioRun> runs;
+    runs.reserve(scenarios.size());
+    for (const auto &scenario : scenarios)
+        runs.push_back(run(scenario));
+    return runs;
+}
+
+TableReporter
+ExperimentRunner::table(const ScenarioRun &run)
+{
+    const Scenario &s = run.scenario;
+
+    // Axis columns: only the axes that actually vary in this grid.
+    struct Axis
+    {
+        const char *name;
+        bool show;
+        std::string (*value)(const ExperimentCell &);
+    };
+    const Axis axes[] = {
+        {"dataset", s.datasets.size() > 1,
+         [](const ExperimentCell &c) {
+             return graph::datasetName(c.dataset);
+         }},
+        {"design", s.designs.size() > 1,
+         [](const ExperimentCell &c) { return designName(c.design); }},
+        {"fanouts", s.fanout_grid.size() > 1,
+         [](const ExperimentCell &c) { return fanoutLabel(c.fanouts); }},
+        {"batch", s.batch_sizes.size() > 1,
+         [](const ExperimentCell &c) {
+             return std::to_string(c.batch_size);
+         }},
+        {"mix", s.batch_mixes.size() > 1,
+         [](const ExperimentCell &c) { return mixLabel(c.batch_mix); }},
+        {"override", s.overrides.size() > 1,
+         [](const ExperimentCell &c) { return overrideLabel(c.knobs); }},
+        {"workers", s.worker_grid.size() > 1,
+         [](const ExperimentCell &c) {
+             return std::to_string(c.sim_workers);
+         }},
+    };
+    bool any_axis = false;
+    for (const auto &axis : axes)
+        any_axis = any_axis || axis.show;
+
+    // Metric columns: union across cells in first-appearance order
+    // (cells of one scenario normally share the set; SSD counters are
+    // absent for host-only design points).
+    std::vector<std::string> metric_names;
+    for (const auto &cell : run.cells)
+        for (const auto &m : cell.metrics)
+            if (std::find(metric_names.begin(), metric_names.end(),
+                          m.name) == metric_names.end())
+                metric_names.push_back(m.name);
+
+    std::vector<std::string> columns;
+    if (!any_axis)
+        columns.push_back("design");
+    for (const auto &axis : axes)
+        if (axis.show)
+            columns.push_back(axis.name);
+    columns.insert(columns.end(), metric_names.begin(),
+                   metric_names.end());
+    columns.push_back("notes");
+
+    TableReporter table(s.title, columns);
+    for (const auto &result : run.cells) {
+        std::vector<std::string> row;
+        if (!any_axis)
+            row.push_back(designName(result.cell.design));
+        for (const auto &axis : axes)
+            if (axis.show)
+                row.push_back(axis.value(result.cell));
+        for (const auto &name : metric_names) {
+            bool present = false;
+            for (const auto &m : result.metrics)
+                present = present || m.name == name;
+            if (!present) {
+                row.push_back("-");
+            } else if (name.size() > 5 &&
+                       name.substr(name.size() - 5) == "_frac") {
+                row.push_back(fmtPct(result.metric(name)));
+            } else {
+                row.push_back(fmt(result.metric(name), 2));
+            }
+        }
+        row.push_back(result.notes);
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+void
+writeDesignSpaceJson(std::ostream &os,
+                     const std::vector<ScenarioRun> &runs)
+{
+    os.precision(10);
+    os << "{\n"
+       << "  \"bench\": \"design_space\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"config\": {\n"
+       << "    \"families\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        os << (i ? ", " : "") << '"'
+           << jsonEscape(runs[i].scenario.family) << '"';
+    os << "]\n  },\n"
+       << "  \"results\": {\n";
+
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const ScenarioRun &run = runs[r];
+        const Scenario &s = run.scenario;
+        os << "    \"" << jsonEscape(s.family) << "\": {\n"
+           << "      \"title\": \"" << jsonEscape(s.title) << "\",\n"
+           << "      \"kind\": \""
+           << (s.kind == ExperimentKind::Pipeline ? "pipeline"
+                                                  : "sampling")
+           << "\",\n"
+           << "      \"large_scale\": "
+           << (s.large_scale ? "true" : "false") << ",\n"
+           << "      \"num_batches\": " << s.num_batches << ",\n"
+           << "      \"seed\": " << s.seed << ",\n"
+           << "      \"cells\": [\n";
+        for (std::size_t i = 0; i < run.cells.size(); ++i) {
+            const CellResult &cell = run.cells[i];
+            const ExperimentCell &c = cell.cell;
+            os << "        {\"dataset\": \""
+               << jsonEscape(graph::datasetName(c.dataset))
+               << "\", \"design\": \"" << jsonEscape(designName(c.design))
+               << "\", \"fanouts\": [";
+            for (std::size_t f = 0; f < c.fanouts.size(); ++f)
+                os << (f ? ", " : "") << c.fanouts[f];
+            os << "], \"batch_size\": " << c.batch_size
+               << ", \"batch_mix\": [";
+            for (std::size_t m = 0; m < c.batch_mix.size(); ++m)
+                os << (m ? ", " : "") << c.batch_mix[m];
+            os << "], \"sim_workers\": " << c.sim_workers
+               << ", \"knobs\": {";
+            for (std::size_t k = 0; k < c.knobs.size(); ++k)
+                os << (k ? ", " : "") << '"' << jsonEscape(c.knobs[k].key)
+                   << "\": " << c.knobs[k].value;
+            os << "}, \"metrics\": {";
+            for (std::size_t m = 0; m < cell.metrics.size(); ++m)
+                os << (m ? ", " : "") << '"'
+                   << jsonEscape(cell.metrics[m].name)
+                   << "\": " << cell.metrics[m].value;
+            os << "}, \"notes\": \"" << jsonEscape(cell.notes) << "\"}"
+               << (i + 1 < run.cells.size() ? ",\n" : "\n");
+        }
+        os << "      ]\n    }" << (r + 1 < runs.size() ? ",\n" : "\n");
+    }
+    os << "  }\n}\n";
+}
+
+} // namespace smartsage::core

@@ -1,0 +1,333 @@
+#include "scenario.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace smartsage::core
+{
+
+namespace
+{
+
+/** Compact number rendering for labels ("16", "0.4"). */
+std::string
+fmtValue(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/** Join integers with @p sep ("25-10", "256+1024"). */
+template <typename T>
+std::string
+joinInts(const std::vector<T> &values, char sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += sep;
+        out += std::to_string(values[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+KnobSetting::label() const
+{
+    return key + "=" + fmtValue(value);
+}
+
+std::string
+fanoutLabel(const std::vector<unsigned> &fanouts)
+{
+    return joinInts(fanouts, '-');
+}
+
+std::string
+mixLabel(const std::vector<std::size_t> &mix)
+{
+    return mix.empty() ? "uniform" : joinInts(mix, '+');
+}
+
+std::string
+overrideLabel(const std::vector<KnobSetting> &knobs)
+{
+    if (knobs.empty())
+        return "baseline";
+    std::string out;
+    for (std::size_t i = 0; i < knobs.size(); ++i) {
+        if (i)
+            out += ' ';
+        out += knobs[i].label();
+    }
+    return out;
+}
+
+bool
+applyKnob(SystemConfig &config, const KnobSetting &knob)
+{
+    std::string_view key = knob.key;
+    double value = knob.value;
+
+    auto strip = [&key](std::string_view prefix) {
+        if (key.substr(0, prefix.size()) != prefix)
+            return false;
+        key.remove_prefix(prefix.size());
+        return true;
+    };
+    if (strip("ssd."))
+        return ssd::applyKnob(config.ssd, key, value);
+    if (strip("isp."))
+        return isp::applyKnob(config.isp, key, value);
+    if (strip("fpga."))
+        return isp::applyKnob(config.fpga, key, value);
+    if (strip("host."))
+        return host::applyKnob(config.host, key, value);
+
+    // Top-level SystemConfig knobs.
+    if (key == "page_cache_fraction")
+        config.page_cache_fraction = value;
+    else if (key == "scratchpad_fraction")
+        config.scratchpad_fraction = value;
+    else if (key == "ssd_buffer_fraction")
+        config.ssd_buffer_fraction = value;
+    else if (key == "hidden_dim")
+        config.hidden_dim = static_cast<unsigned>(value);
+    else if (key == "use_saint")
+        config.use_saint = value != 0;
+    else if (key == "saint_walk_length")
+        config.saint_walk_length = static_cast<unsigned>(value);
+    else if (key == "else_per_batch_us")
+        config.pipeline.else_per_batch = sim::us(value);
+    else
+        return false;
+    return true;
+}
+
+std::size_t
+Scenario::gridSize() const
+{
+    return datasets.size() * designs.size() * fanout_grid.size() *
+           batch_sizes.size() * batch_mixes.size() * overrides.size() *
+           worker_grid.size();
+}
+
+std::string
+ExperimentCell::label() const
+{
+    std::string out = graph::datasetName(dataset) + "/" +
+                      designName(design) + "/f=" + fanoutLabel(fanouts) +
+                      "/b=";
+    out += batch_mix.empty() ? std::to_string(batch_size)
+                             : mixLabel(batch_mix);
+    for (const auto &knob : knobs)
+        out += "/" + knob.label();
+    out += "/w=" + std::to_string(sim_workers);
+    return out;
+}
+
+std::vector<ExperimentCell>
+expandScenario(const Scenario &scenario)
+{
+    SS_ASSERT(!scenario.datasets.empty() && !scenario.designs.empty() &&
+                  !scenario.fanout_grid.empty() &&
+                  !scenario.batch_sizes.empty() &&
+                  !scenario.batch_mixes.empty() &&
+                  !scenario.overrides.empty() &&
+                  !scenario.worker_grid.empty(),
+              "scenario '", scenario.family, "' has an empty grid axis");
+
+    std::vector<ExperimentCell> cells;
+    cells.reserve(scenario.gridSize());
+    sim::Rng master(scenario.seed);
+
+    for (auto dataset : scenario.datasets)
+     for (auto design : scenario.designs)
+      for (const auto &fanouts : scenario.fanout_grid)
+       for (auto batch_size : scenario.batch_sizes)
+        for (const auto &mix : scenario.batch_mixes)
+         for (const auto &knobs : scenario.overrides)
+          for (auto workers : scenario.worker_grid) {
+              ExperimentCell cell;
+              cell.index = cells.size();
+              cell.family = scenario.family;
+              cell.kind = scenario.kind;
+              cell.dataset = dataset;
+              cell.large_scale = scenario.large_scale;
+              cell.design = design;
+              cell.fanouts = fanouts;
+              cell.batch_size = batch_size;
+              cell.batch_mix = mix;
+              cell.knobs = knobs;
+              cell.sim_workers = workers;
+              cell.num_batches = scenario.num_batches;
+
+              SystemConfig sc;
+              sc.design = design;
+              sc.fanouts = fanouts;
+              sc.pipeline.workers = workers;
+              sc.pipeline.num_batches = scenario.num_batches;
+              sc.pipeline.batch_size = batch_size;
+              sc.pipeline.batch_mix = mix;
+              // Independent stream per cell, reproducible at any
+              // runner worker count because it depends only on index.
+              sc.pipeline.seed = master.fork(cell.index).next();
+              for (const auto &knob : knobs) {
+                  if (!applyKnob(sc, knob))
+                      SS_FATAL("scenario '", scenario.family,
+                               "': unknown config knob '", knob.key, "'");
+              }
+              cell.config = std::move(sc);
+              cells.push_back(std::move(cell));
+          }
+    return cells;
+}
+
+namespace
+{
+
+Scenario
+designSpaceScenario()
+{
+    Scenario s;
+    s.family = "design-space";
+    s.title = "Design space: every design point, paper defaults";
+    s.kind = ExperimentKind::Pipeline;
+    s.designs = allDesignPoints();
+    s.worker_grid = {12};
+    s.num_batches = 24;
+    return s;
+}
+
+Scenario
+fanoutSweepScenario()
+{
+    Scenario s;
+    s.family = "fanout-sweep";
+    s.title = "Fanout sweep: sampling rate vs ISP benefit";
+    s.kind = ExperimentKind::SamplingOnly;
+    s.designs = {DesignPoint::SsdMmap, DesignPoint::SmartSageHwSw};
+    s.fanout_grid = {{5}, {10, 5}, {15, 10}, {25, 10}, {25, 10, 5}};
+    s.num_batches = 8;
+    return s;
+}
+
+Scenario
+ssdGeometryScenario()
+{
+    Scenario s;
+    s.family = "ssd-geometry";
+    s.title = "SSD geometry: flash channels/dies vs in-storage sampling";
+    s.kind = ExperimentKind::SamplingOnly;
+    s.designs = {DesignPoint::SmartSageHwSw};
+    s.overrides = {
+        {},
+        {{"ssd.flash.channels", 2}},
+        {{"ssd.flash.channels", 4}},
+        {{"ssd.flash.channels", 16}},
+        {{"ssd.flash.channels", 32}},
+        {{"ssd.flash.dies_per_channel", 2}},
+        {{"ssd.flash.dies_per_channel", 8}},
+        {{"ssd.flash.channels", 16}, {"ssd.flash.dies_per_channel", 8}},
+    };
+    s.num_batches = 8;
+    return s;
+}
+
+Scenario
+tenantMixScenario()
+{
+    Scenario s;
+    s.family = "tenant-mix";
+    s.title = "Multi-tenant batch mix: heterogeneous tenants sharing "
+              "the storage stack";
+    s.kind = ExperimentKind::Pipeline;
+    s.designs = {DesignPoint::SsdMmap, DesignPoint::SmartSageHwSw};
+    s.batch_mixes = {{}, {256, 1024}, {128, 256, 512, 1024}, {64, 2048}};
+    s.worker_grid = {8};
+    s.num_batches = 16;
+    return s;
+}
+
+Scenario
+batchSizeScenario()
+{
+    Scenario s;
+    s.family = "batch-size";
+    s.title = "Batch-size sensitivity (Section VI-F)";
+    s.kind = ExperimentKind::SamplingOnly;
+    s.designs = {DesignPoint::SsdMmap, DesignPoint::SmartSageHwSw};
+    s.fanout_grid = {{10, 5}};
+    s.batch_sizes = {64, 128, 256};
+    s.num_batches = 8;
+    return s;
+}
+
+Scenario
+pageBufferScenario()
+{
+    Scenario s;
+    s.family = "page-buffer";
+    s.title = "SSD page-buffer capacity sweep (DESIGN.md ablation)";
+    s.kind = ExperimentKind::SamplingOnly;
+    s.designs = {DesignPoint::SmartSageHwSw};
+    s.overrides = {
+        {{"ssd_buffer_fraction", 0.02}}, {{"ssd_buffer_fraction", 0.15}},
+        {{"ssd_buffer_fraction", 0.4}},  {{"ssd_buffer_fraction", 0.8}},
+        {{"ssd_buffer_fraction", 1.5}},
+    };
+    s.num_batches = 8;
+    return s;
+}
+
+Scenario
+workerScalingScenario()
+{
+    Scenario s;
+    s.family = "worker-scaling";
+    s.title = "Producer worker scaling (Fig 17 regime)";
+    s.kind = ExperimentKind::Pipeline;
+    s.designs = {DesignPoint::SsdMmap, DesignPoint::SmartSageHwSw};
+    s.worker_grid = {1, 2, 4, 8, 12, 16};
+    s.num_batches = 16;
+    return s;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+builtinScenarios()
+{
+    static const std::vector<Scenario> scenarios = {
+        designSpaceScenario(), fanoutSweepScenario(),
+        ssdGeometryScenario(), tenantMixScenario(),
+        batchSizeScenario(),   pageBufferScenario(),
+        workerScalingScenario(),
+    };
+    return scenarios;
+}
+
+const Scenario *
+findScenario(const std::string &family)
+{
+    for (const auto &s : builtinScenarios())
+        if (s.family == family)
+            return &s;
+    return nullptr;
+}
+
+Scenario
+smokeVariant(Scenario scenario)
+{
+    scenario.large_scale = false;
+    scenario.num_batches = std::min<std::size_t>(scenario.num_batches, 4);
+    return scenario;
+}
+
+} // namespace smartsage::core

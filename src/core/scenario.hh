@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Declarative experiment scenarios.
+ *
+ * A Scenario names one experiment family and the axes of its design
+ * grid: datasets x design points x fanouts x batch sizes x tenant
+ * mixes x config-knob overrides x simulated worker counts. Expansion
+ * turns the grid into flat ExperimentCells — each a fully resolved
+ * SystemConfig plus a deterministic per-cell seed — which the
+ * ExperimentRunner (experiment.hh) executes and reports. Every
+ * "reproduce figure N" harness is one Scenario away.
+ */
+
+#ifndef SMARTSAGE_CORE_SCENARIO_HH
+#define SMARTSAGE_CORE_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system.hh"
+
+namespace smartsage::core
+{
+
+/**
+ * One named configuration override, e.g. {"ssd.flash.channels", 16}.
+ * Keys are namespaced by the owning subsystem ("ssd.", "isp.",
+ * "host.") or name a top-level SystemConfig knob; each subsystem
+ * interprets its own keys (flash::applyKnob etc.).
+ */
+struct KnobSetting
+{
+    std::string key;
+    double value = 0;
+
+    /** "key=value" with a compact number rendering. */
+    std::string label() const;
+};
+
+/**
+ * Apply @p knob to @p config, dispatching on the key's namespace
+ * prefix. @return false if no subsystem recognizes the key
+ */
+bool applyKnob(SystemConfig &config, const KnobSetting &knob);
+
+/** "25-10" rendering of a fanout vector. */
+std::string fanoutLabel(const std::vector<unsigned> &fanouts);
+
+/** "256+1024" rendering of a tenant mix; "uniform" when empty. */
+std::string mixLabel(const std::vector<std::size_t> &mix);
+
+/** Space-joined knob labels; "baseline" when empty. */
+std::string overrideLabel(const std::vector<KnobSetting> &knobs);
+
+/** What each cell measures. */
+enum class ExperimentKind
+{
+    Pipeline,     //!< full producer-consumer training pipeline
+    SamplingOnly, //!< worker timelines producing batches, no GPU stage
+};
+
+/** Declarative description of one experiment family's design grid. */
+struct Scenario
+{
+    std::string family; //!< machine-readable id ("fanout-sweep")
+    std::string title;  //!< table banner
+    ExperimentKind kind = ExperimentKind::Pipeline;
+
+    // ------- grid axes (each defaults to a single point) -------
+    std::vector<graph::DatasetId> datasets{graph::DatasetId::Reddit};
+    std::vector<DesignPoint> designs{DesignPoint::SmartSageHwSw};
+    std::vector<std::vector<unsigned>> fanout_grid{{25, 10}};
+    std::vector<std::size_t> batch_sizes{1024};
+    /**
+     * Multi-tenant batch-size mixes (round-robin over batches); the
+     * default single empty mix means homogeneous batch_sizes cells.
+     */
+    std::vector<std::vector<std::size_t>> batch_mixes{{}};
+    /** Config overrides; each entry is one grid point (a knob set). */
+    std::vector<std::vector<KnobSetting>> overrides{{}};
+    /** Simulated producer-worker timelines per cell. */
+    std::vector<unsigned> worker_grid{4};
+
+    // ------- shared cell parameters -------
+    bool large_scale = true;   //!< dataset variant
+    std::size_t num_batches = 8;
+    std::uint64_t seed = 0xba7c;
+
+    /** Number of cells the grid expands to. */
+    std::size_t gridSize() const;
+};
+
+/** One fully resolved point of a scenario grid. */
+struct ExperimentCell
+{
+    std::size_t index = 0; //!< position in expansion order
+    std::string family;
+    ExperimentKind kind = ExperimentKind::Pipeline;
+    graph::DatasetId dataset = graph::DatasetId::Reddit;
+    bool large_scale = true;
+    DesignPoint design = DesignPoint::SmartSageHwSw;
+    std::vector<unsigned> fanouts;
+    std::size_t batch_size = 1024;
+    std::vector<std::size_t> batch_mix;
+    std::vector<KnobSetting> knobs;
+    unsigned sim_workers = 4;
+    std::size_t num_batches = 8;
+
+    /** Resolved config: design, fanouts, knobs, and per-cell seed. */
+    SystemConfig config;
+
+    /** Compact human-readable cell id for tables and logs. */
+    std::string label() const;
+};
+
+/**
+ * Expand @p scenario into its flat cell list (axis order: datasets,
+ * designs, fanouts, batch sizes, mixes, overrides, workers). Cell i
+ * seeds its pipeline from fork(i) of the scenario seed, so cells are
+ * statistically independent yet bit-reproducible no matter how the
+ * runner schedules them. Unknown override keys are fatal.
+ */
+std::vector<ExperimentCell> expandScenario(const Scenario &scenario);
+
+/**
+ * The built-in scenario families: the full design-point comparison
+ * plus fanout, SSD-geometry, tenant-mix, batch-size, and page-buffer
+ * sweeps.
+ */
+const std::vector<Scenario> &builtinScenarios();
+
+/** Find a built-in family by id. @return nullptr when absent */
+const Scenario *findScenario(const std::string &family);
+
+/**
+ * Shrink @p scenario to CI smoke size: in-memory dataset variants and
+ * a small fixed batch count. Grid shape (and therefore coverage) is
+ * preserved.
+ */
+Scenario smokeVariant(Scenario scenario);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_SCENARIO_HH

@@ -209,6 +209,7 @@ GnnSystem::runSamplingOnly(unsigned workers, std::size_t batches)
     sched.workers = workers;
     sched.num_batches = batches;
     sched.batch_size = config_.pipeline.batch_size;
+    sched.batch_mix = config_.pipeline.batch_mix;
     sched.seed = config_.pipeline.seed;
     auto produced =
         pipeline::runWorkers(*producer_, workload_.graph, sched);

@@ -11,6 +11,7 @@
 #define SMARTSAGE_FLASH_CONFIG_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "sim/types.hh"
 
@@ -35,6 +36,28 @@ struct FlashConfig
         return sim::transferTime(page_bytes, channel_gbps);
     }
 };
+
+/**
+ * Set the named flash knob (scenario override support). Durations use
+ * the unit in the key suffix. @return false for an unknown key
+ */
+inline bool
+applyKnob(FlashConfig &config, std::string_view key, double value)
+{
+    if (key == "channels")
+        config.channels = static_cast<unsigned>(value);
+    else if (key == "dies_per_channel")
+        config.dies_per_channel = static_cast<unsigned>(value);
+    else if (key == "page_kib")
+        config.page_bytes = sim::KiB(static_cast<std::uint64_t>(value));
+    else if (key == "read_latency_us")
+        config.read_latency = sim::us(value);
+    else if (key == "channel_gbps")
+        config.channel_gbps = value;
+    else
+        return false;
+    return true;
+}
 
 /** Physical location of a flash page. */
 struct PageAddress

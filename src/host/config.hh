@@ -9,6 +9,7 @@
 #define SMARTSAGE_HOST_CONFIG_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "sim/types.hh"
 
@@ -65,6 +66,36 @@ struct HostConfig
     double host_gpu_gbps = 12.0; //!< effective PCIe gen3 x16 to the GPU
     sim::Tick host_gpu_latency = sim::us(10);
 };
+
+/**
+ * Set the named host knob (scenario override support).
+ * @return false for an unknown key
+ */
+inline bool
+applyKnob(HostConfig &config, std::string_view key, double value)
+{
+    if (key == "llc_mib")
+        config.llc_bytes = sim::MiB(static_cast<std::uint64_t>(value));
+    else if (key == "dram_peak_gbps")
+        config.dram_peak_gbps = value;
+    else if (key == "memory_level_parallelism")
+        config.memory_level_parallelism = value;
+    else if (key == "page_fault_cost_us")
+        config.page_fault_cost = sim::us(value);
+    else if (key == "direct_io_submit_us")
+        config.direct_io_submit = sim::us(value);
+    else if (key == "pmem_latency_ns")
+        config.pmem_latency = sim::ns(value);
+    else if (key == "cpu_per_edge_ns")
+        config.cpu_per_edge = sim::ns(value);
+    else if (key == "feature_stream_gbps")
+        config.feature_stream_gbps = value;
+    else if (key == "host_gpu_gbps")
+        config.host_gpu_gbps = value;
+    else
+        return false;
+    return true;
+}
 
 } // namespace smartsage::host
 

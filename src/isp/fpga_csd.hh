@@ -14,6 +14,7 @@
 #define SMARTSAGE_ISP_FPGA_CSD_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "graph/layout.hh"
 #include "nsconfig.hh"
@@ -37,6 +38,26 @@ struct FpgaCsdConfig
     sim::Tick kernel_setup = sim::us(40); //!< per-batch kernel control
     sim::Tick host_submit = sim::us(3);
 };
+
+/**
+ * Set the named FPGA-CSD knob (scenario override support).
+ * @return false for an unknown key
+ */
+inline bool
+applyKnob(FpgaCsdConfig &config, std::string_view key, double value)
+{
+    if (key == "p2p_gbps")
+        config.p2p_gbps = value;
+    else if (key == "queue_depth")
+        config.queue_depth = static_cast<unsigned>(value);
+    else if (key == "fpga_per_edge_ns")
+        config.fpga_per_edge = sim::ns(value);
+    else if (key == "kernel_setup_us")
+        config.kernel_setup = sim::us(value);
+    else
+        return false;
+    return true;
+}
 
 /** Per-stage latency breakdown of one batch (Fig 19's bar segments). */
 struct FpgaBatchResult

@@ -13,6 +13,7 @@
 #define SMARTSAGE_ISP_ISP_ENGINE_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "graph/layout.hh"
 #include "nsconfig.hh"
@@ -34,6 +35,22 @@ struct IspConfig
     std::size_t coalesce_targets = 1024;
     NsConfigFormat format;
 };
+
+/**
+ * Set the named ISP knob (scenario override support).
+ * @return false for an unknown key
+ */
+inline bool
+applyKnob(IspConfig &config, std::string_view key, double value)
+{
+    if (key == "coalesce_targets")
+        config.coalesce_targets = static_cast<std::size_t>(value);
+    else if (key == "host_submit_us")
+        config.host_submit = sim::us(value);
+    else
+        return false;
+    return true;
+}
 
 /** Outcome of one in-storage batch generation. */
 struct IspBatchResult

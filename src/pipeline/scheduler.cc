@@ -32,9 +32,9 @@ runWorkers(SubgraphProducer &producer, const graph::CsrGraph &graph,
     auto assign = [&](Worker &w) {
         if (next_batch >= config.num_batches)
             return;
-        ++next_batch;
-        auto targets =
-            gnn::selectTargets(graph, config.batch_size, w.rng);
+        std::size_t batch = next_batch++;
+        auto targets = gnn::selectTargets(
+            graph, config.sizeOfBatch(batch), w.rng);
         w.batch_start = w.clock;
         w.job = producer.startBatch(targets, w.rng);
     };

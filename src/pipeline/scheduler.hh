@@ -25,7 +25,22 @@ struct ScheduleConfig
     unsigned workers = 12;
     std::size_t num_batches = 24;
     std::size_t batch_size = 1024;
+    /**
+     * Multi-tenant mix: when non-empty, batch i uses size
+     * batch_mix[i % batch_mix.size()] instead of batch_size — tenants
+     * with different mini-batch sizes interleaved round-robin on the
+     * shared storage stack.
+     */
+    std::vector<std::size_t> batch_mix;
     std::uint64_t seed = 0xba7c;
+
+    /** Target count of batch @p index under the mix policy. */
+    std::size_t
+    sizeOfBatch(std::size_t index) const
+    {
+        return batch_mix.empty() ? batch_size
+                                 : batch_mix[index % batch_mix.size()];
+    }
 };
 
 /**

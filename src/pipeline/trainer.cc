@@ -53,6 +53,7 @@ TrainingPipeline::run(SubgraphProducer &producer,
     sched.workers = config_.workers;
     sched.num_batches = config_.num_batches;
     sched.batch_size = config_.batch_size;
+    sched.batch_mix = config_.batch_mix;
     sched.seed = config_.seed;
     std::vector<ProducedBatch> produced =
         runWorkers(producer, graph, sched);

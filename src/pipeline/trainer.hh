@@ -13,6 +13,7 @@
 #ifndef SMARTSAGE_PIPELINE_TRAINER_HH
 #define SMARTSAGE_PIPELINE_TRAINER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +33,8 @@ struct PipelineConfig
     unsigned workers = 12;        //!< CPU-side producer processes
     std::size_t num_batches = 24; //!< mini-batches to simulate
     std::size_t batch_size = 1024; //!< paper default M
+    /** Multi-tenant batch-size mix; see ScheduleConfig::batch_mix. */
+    std::vector<std::size_t> batch_mix;
     /** Framework overhead per batch ("Else" in Fig 6/18). */
     sim::Tick else_per_batch = sim::us(3000);
     std::uint64_t seed = 0xba7c;

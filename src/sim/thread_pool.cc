@@ -90,4 +90,19 @@ ThreadPool::workerLoop()
     }
 }
 
+void
+parallelFor(ThreadPool *pool, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    SS_ASSERT(fn, "null body passed to parallelFor");
+    if (!pool || pool->size() <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        pool->submit([&fn, i] { fn(i); });
+    pool->wait();
+}
+
 } // namespace smartsage::sim

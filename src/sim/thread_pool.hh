@@ -63,6 +63,16 @@ class ThreadPool
     bool stop_ = false;
 };
 
+/**
+ * Run @p fn(i) for every i in [0, count) on @p pool and block until all
+ * calls finish; a null @p pool runs inline on the caller. Work is keyed
+ * by index, so as long as @p fn(i) depends only on i (the determinism
+ * convention of this codebase), results are identical for any pool
+ * size. The first exception thrown by any call is rethrown here.
+ */
+void parallelFor(ThreadPool *pool, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
 } // namespace smartsage::sim
 
 #endif // SMARTSAGE_SIM_THREAD_POOL_HH

@@ -9,6 +9,7 @@
 #define SMARTSAGE_SSD_CONFIG_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "flash/config.hh"
 #include "sim/types.hh"
@@ -50,6 +51,37 @@ struct SsdConfig
     /** Logical block size exposed to the host. */
     std::uint64_t block_bytes = sim::KiB(4);
 };
+
+/**
+ * Set the named SSD knob (scenario override support). Keys prefixed
+ * "flash." delegate to flash::applyKnob. The page-buffer *capacity*
+ * is deliberately not a knob here: GnnSystem scales it from the
+ * system-level "ssd_buffer_fraction" to preserve the paper's
+ * buffer-to-dataset ratio. @return false for an unknown key
+ */
+inline bool
+applyKnob(SsdConfig &config, std::string_view key, double value)
+{
+    constexpr std::string_view flash_prefix = "flash.";
+    if (key.substr(0, flash_prefix.size()) == flash_prefix)
+        return flash::applyKnob(config.flash,
+                                key.substr(flash_prefix.size()), value);
+    if (key == "page_buffer_ways")
+        config.page_buffer_ways = static_cast<unsigned>(value);
+    else if (key == "embedded_cores")
+        config.embedded_cores = static_cast<unsigned>(value);
+    else if (key == "firmware_duty")
+        config.firmware_duty = value;
+    else if (key == "isp_per_edge_ns")
+        config.isp_per_edge = sim::ns(value);
+    else if (key == "nvme_command_us")
+        config.nvme_command = sim::us(value);
+    else if (key == "pcie_gbps")
+        config.pcie_gbps = value;
+    else
+        return false;
+    return true;
+}
 
 } // namespace smartsage::ssd
 

@@ -1,11 +1,15 @@
 /** @file Sensitivity-study integration tests mirroring Section VI-F of
- *  the paper, plus stats-report coverage. */
+ *  the paper, plus stats-report coverage. The batch-size sweep runs as
+ *  a declarative scenario through core::ExperimentRunner; the rest
+ *  drive GnnSystem directly. */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <sstream>
 
+#include "core/experiment.hh"
+#include "core/scenario.hh"
 #include "core/system.hh"
 
 using namespace smartsage;
@@ -48,14 +52,28 @@ speedupOverMmap(const SystemConfig &hwsw_cfg,
 TEST(Sensitivity, BatchSizeHasLittleEffectOnSpeedup)
 {
     // Section VI-F: "the chosen mini-batch size [has] little effect on
-    // SmartSAGE's achieved speedup."
+    // SmartSAGE's achieved speedup." Runs the built-in "batch-size"
+    // scenario family at test scale through the runner.
+    const Scenario *builtin = findScenario("batch-size");
+    ASSERT_NE(builtin, nullptr);
+    Scenario scenario = smokeVariant(*builtin);
+    scenario.num_batches = 8;
+
+    ExperimentRunner runner;
+    ScenarioRun run = runner.run(scenario);
+    ASSERT_EQ(run.cells.size(), scenario.gridSize());
+
+    auto tput = [&run](DesignPoint dp, std::size_t batch) {
+        for (const auto &cell : run.cells)
+            if (cell.cell.design == dp && cell.cell.batch_size == batch)
+                return cell.metric("batches_per_s");
+        return 0.0;
+    };
     std::vector<double> speedups;
-    for (std::size_t bs : {64u, 128u, 256u}) {
-        SystemConfig hw = config(DesignPoint::SmartSageHwSw);
-        SystemConfig mm = config(DesignPoint::SsdMmap);
-        hw.pipeline.batch_size = bs;
-        mm.pipeline.batch_size = bs;
-        speedups.push_back(speedupOverMmap(hw, mm, 4, 8));
+    for (std::size_t bs : scenario.batch_sizes) {
+        double mmap = tput(DesignPoint::SsdMmap, bs);
+        ASSERT_GT(mmap, 0.0);
+        speedups.push_back(tput(DesignPoint::SmartSageHwSw, bs) / mmap);
     }
     double lo = *std::min_element(speedups.begin(), speedups.end());
     double hi = *std::max_element(speedups.begin(), speedups.end());

@@ -129,6 +129,33 @@ TEST(Scheduler, DeterministicAcrossRuns)
         EXPECT_EQ(a[i].ready, b[i].ready);
 }
 
+TEST(Scheduler, BatchMixCyclesTenantSizes)
+{
+    Fixture f;
+    host::DramEdgeStore store(f.host);
+    CpuProducer producer(f.graph, f.sampler, store, f.host, f.layout);
+    ScheduleConfig sc;
+    sc.workers = 1; // serial: completion order == batch-index order
+    sc.num_batches = 6;
+    sc.batch_mix = {16, 64, 128};
+    EXPECT_EQ(sc.sizeOfBatch(0), 16u);
+    EXPECT_EQ(sc.sizeOfBatch(4), 64u);
+    auto batches = runWorkers(producer, f.graph, sc);
+    ASSERT_EQ(batches.size(), 6u);
+    for (std::size_t i = 0; i < batches.size(); ++i)
+        EXPECT_EQ(batches[i].stats.num_targets,
+                  sc.batch_mix[i % sc.batch_mix.size()])
+            << "batch " << i;
+}
+
+TEST(Scheduler, EmptyMixFallsBackToBatchSize)
+{
+    ScheduleConfig sc;
+    sc.batch_size = 42;
+    EXPECT_EQ(sc.sizeOfBatch(0), 42u);
+    EXPECT_EQ(sc.sizeOfBatch(7), 42u);
+}
+
 TEST(Trainer, BreakdownAndIdleAreConsistent)
 {
     Fixture f;
