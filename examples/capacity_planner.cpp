@@ -68,7 +68,8 @@ main(int argc, char **argv)
     auto throughput = [&run](graph::DatasetId id,
                              core::DesignPoint dp) {
         for (const auto &cell : run.cells)
-            if (cell.cell.dataset == id && cell.cell.design == dp)
+            if (cell.cell.dataset == id &&
+                cell.cell.backend == core::backendIdOf(dp))
                 return cell.metric("batches_per_s");
         return 0.0;
     };

@@ -2,21 +2,27 @@
  * @file
  * Design-space sweep runner: expands the built-in scenario families
  * (every design point, fanout sweep, SSD geometry, multi-tenant batch
- * mix, batch-size sensitivity, page-buffer and worker sweeps) through
- * core::ExperimentRunner, prints the paper-style tables, and emits the
- * machine-readable BENCH_designspace.json trajectory artifact.
+ * mix, batch-size sensitivity, page-buffer and worker sweeps — plus
+ * the registry-driven "backend-space" family covering every registered
+ * storage backend) through core::ExperimentRunner, prints the
+ * paper-style tables, and emits the machine-readable
+ * BENCH_designspace.json trajectory artifact.
  *
  * Cells are independent deterministic simulations parallelized over
  * --workers host threads; tables and JSON are bit-identical at any
  * worker count.
  *
  * Run: ./design_space [dataset] [options]
- *   --workers <n>    host threads for independent cells (default 1)
- *   --family <name>  run one family (repeatable; default: all)
- *   --out <path>     write BENCH_designspace.json here
- *   --smoke          CI sizes: in-memory datasets, few batches
- *   --stats          dump every cell's component counters
- *   --list           list the built-in families and exit
+ *   --workers <n>      host threads for independent cells (default 1)
+ *   --family <name>    run one family (repeatable; default: builtins)
+ *   --design <id>      restrict every family to this storage backend
+ *                      (repeatable; unknown ids list the registry)
+ *   --out <path>       write BENCH_designspace.json here
+ *   --stats-json <path> write BENCH-schema per-backend stats here
+ *   --smoke            CI sizes: in-memory datasets, few batches
+ *   --stats            dump every cell's component counters
+ *   --list             list scenario families and exit
+ *   --backends         print the registered-backend table and exit
  */
 
 #include <cstdlib>
@@ -25,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/experiment.hh"
 #include "core/scenario.hh"
 #include "sim/logging.hh"
@@ -38,9 +45,74 @@ int
 usage()
 {
     std::cerr << "usage: design_space [dataset] [--workers <n>] "
-                 "[--family <name>]... [--out <path>] [--smoke] "
-                 "[--stats] [--list]\n";
+                 "[--family <name>]... [--design <id>]... "
+                 "[--out <path>] [--stats-json <path>] [--smoke] "
+                 "[--stats] [--list] [--backends]\n";
     return 2;
+}
+
+/** The registered-backend table, markdown-shaped (README source). */
+void
+printBackendTable(std::ostream &os)
+{
+    os << "| id | design | SSD | ISP | edge store | knobs | summary "
+          "|\n"
+       << "|---|---|---|---|---|---|---|\n";
+    for (const core::StorageBackend *b :
+         core::BackendRegistry::instance().all()) {
+        const core::BackendCaps &caps = b->caps();
+        std::string namespaces;
+        for (const auto &ns : caps.knob_namespaces) {
+            if (!namespaces.empty())
+                namespaces += " ";
+            namespaces += "`" + ns + "`";
+        }
+        os << "| `" << b->id() << "` | " << b->displayName() << " | "
+           << (caps.has_ssd ? "yes" : "no") << " | "
+           << (caps.has_isp ? "yes" : "no") << " | "
+           << core::edgeStoreKindName(caps.edge_store) << " | "
+           << namespaces << " | " << b->summary() << " |\n";
+    }
+}
+
+/**
+ * One smoke-size system per registered backend on @p dataset's
+ * in-memory variant, stats emitted as a schema-versioned JSON doc —
+ * the diffable backend comparison.
+ */
+void
+writeBackendStatsJson(std::ostream &os, graph::DatasetId dataset)
+{
+    const unsigned sim_workers = 2;
+    const std::size_t batches = 4;
+    core::Workload workload = core::Workload::make(dataset, false);
+
+    os.precision(10);
+    os << "{\n"
+       << "  \"bench\": \"backend_stats\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"config\": {\n"
+       << "    \"dataset\": \"" << graph::datasetName(dataset)
+       << "\",\n"
+       << "    \"large_scale\": false,\n"
+       << "    \"sim_workers\": " << sim_workers << ",\n"
+       << "    \"num_batches\": " << batches << "\n"
+       << "  },\n"
+       << "  \"results\": {\n";
+
+    auto backends = core::BackendRegistry::instance().all();
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        core::SystemConfig sc;
+        sc.backend = backends[i]->id();
+        sc.fanouts = {6, 3};
+        sc.pipeline.batch_size = 64;
+        core::GnnSystem system(sc, workload);
+        system.runSamplingOnly(sim_workers, batches);
+        os << "    \"" << backends[i]->id() << "\": ";
+        system.dumpStatsJsonMap(os, "    ");
+        os << (i + 1 < backends.size() ? ",\n" : "\n");
+    }
+    os << "  }\n}\n";
 }
 
 } // namespace
@@ -50,8 +122,9 @@ main(int argc, char **argv)
 {
     unsigned workers = 1;
     bool smoke = false, stats = false;
-    std::string out_path;
+    std::string out_path, stats_json_path;
     std::vector<std::string> families;
+    std::vector<std::string> designs;
     const graph::DatasetId *dataset = nullptr;
 
     for (int i = 1; i < argc; ++i) {
@@ -63,8 +136,14 @@ main(int argc, char **argv)
             workers = static_cast<unsigned>(n);
         } else if (arg == "--family" && i + 1 < argc) {
             families.push_back(argv[++i]);
+        } else if (arg == "--design" && i + 1 < argc) {
+            // Unknown ids die here with the sorted registry listing.
+            designs.push_back(
+                core::BackendRegistry::instance().get(argv[++i]).id());
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--stats-json" && i + 1 < argc) {
+            stats_json_path = argv[++i];
         } else if (arg == "--smoke") {
             smoke = true;
         } else if (arg == "--stats") {
@@ -73,6 +152,12 @@ main(int argc, char **argv)
             for (const auto &s : core::builtinScenarios())
                 std::cout << s.family << ": " << s.title << " ("
                           << s.gridSize() << " cells)\n";
+            for (const auto &s : core::extraScenarios())
+                std::cout << s.family << ": " << s.title << " ("
+                          << s.gridSize() << " cells, --family only)\n";
+            return 0;
+        } else if (arg == "--backends") {
+            printBackendTable(std::cout);
             return 0;
         } else if (arg.rfind("--", 0) == 0) {
             return usage();
@@ -102,6 +187,8 @@ main(int argc, char **argv)
     for (auto &s : scenarios) {
         if (dataset)
             s.datasets = {*dataset};
+        if (!designs.empty())
+            s.backends = designs;
         if (smoke)
             s = core::smokeVariant(s);
     }
@@ -126,6 +213,14 @@ main(int argc, char **argv)
             SS_FATAL("cannot open ", out_path);
         core::writeDesignSpaceJson(json, runs);
         std::cout << "design_space: wrote " << out_path << "\n";
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream json(stats_json_path);
+        if (!json)
+            SS_FATAL("cannot open ", stats_json_path);
+        writeBackendStatsJson(
+            json, dataset ? *dataset : graph::DatasetId::Amazon);
+        std::cout << "design_space: wrote " << stats_json_path << "\n";
     }
     return 0;
 }

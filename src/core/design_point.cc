@@ -10,37 +10,90 @@ namespace smartsage::core
 namespace
 {
 
-const std::array<std::string, 7> names = {
-    "DRAM",
-    "SSD (mmap)",
-    "SmartSAGE (SW)",
-    "SmartSAGE (HW/SW)",
-    "SmartSAGE (oracle)",
-    "PMEM",
-    "FPGA-CSD",
+/** One enum row of the alias layer: paper label + registry id. */
+struct Alias
+{
+    std::string name; //!< paper figure label
+    std::string id;   //!< BackendRegistry id
 };
 
-const std::vector<DesignPoint> order = {
-    DesignPoint::DramOracle,      DesignPoint::SsdMmap,
-    DesignPoint::SmartSageSw,     DesignPoint::SmartSageHwSw,
-    DesignPoint::SmartSageOracle, DesignPoint::Pmem,
-    DesignPoint::FpgaCsd,
-};
+// Function-local statics, not globals: backend registrars in other
+// translation units consult this table during static initialization,
+// before this file's globals would have been constructed.
+const std::array<Alias, 7> &
+aliasTable()
+{
+    static const std::array<Alias, 7> aliases = {{
+        {"DRAM", "dram"},
+        {"SSD (mmap)", "ssd-mmap"},
+        {"SmartSAGE (SW)", "direct-io"},
+        {"SmartSAGE (HW/SW)", "isp-hwsw"},
+        {"SmartSAGE (oracle)", "isp-oracle"},
+        {"PMEM", "pmem"},
+        {"FPGA-CSD", "fpga-csd"},
+    }};
+    return aliases;
+}
+
+const std::vector<DesignPoint> &
+orderTable()
+{
+    static const std::vector<DesignPoint> order = {
+        DesignPoint::DramOracle,      DesignPoint::SsdMmap,
+        DesignPoint::SmartSageSw,     DesignPoint::SmartSageHwSw,
+        DesignPoint::SmartSageOracle, DesignPoint::Pmem,
+        DesignPoint::FpgaCsd,
+    };
+    return order;
+}
+
+const Alias &
+aliasOf(DesignPoint dp)
+{
+    auto idx = static_cast<std::size_t>(dp);
+    SS_ASSERT(idx < aliasTable().size(), "bad design point ", idx);
+    return aliasTable()[idx];
+}
 
 } // namespace
 
 const std::string &
 designName(DesignPoint dp)
 {
-    auto idx = static_cast<std::size_t>(dp);
-    SS_ASSERT(idx < names.size(), "bad design point ", idx);
-    return names[idx];
+    return aliasOf(dp).name;
+}
+
+const std::string &
+backendIdOf(DesignPoint dp)
+{
+    return aliasOf(dp).id;
+}
+
+const DesignPoint *
+designPointOf(std::string_view id)
+{
+    for (const DesignPoint &dp : orderTable())
+        if (aliasOf(dp).id == id)
+            return &dp;
+    return nullptr;
 }
 
 const std::vector<DesignPoint> &
 allDesignPoints()
 {
-    return order;
+    return orderTable();
+}
+
+const std::vector<std::string> &
+paperBackendIds()
+{
+    static const std::vector<std::string> ids = [] {
+        std::vector<std::string> out;
+        for (auto dp : orderTable())
+            out.push_back(backendIdOf(dp));
+        return out;
+    }();
+    return ids;
 }
 
 } // namespace smartsage::core

@@ -1,12 +1,20 @@
 /**
  * @file
  * The design points evaluated in the paper (Sections V-VI).
+ *
+ * Since the storage-backend redesign this enum is a thin alias layer:
+ * every design point maps 1:1 onto a registered `core::StorageBackend`
+ * id (backend.hh), and systems are composed through the registry. The
+ * enum (and the helpers below) stay for source compatibility and for
+ * concise test/bench code; new substrates register a backend and never
+ * extend this enum.
  */
 
 #ifndef SMARTSAGE_CORE_DESIGN_POINT_HH
 #define SMARTSAGE_CORE_DESIGN_POINT_HH
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace smartsage::core
@@ -27,8 +35,20 @@ enum class DesignPoint
 /** Display name matching the paper's figure labels. */
 const std::string &designName(DesignPoint dp);
 
+/** Registry id of the backend implementing @p dp ("dram", ...). */
+const std::string &backendIdOf(DesignPoint dp);
+
+/**
+ * The design point aliased by backend id @p id.
+ * @return nullptr for non-paper backends (e.g. "multi-ssd")
+ */
+const DesignPoint *designPointOf(std::string_view id);
+
 /** All design points in presentation order. */
 const std::vector<DesignPoint> &allDesignPoints();
+
+/** Backend ids of the paper's seven design points, presentation order. */
+const std::vector<std::string> &paperBackendIds();
 
 } // namespace smartsage::core
 

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "host/io_path.hh"
+#include "backend.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
@@ -50,20 +50,11 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
         add("avg_sample_ms", r.avg_batch_us / 1000.0);
     }
 
-    if (auto *ssd = system.ssd()) {
-        add("ssd_buffer_hit_frac", ssd->pageBuffer().hitRate());
-        add("flash_pages_read",
-            static_cast<double>(ssd->flashArray().pagesRead()));
-    }
-    if (auto *mm =
-            dynamic_cast<host::MmapEdgeStore *>(system.edgeStore())) {
-        result.notes = "page cache " + fmtPct(mm->pageCacheHitRate()) +
-                       ", faults " + std::to_string(mm->pageFaults());
-    } else if (auto *dio = dynamic_cast<host::DirectIoEdgeStore *>(
-                   system.edgeStore())) {
-        result.notes = "scratchpad " + fmtPct(dio->scratchpadHitRate()) +
-                       ", submits " + std::to_string(dio->submits());
-    }
+    // Backend-specific counters come through the uniform instance
+    // surface — no substrate casts, so new backends report for free.
+    system.backend().addMetrics(
+        [&](const std::string &name, double value) { add(name, value); });
+    result.notes = system.backend().notes();
     if (collect_stats) {
         std::ostringstream stats;
         system.dumpStats(stats);
@@ -181,8 +172,10 @@ ExperimentRunner::table(const ScenarioRun &run)
          [](const ExperimentCell &c) {
              return graph::datasetName(c.dataset);
          }},
-        {"design", s.designs.size() > 1,
-         [](const ExperimentCell &c) { return designName(c.design); }},
+        {"design", s.resolvedBackends().size() > 1,
+         [](const ExperimentCell &c) {
+             return backendDisplayName(c.backend);
+         }},
         {"fanouts", s.fanout_grid.size() > 1,
          [](const ExperimentCell &c) { return fanoutLabel(c.fanouts); }},
         {"batch", s.batch_sizes.size() > 1,
@@ -226,7 +219,7 @@ ExperimentRunner::table(const ScenarioRun &run)
     for (const auto &result : run.cells) {
         std::vector<std::string> row;
         if (!any_axis)
-            row.push_back(designName(result.cell.design));
+            row.push_back(backendDisplayName(result.cell.backend));
         for (const auto &axis : axes)
             if (axis.show)
                 row.push_back(axis.value(result.cell));
@@ -284,7 +277,8 @@ writeDesignSpaceJson(std::ostream &os,
             const ExperimentCell &c = cell.cell;
             os << "        {\"dataset\": \""
                << jsonEscape(graph::datasetName(c.dataset))
-               << "\", \"design\": \"" << jsonEscape(designName(c.design))
+               << "\", \"design\": \""
+               << jsonEscape(backendDisplayName(c.backend))
                << "\", \"fanouts\": [";
             for (std::size_t f = 0; f < c.fanouts.size(); ++f)
                 os << (f ? ", " : "") << c.fanouts[f];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "backend.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -69,6 +70,11 @@ overrideLabel(const std::vector<KnobSetting> &knobs)
     return out;
 }
 
+namespace
+{
+bool applyBackendKnob(SystemConfig &config, const KnobSetting &knob);
+} // namespace
+
 bool
 applyKnob(SystemConfig &config, const KnobSetting &knob)
 {
@@ -106,24 +112,63 @@ applyKnob(SystemConfig &config, const KnobSetting &knob)
     else if (key == "else_per_batch_us")
         config.pipeline.else_per_batch = sim::us(value);
     else
-        return false;
+        return applyBackendKnob(config, knob);
     return true;
+}
+
+namespace
+{
+
+bool
+applyBackendKnob(SystemConfig &config, const KnobSetting &knob)
+{
+    // Extension namespaces claimed by registered backends (e.g.
+    // "multi-ssd.shards"): stored verbatim for the owning backend to
+    // interpret at build time. The builtin namespaces were already
+    // dispatched above, so anything matching here is backend-private.
+    for (const StorageBackend *backend :
+         BackendRegistry::instance().all()) {
+        for (const std::string &ns : backend->caps().knob_namespaces) {
+            if (ns == "ssd." || ns == "isp." || ns == "fpga." ||
+                ns == "host.")
+                continue;
+            if (knob.key.rfind(ns, 0) == 0) {
+                config.backend_knobs[knob.key] = knob.value;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::string>
+Scenario::resolvedBackends() const
+{
+    if (!backends.empty())
+        return backends;
+    std::vector<std::string> out;
+    out.reserve(designs.size());
+    for (DesignPoint dp : designs)
+        out.push_back(backendIdOf(dp));
+    return out;
 }
 
 std::size_t
 Scenario::gridSize() const
 {
-    return datasets.size() * designs.size() * fanout_grid.size() *
-           batch_sizes.size() * batch_mixes.size() * overrides.size() *
-           worker_grid.size();
+    return datasets.size() * resolvedBackends().size() *
+           fanout_grid.size() * batch_sizes.size() *
+           batch_mixes.size() * overrides.size() * worker_grid.size();
 }
 
 std::string
 ExperimentCell::label() const
 {
     std::string out = graph::datasetName(dataset) + "/" +
-                      designName(design) + "/f=" + fanoutLabel(fanouts) +
-                      "/b=";
+                      backendDisplayName(backend) +
+                      "/f=" + fanoutLabel(fanouts) + "/b=";
     out += batch_mix.empty() ? std::to_string(batch_size)
                              : mixLabel(batch_mix);
     for (const auto &knob : knobs)
@@ -135,7 +180,8 @@ ExperimentCell::label() const
 std::vector<ExperimentCell>
 expandScenario(const Scenario &scenario)
 {
-    SS_ASSERT(!scenario.datasets.empty() && !scenario.designs.empty() &&
+    std::vector<std::string> backend_axis = scenario.resolvedBackends();
+    SS_ASSERT(!scenario.datasets.empty() && !backend_axis.empty() &&
                   !scenario.fanout_grid.empty() &&
                   !scenario.batch_sizes.empty() &&
                   !scenario.batch_mixes.empty() &&
@@ -143,12 +189,16 @@ expandScenario(const Scenario &scenario)
                   !scenario.worker_grid.empty(),
               "scenario '", scenario.family, "' has an empty grid axis");
 
+    // Unknown backend ids die here, listing the registered set.
+    for (const auto &id : backend_axis)
+        BackendRegistry::instance().get(id);
+
     std::vector<ExperimentCell> cells;
     cells.reserve(scenario.gridSize());
     sim::Rng master(scenario.seed);
 
     for (auto dataset : scenario.datasets)
-     for (auto design : scenario.designs)
+     for (const auto &backend : backend_axis)
       for (const auto &fanouts : scenario.fanout_grid)
        for (auto batch_size : scenario.batch_sizes)
         for (const auto &mix : scenario.batch_mixes)
@@ -160,7 +210,7 @@ expandScenario(const Scenario &scenario)
               cell.kind = scenario.kind;
               cell.dataset = dataset;
               cell.large_scale = scenario.large_scale;
-              cell.design = design;
+              cell.backend = backend;
               cell.fanouts = fanouts;
               cell.batch_size = batch_size;
               cell.batch_mix = mix;
@@ -169,7 +219,9 @@ expandScenario(const Scenario &scenario)
               cell.num_batches = scenario.num_batches;
 
               SystemConfig sc;
-              sc.design = design;
+              sc.backend = backend;
+              if (const DesignPoint *dp = designPointOf(backend))
+                  sc.design = *dp; // keep the legacy alias coherent
               sc.fanouts = fanouts;
               sc.pipeline.workers = workers;
               sc.pipeline.num_batches = scenario.num_batches;
@@ -299,6 +351,22 @@ workerScalingScenario()
     return s;
 }
 
+Scenario
+backendSpaceScenario()
+{
+    // Registry-driven: every backend alive in this build, including
+    // plugins registered outside core. Sorted ids keep the grid
+    // deterministic regardless of static registration order.
+    Scenario s;
+    s.family = "backend-space";
+    s.title = "Backend space: every registered storage backend";
+    s.kind = ExperimentKind::Pipeline;
+    s.backends = BackendRegistry::instance().ids();
+    s.worker_grid = {8};
+    s.num_batches = 16;
+    return s;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -313,10 +381,22 @@ builtinScenarios()
     return scenarios;
 }
 
+const std::vector<Scenario> &
+extraScenarios()
+{
+    static const std::vector<Scenario> scenarios = {
+        backendSpaceScenario(),
+    };
+    return scenarios;
+}
+
 const Scenario *
 findScenario(const std::string &family)
 {
     for (const auto &s : builtinScenarios())
+        if (s.family == family)
+            return &s;
+    for (const auto &s : extraScenarios())
         if (s.family == family)
             return &s;
     return nullptr;

@@ -27,7 +27,10 @@ namespace smartsage::core
  * One named configuration override, e.g. {"ssd.flash.channels", 16}.
  * Keys are namespaced by the owning subsystem ("ssd.", "isp.",
  * "host.") or name a top-level SystemConfig knob; each subsystem
- * interprets its own keys (flash::applyKnob etc.).
+ * interprets its own keys (flash::applyKnob etc.). Keys in a
+ * namespace a registered backend claims (BackendCaps::knob_namespaces,
+ * e.g. "multi-ssd.") are routed into SystemConfig::backend_knobs for
+ * that backend to interpret at build time.
  */
 struct KnobSetting
 {
@@ -69,7 +72,14 @@ struct Scenario
 
     // ------- grid axes (each defaults to a single point) -------
     std::vector<graph::DatasetId> datasets{graph::DatasetId::Reddit};
+    /** Legacy design-point axis; ignored when `backends` is set. */
     std::vector<DesignPoint> designs{DesignPoint::SmartSageHwSw};
+    /**
+     * Storage-backend axis as registry ids ("dram", "multi-ssd", ...).
+     * When non-empty this axis replaces `designs`, and may name any
+     * registered backend — including ones the enum never heard of.
+     */
+    std::vector<std::string> backends;
     std::vector<std::vector<unsigned>> fanout_grid{{25, 10}};
     std::vector<std::size_t> batch_sizes{1024};
     /**
@@ -87,6 +97,10 @@ struct Scenario
     std::size_t num_batches = 8;
     std::uint64_t seed = 0xba7c;
 
+    /** The backend-id axis: `backends`, or `designs` mapped through
+     *  the alias layer when `backends` is empty. */
+    std::vector<std::string> resolvedBackends() const;
+
     /** Number of cells the grid expands to. */
     std::size_t gridSize() const;
 };
@@ -99,7 +113,8 @@ struct ExperimentCell
     ExperimentKind kind = ExperimentKind::Pipeline;
     graph::DatasetId dataset = graph::DatasetId::Reddit;
     bool large_scale = true;
-    DesignPoint design = DesignPoint::SmartSageHwSw;
+    /** Storage-backend registry id. */
+    std::string backend = "isp-hwsw";
     std::vector<unsigned> fanouts;
     std::size_t batch_size = 1024;
     std::vector<std::size_t> batch_mix;
@@ -116,21 +131,32 @@ struct ExperimentCell
 
 /**
  * Expand @p scenario into its flat cell list (axis order: datasets,
- * designs, fanouts, batch sizes, mixes, overrides, workers). Cell i
+ * backends, fanouts, batch sizes, mixes, overrides, workers). Cell i
  * seeds its pipeline from fork(i) of the scenario seed, so cells are
  * statistically independent yet bit-reproducible no matter how the
- * runner schedules them. Unknown override keys are fatal.
+ * runner schedules them. Unknown override keys and unknown backend
+ * ids are fatal (the latter lists the registered ids).
  */
 std::vector<ExperimentCell> expandScenario(const Scenario &scenario);
 
 /**
  * The built-in scenario families: the full design-point comparison
  * plus fanout, SSD-geometry, tenant-mix, batch-size, and page-buffer
- * sweeps.
+ * sweeps. These are the families a bare `design_space` run executes;
+ * their grids are pinned to the paper's seven design points so the
+ * default BENCH_designspace.json stays comparable across revisions.
  */
 const std::vector<Scenario> &builtinScenarios();
 
-/** Find a built-in family by id. @return nullptr when absent */
+/**
+ * Additional registry-driven families ("backend-space": every
+ * registered storage backend, including out-of-core plugins). Run via
+ * `design_space --family`; excluded from the default all-family sweep
+ * so the default artifact's family set stays stable.
+ */
+const std::vector<Scenario> &extraScenarios();
+
+/** Find a family by id in builtin + extra. @return nullptr when absent */
 const Scenario *findScenario(const std::string &family);
 
 /**

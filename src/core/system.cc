@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 
+#include "backend.hh"
 #include "pipeline/scheduler.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -37,6 +40,49 @@ SystemConfig::depth() const
                      : static_cast<unsigned>(fanouts.size());
 }
 
+const std::string &
+SystemConfig::resolvedBackend() const
+{
+    return backend.empty() ? backendIdOf(design) : backend;
+}
+
+double
+SystemConfig::knobOr(const std::string &key, double fallback) const
+{
+    auto it = backend_knobs.find(key);
+    return it == backend_knobs.end() ? fallback : it->second;
+}
+
+void
+SystemConfig::validate() const
+{
+    auto checkFraction = [](const char *name, double value, double hi) {
+        // !(in range) also catches NaN.
+        if (!(value >= 0.0 && value <= hi))
+            SS_FATAL("SystemConfig: ", name, " must be within [0, ", hi,
+                     "], got ", value);
+    };
+    checkFraction("page_cache_fraction", page_cache_fraction, 1.0);
+    checkFraction("scratchpad_fraction", scratchpad_fraction, 1.0);
+    // The SSD page buffer may be deliberately oversized past the edge
+    // file for ablations (the "page-buffer" family sweeps up to 1.5x).
+    checkFraction("ssd_buffer_fraction", ssd_buffer_fraction, 2.0);
+
+    if (use_saint) {
+        if (saint_walk_length == 0)
+            SS_FATAL("SystemConfig: saint_walk_length must be >= 1 "
+                     "when use_saint is set");
+        return;
+    }
+    if (fanouts.empty())
+        SS_FATAL("SystemConfig: fanouts must not be empty for "
+                 "GraphSAGE sampling (set use_saint for random walks)");
+    for (unsigned f : fanouts)
+        if (f == 0)
+            SS_FATAL("SystemConfig: fanouts must all be >= 1, got a 0 "
+                     "entry in the fanout vector");
+}
+
 namespace
 {
 
@@ -56,6 +102,8 @@ scaledCache(double fraction, std::uint64_t edge_bytes,
 GnnSystem::GnnSystem(const SystemConfig &config, const Workload &workload)
     : config_(config), workload_(workload)
 {
+    config_.validate();
+
     // Sampler.
     if (config_.use_saint)
         sampler_ = std::make_unique<gnn::SaintSampler>(
@@ -78,55 +126,10 @@ GnnSystem::GnnSystem(const SystemConfig &config, const Workload &workload)
                     config_.ssd.flash.page_bytes,
                     config_.ssd.page_buffer_ways);
 
-    bool dedicated_isp = config_.design == DesignPoint::SmartSageOracle;
-    switch (config_.design) {
-      case DesignPoint::DramOracle:
-        store_ = std::make_unique<host::DramEdgeStore>(config_.host);
-        break;
-      case DesignPoint::Pmem:
-        store_ = std::make_unique<host::PmemEdgeStore>(config_.host);
-        break;
-      case DesignPoint::SsdMmap:
-        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd);
-        store_ = std::make_unique<host::MmapEdgeStore>(config_.host,
-                                                       *ssd_);
-        break;
-      case DesignPoint::SmartSageSw:
-        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd);
-        store_ = std::make_unique<host::DirectIoEdgeStore>(config_.host,
-                                                           *ssd_);
-        break;
-      case DesignPoint::SmartSageHwSw:
-      case DesignPoint::SmartSageOracle:
-        if (dedicated_isp) {
-            // Newport-style CSD: a quad-core complex dedicated to ISP
-            // on top of the firmware cores (Section VI-C).
-            config_.ssd.embedded_cores += 4;
-        }
-        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd,
-                                                dedicated_isp);
-        isp_engine_ = std::make_unique<isp::IspEngine>(
-            config_.isp, *ssd_, config_.layout);
-        break;
-      case DesignPoint::FpgaCsd:
-        ssd_ = std::make_unique<ssd::SsdDevice>(config_.ssd);
-        fpga_engine_ = std::make_unique<isp::FpgaCsdEngine>(
-            config_.fpga, *ssd_, config_.layout);
-        break;
-    }
-
-    if (store_) {
-        producer_ = std::make_unique<pipeline::CpuProducer>(
-            workload_.graph, *sampler_, *store_, config_.host,
-            config_.layout);
-    } else if (isp_engine_) {
-        producer_ = std::make_unique<pipeline::IspProducer>(
-            workload_.graph, *sampler_, *isp_engine_, *ssd_);
-    } else {
-        SS_ASSERT(fpga_engine_, "no producer path configured");
-        producer_ = std::make_unique<pipeline::FpgaProducer>(
-            workload_.graph, *sampler_, *fpga_engine_, *ssd_);
-    }
+    // Substrate composition is entirely the backend's business.
+    const StorageBackend &backend =
+        BackendRegistry::instance().get(config_.resolvedBackend());
+    backend_ = backend.build({config_, workload_, *sampler_});
 
     gnn::ModelConfig mc;
     mc.in_dim = workload_.features.dim();
@@ -136,66 +139,106 @@ GnnSystem::GnnSystem(const SystemConfig &config, const Workload &workload)
     gpu_ = std::make_unique<gnn::GpuTimingModel>(config_.gpu, mc);
 }
 
+GnnSystem::~GnnSystem() = default;
+
+pipeline::SubgraphProducer &
+GnnSystem::producer()
+{
+    return backend_->producer();
+}
+
+BackendInstance &
+GnnSystem::backend() const
+{
+    return *backend_;
+}
+
+ssd::SsdDevice *
+GnnSystem::ssd()
+{
+    return backend_->ssd();
+}
+
+host::EdgeStore *
+GnnSystem::edgeStore()
+{
+    return backend_->edgeStore();
+}
+
 pipeline::PipelineResult
 GnnSystem::runPipeline()
 {
     pipeline::TrainingPipeline pipe(config_.pipeline, config_.host,
                                     *gpu_, workload_.features);
-    return pipe.run(*producer_, workload_.graph);
+    return pipe.run(backend_->producer(), workload_.graph);
 }
 
-void
-GnnSystem::dumpStats(std::ostream &os) const
+std::vector<GnnSystem::StatRow>
+GnnSystem::statRows() const
 {
-    sim::StatGroup group("system." + designName(config_.design));
-
-    // Scalars must outlive dump(); collect them here.
-    std::vector<std::unique_ptr<sim::Scalar>> owned;
-    auto add = [&](const std::string &name, double value,
-                   const std::string &desc) {
-        owned.push_back(std::make_unique<sim::Scalar>());
-        owned.back()->set(value);
-        group.addScalar(name, owned.back().get(), desc);
+    std::vector<StatRow> rows;
+    auto add = [&rows](const std::string &name, double value,
+                       const std::string &desc) {
+        rows.push_back({name, value, desc});
     };
-
     add("graph.nodes", static_cast<double>(workload_.graph.numNodes()),
         "graph nodes");
     add("graph.edges", static_cast<double>(workload_.graph.numEdges()),
         "graph edges");
+    backend_->addStats(add);
+    return rows;
+}
 
-    if (ssd_) {
-        add("ssd.host_reads", static_cast<double>(ssd_->hostReads()),
-            "block read commands served");
-        add("ssd.bytes_to_host",
-            static_cast<double>(ssd_->bytesToHost()),
-            "bytes shipped over PCIe");
-        add("ssd.page_buffer.hit_rate", ssd_->pageBuffer().hitRate(),
-            "controller DRAM buffer hit rate");
-        add("ssd.flash.pages_read",
-            static_cast<double>(ssd_->flashArray().pagesRead()),
-            "NAND pages sensed");
-        add("ssd.cores.busy_us",
-            sim::toMicros(ssd_->cores().busyTime()),
-            "embedded core busy time");
+void
+GnnSystem::dumpStatsJsonMap(std::ostream &os,
+                            const std::string &indent) const
+{
+    auto prec = os.precision(10);
+    os << "{\n";
+    std::vector<StatRow> rows = statRows();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        os << indent << "  \"" << rows[i].name
+           << "\": " << rows[i].value
+           << (i + 1 < rows.size() ? ",\n" : "\n");
+    os << indent << "}";
+    os.precision(prec);
+}
+
+void
+GnnSystem::dumpStats(std::ostream &os, StatsFormat format) const
+{
+    const std::string &display =
+        backendDisplayName(config_.resolvedBackend());
+
+    if (format == StatsFormat::Json) {
+        auto prec = os.precision(10);
+        os << "{\n"
+           << "  \"bench\": \"system_stats\",\n"
+           << "  \"schema_version\": 1,\n"
+           << "  \"config\": {\n"
+           << "    \"backend\": \"" << config_.resolvedBackend()
+           << "\",\n"
+           << "    \"display\": \"" << display << "\",\n"
+           << "    \"dataset\": \""
+           << graph::datasetName(workload_.id) << "\"\n"
+           << "  },\n"
+           << "  \"results\": ";
+        dumpStatsJsonMap(os, "  ");
+        os << "\n}\n";
+        os.precision(prec);
+        return;
     }
-    if (auto *mm = dynamic_cast<host::MmapEdgeStore *>(store_.get())) {
-        add("host.page_cache.hit_rate", mm->pageCacheHitRate(),
-            "OS page cache hit rate");
-        add("host.page_faults", static_cast<double>(mm->pageFaults()),
-            "major faults taken");
-    }
-    if (auto *dio =
-            dynamic_cast<host::DirectIoEdgeStore *>(store_.get())) {
-        add("host.scratchpad.hit_rate", dio->scratchpadHitRate(),
-            "user scratchpad hit rate");
-        add("host.direct_io.submits",
-            static_cast<double>(dio->submits()),
-            "O_DIRECT submissions");
-    }
-    if (auto *dram = dynamic_cast<host::DramEdgeStore *>(store_.get())) {
-        add("host.llc.miss_rate",
-            const_cast<host::DramEdgeStore *>(dram)->llc().missRate(),
-            "LLC miss rate over edge reads");
+
+    sim::StatGroup group("system." + display);
+
+    // Scalars must outlive dump(); collect them here.
+    std::vector<StatRow> rows = statRows();
+    std::vector<std::unique_ptr<sim::Scalar>> owned;
+    owned.reserve(rows.size());
+    for (const auto &row : rows) {
+        owned.push_back(std::make_unique<sim::Scalar>());
+        owned.back()->set(row.value);
+        group.addScalar(row.name, owned.back().get(), row.desc);
     }
     group.dump(os);
 }
@@ -211,8 +254,8 @@ GnnSystem::runSamplingOnly(unsigned workers, std::size_t batches)
     sched.batch_size = config_.pipeline.batch_size;
     sched.batch_mix = config_.pipeline.batch_mix;
     sched.seed = config_.pipeline.seed;
-    auto produced =
-        pipeline::runWorkers(*producer_, workload_.graph, sched);
+    auto produced = pipeline::runWorkers(backend_->producer(),
+                                         workload_.graph, sched);
 
     SamplingResult result;
     for (const auto &batch : produced) {

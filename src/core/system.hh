@@ -4,16 +4,24 @@
  *
  * A Workload is one dataset (graph + features); a GnnSystem wires every
  * substrate — SSD, host paths, ISP engine, samplers, GPU model — for
- * one design point over that workload, and can run sampling-only
+ * one storage backend over that workload, and can run sampling-only
  * experiments (Figs 14-17) or full training pipelines (Figs 6, 7, 18).
+ *
+ * Substrate composition is delegated to a `core::StorageBackend`
+ * looked up in the `core::BackendRegistry` (backend.hh): GnnSystem
+ * resolves `SystemConfig::backend` (or the legacy `design` enum alias),
+ * asks the backend to build its substrate pieces, and from then on
+ * talks to them only through the uniform BackendInstance surface.
  */
 
 #ifndef SMARTSAGE_CORE_SYSTEM_HH
 #define SMARTSAGE_CORE_SYSTEM_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "design_point.hh"
@@ -24,15 +32,24 @@
 #include "graph/datasets.hh"
 #include "graph/layout.hh"
 #include "host/config.hh"
-#include "host/io_path.hh"
 #include "isp/fpga_csd.hh"
 #include "isp/isp_engine.hh"
-#include "pipeline/producer.hh"
 #include "pipeline/trainer.hh"
-#include "ssd/ssd_device.hh"
+#include "ssd/config.hh"
+
+namespace smartsage::host
+{
+class EdgeStore;
+}
+namespace smartsage::ssd
+{
+class SsdDevice;
+}
 
 namespace smartsage::core
 {
+
+class BackendInstance; // backend.hh
 
 /** One dataset instantiated at simulation scale. */
 struct Workload
@@ -52,7 +69,10 @@ struct Workload
 /** Everything configurable about one system instantiation. */
 struct SystemConfig
 {
+    /** Legacy design-point alias; ignored when `backend` is set. */
     DesignPoint design = DesignPoint::SmartSageHwSw;
+    /** Storage-backend registry id; empty defers to `design`. */
+    std::string backend;
 
     host::HostConfig host;
     ssd::SsdConfig ssd;
@@ -61,6 +81,13 @@ struct SystemConfig
     gnn::GpuConfig gpu;
     pipeline::PipelineConfig pipeline;
     graph::EdgeLayout layout;
+
+    /**
+     * Backend-extension knobs ("multi-ssd.shards", ...): settings in a
+     * namespace a registered backend claims via its capability flags,
+     * stored verbatim for that backend to interpret at build time.
+     */
+    std::map<std::string, double> backend_knobs;
 
     /** GraphSAGE fanouts; ignored when use_saint is set. */
     std::vector<unsigned> fanouts = {25, 10};
@@ -77,23 +104,41 @@ struct SystemConfig
     /** SSD-internal DRAM page buffer, scaled the same way. A real 256
      *  MiB controller buffer against a 400 GB dataset covers well
      *  under 1% of the edge file; 2% keeps the same regime while
-     *  leaving the ISP engine its intra-batch reuse. */
+     *  leaving the ISP engine its intra-batch reuse. May exceed 1 (up
+     *  to 2) for deliberate oversizing ablations ("page-buffer"
+     *  scenario family). */
     double ssd_buffer_fraction = 0.02;
 
     unsigned hidden_dim = 64;
 
     /** Effective sampling depth (fanout hops or walk length). */
     unsigned depth() const;
+
+    /** The backend id this config resolves to (`backend` or the
+     *  `design` alias). */
+    const std::string &resolvedBackend() const;
+
+    /** Backend-extension knob lookup with a default. */
+    double knobOr(const std::string &key, double fallback) const;
+
+    /**
+     * Fatal (with a clear message) on impossible settings: cache
+     * fractions outside [0, 1] (ssd_buffer_fraction: [0, 2]), empty or
+     * zero fanouts, a zero SAINT walk length. Called by GnnSystem at
+     * construction, before any cache is sized.
+     */
+    void validate() const;
 };
 
-/** A fully wired system for one (workload, design point) pair. */
+/** A fully wired system for one (workload, backend) pair. */
 class GnnSystem
 {
   public:
     GnnSystem(const SystemConfig &config, const Workload &workload);
+    ~GnnSystem();
 
-    /** The producer implementing this design point's sampling path. */
-    pipeline::SubgraphProducer &producer() { return *producer_; }
+    /** The producer implementing this backend's sampling path. */
+    pipeline::SubgraphProducer &producer();
 
     /** Run the full producer-consumer training pipeline. */
     pipeline::PipelineResult runPipeline();
@@ -172,30 +217,58 @@ class GnnSystem
     const Workload &workload() const { return workload_; }
     const gnn::AnySampler &sampler() const { return *sampler_; }
 
-    /** Non-null for SSD-backed design points. */
-    ssd::SsdDevice *ssd() { return ssd_.get(); }
+    /** The backend's substrate instance (producer, stats, notes). */
+    BackendInstance &backend() const;
 
-    /** Non-null for CPU-sampling design points (DRAM/mmap/SW/PMEM). */
-    host::EdgeStore *edgeStore() { return store_.get(); }
+    /** Convenience: the backend's primary SSD; null when it has none
+     *  (host-memory backends) or more than one (sharded backends). */
+    ssd::SsdDevice *ssd();
+
+    /** Convenience: the backend's host-side edge store; null for
+     *  in-storage (ISP/FPGA) backends. */
+    host::EdgeStore *edgeStore();
+
+    /** Rendering of a stats report. */
+    enum class StatsFormat
+    {
+        Text, //!< gem5-style name=value lines
+        Json, //!< schema-versioned machine-readable document
+    };
 
     /**
      * Render the component-level counters of this system — SSD page
      * buffer, flash array, host caches, PCIe traffic — as a gem5-style
-     * stats report. Call after an experiment.
+     * stats report (Text) or a schema-versioned JSON document sharing
+     * the BENCH_*.json envelope (Json). Call after an experiment.
      */
-    void dumpStats(std::ostream &os) const;
+    void dumpStats(std::ostream &os,
+                   StatsFormat format = StatsFormat::Text) const;
+
+    /**
+     * The bare `{"stat": value, ...}` object of the JSON stats mode,
+     * for embedding into larger documents (design_space --stats-json).
+     * @param indent prefix applied to every emitted line
+     */
+    void dumpStatsJsonMap(std::ostream &os,
+                          const std::string &indent) const;
 
   private:
     SystemConfig config_;
     const Workload &workload_;
 
     std::unique_ptr<gnn::AnySampler> sampler_;
-    std::unique_ptr<ssd::SsdDevice> ssd_;
-    std::unique_ptr<host::EdgeStore> store_;
-    std::unique_ptr<isp::IspEngine> isp_engine_;
-    std::unique_ptr<isp::FpgaCsdEngine> fpga_engine_;
-    std::unique_ptr<pipeline::SubgraphProducer> producer_;
+    std::unique_ptr<BackendInstance> backend_;
     std::unique_ptr<gnn::GpuTimingModel> gpu_;
+
+    struct StatRow
+    {
+        std::string name;
+        double value;
+        std::string desc;
+    };
+
+    /** All stats rows, graph counters first then backend counters. */
+    std::vector<StatRow> statRows() const;
 };
 
 } // namespace smartsage::core

@@ -1,0 +1,319 @@
+#include "sharded_ssd.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/backend.hh"
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+namespace smartsage::ssd
+{
+
+namespace
+{
+
+/** Per-shard device config: the page-buffer budget splits evenly. */
+SsdConfig
+shardConfig(const SsdConfig &base, unsigned shards)
+{
+    SsdConfig cfg = base;
+    std::uint64_t floor_bytes =
+        cfg.flash.page_bytes * cfg.page_buffer_ways * 8;
+    cfg.page_buffer_bytes =
+        std::max(cfg.page_buffer_bytes / shards, floor_bytes);
+    return cfg;
+}
+
+} // namespace
+
+ShardedEdgeStore::ShardedEdgeStore(const host::HostConfig &config,
+                                   const SsdConfig &ssd_config,
+                                   const ShardedSsdParams &params)
+    : config_(config), params_(params),
+      stripe_blocks_(params.stripe_bytes / config.os_page_bytes),
+      cache_(config.scratchpad_bytes, config.os_page_bytes,
+             config.scratchpad_ways)
+{
+    SS_ASSERT(params_.shards >= 1, "sharded store needs >= 1 shard");
+    SS_ASSERT(stripe_blocks_ >= 1,
+              "stripe must cover at least one scratchpad block");
+    SsdConfig per_shard = shardConfig(ssd_config, params_.shards);
+    shards_.reserve(params_.shards);
+    for (unsigned i = 0; i < params_.shards; ++i)
+        shards_.push_back(std::make_unique<SsdDevice>(per_shard));
+}
+
+unsigned
+ShardedEdgeStore::shardOf(std::uint64_t block) const
+{
+    return static_cast<unsigned>((block / stripe_blocks_) %
+                                 shards_.size());
+}
+
+std::uint64_t
+ShardedEdgeStore::localBlockOf(std::uint64_t block) const
+{
+    // Stripes land round-robin; a shard sees its stripes densely
+    // packed, preserving sequential locality inside the device.
+    std::uint64_t stripe = block / stripe_blocks_;
+    std::uint64_t local_stripe = stripe / shards_.size();
+    return local_stripe * stripe_blocks_ + block % stripe_blocks_;
+}
+
+sim::Tick
+ShardedEdgeStore::issueMissing(sim::Tick submitted)
+{
+    // Contiguous *shard-local* runs become one command each; shards
+    // service their runs on independent timelines. Order by
+    // (shard, local block) — global block order would break a shard's
+    // locally contiguous run whenever other shards' blocks interleave.
+    std::sort(missing_.begin(), missing_.end());
+    missing_.erase(std::unique(missing_.begin(), missing_.end()),
+                   missing_.end());
+    std::sort(missing_.begin(), missing_.end(),
+              [this](std::uint64_t a, std::uint64_t b) {
+                  return std::make_pair(shardOf(a), localBlockOf(a)) <
+                         std::make_pair(shardOf(b), localBlockOf(b));
+              });
+
+    std::uint64_t bs = config_.os_page_bytes;
+    sim::Tick done = submitted;
+    std::size_t i = 0;
+    while (i < missing_.size()) {
+        unsigned shard = shardOf(missing_[i]);
+        std::uint64_t local = localBlockOf(missing_[i]);
+        std::size_t j = i + 1;
+        while (j < missing_.size() && shardOf(missing_[j]) == shard &&
+               localBlockOf(missing_[j]) ==
+                   local + (j - i)) {
+            ++j;
+        }
+        sim::Tick landed = shards_[shard]->readBlocks(
+            submitted, local * bs, (j - i) * bs);
+        done = std::max(done, landed);
+        i = j;
+    }
+    return done;
+}
+
+sim::Tick
+ShardedEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
+                       std::uint64_t bytes)
+{
+    SS_ASSERT(bytes > 0, "zero-length sharded read");
+    std::uint64_t first = cache_.lineOf(addr);
+    std::uint64_t last = cache_.lineOf(addr + bytes - 1);
+    bool any_hit = false;
+    missing_.clear();
+    for (std::uint64_t block = first; block <= last; ++block) {
+        if (cache_.access(block))
+            any_hit = true;
+        else
+            missing_.push_back(block);
+    }
+    sim::Tick done = arrival;
+    if (any_hit)
+        done = std::max(done, arrival + config_.scratchpad_hit);
+    if (!missing_.empty()) {
+        ++submits_;
+        done = std::max(
+            done, issueMissing(arrival + config_.direct_io_submit));
+    }
+    return done;
+}
+
+sim::Tick
+ShardedEdgeStore::readGather(sim::Tick arrival,
+                             const std::vector<std::uint64_t> &addrs,
+                             unsigned entry_bytes)
+{
+    if (addrs.empty())
+        return arrival;
+
+    // Classify the touched blocks through the scratchpad, exactly like
+    // the single-device direct-I/O store.
+    missing_.clear();
+    bool any_hit = false;
+    for (std::uint64_t a : addrs) {
+        std::uint64_t first = cache_.lineOf(a);
+        std::uint64_t last = cache_.lineOf(a + entry_bytes - 1);
+        for (std::uint64_t b = first; b <= last; ++b) {
+            if (cache_.access(b))
+                any_hit = true;
+            else
+                missing_.push_back(b);
+        }
+    }
+
+    sim::Tick done = arrival;
+    if (any_hit)
+        done = std::max(done, arrival + config_.scratchpad_hit);
+    if (!missing_.empty()) {
+        // One submission covers the whole gather; the runs fan out
+        // across the stripe set and complete in parallel.
+        ++submits_;
+        done = std::max(
+            done, issueMissing(arrival + config_.direct_io_submit));
+    }
+    return done;
+}
+
+void
+ShardedEdgeStore::reset()
+{
+    cache_.reset();
+    submits_ = 0;
+    for (auto &shard : shards_)
+        shard->reset();
+}
+
+double
+ShardedEdgeStore::bufferHitRate() const
+{
+    std::uint64_t hits = 0, total = 0;
+    for (const auto &shard : shards_) {
+        const auto &buffer = shard->pageBuffer();
+        hits += buffer.hits();
+        total += buffer.hits() + buffer.misses();
+    }
+    return total ? static_cast<double>(hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+std::uint64_t
+ShardedEdgeStore::flashPagesRead() const
+{
+    std::uint64_t pages = 0;
+    for (const auto &shard : shards_)
+        pages += shard->flashArray().pagesRead();
+    return pages;
+}
+
+std::uint64_t
+ShardedEdgeStore::hostReads() const
+{
+    std::uint64_t reads = 0;
+    for (const auto &shard : shards_)
+        reads += shard->hostReads();
+    return reads;
+}
+
+std::uint64_t
+ShardedEdgeStore::bytesToHost() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &shard : shards_)
+        bytes += shard->bytesToHost();
+    return bytes;
+}
+
+// ------------------------------------------------ backend registration
+
+namespace
+{
+
+ShardedSsdParams
+paramsFrom(const core::SystemConfig &config)
+{
+    core::validateBackendKnobs(
+        config, "multi-ssd.",
+        {"multi-ssd.shards", "multi-ssd.stripe_kib"});
+
+    ShardedSsdParams params;
+    double shards = config.knobOr("multi-ssd.shards", 4);
+    if (!(shards >= 1 && shards <= 64))
+        SS_FATAL("multi-ssd.shards must be within [1, 64], got ",
+                 shards);
+    double stripe_kib = config.knobOr("multi-ssd.stripe_kib", 64);
+    std::uint64_t stripe_bytes = sim::KiB(
+        core::requireIntegerKnob("multi-ssd.stripe_kib", stripe_kib));
+    if (stripe_bytes < config.host.os_page_bytes ||
+        stripe_bytes % config.host.os_page_bytes != 0)
+        SS_FATAL("multi-ssd.stripe_kib must be a multiple of the ",
+                 config.host.os_page_bytes / 1024,
+                 " KiB block size, got ", stripe_kib);
+    params.shards = static_cast<unsigned>(
+        core::requireIntegerKnob("multi-ssd.shards", shards));
+    params.stripe_bytes = stripe_bytes;
+    return params;
+}
+
+/** Host-CPU sampling over the striped array. */
+class MultiSsdInstance : public core::BackendInstance
+{
+  public:
+    explicit MultiSsdInstance(const core::BackendBuildContext &ctx)
+        : store_(ctx.config.host, ctx.config.ssd,
+                 paramsFrom(ctx.config)),
+          producer_(ctx.workload.graph, ctx.sampler, store_,
+                    ctx.config.host, ctx.config.layout)
+    {
+    }
+
+    pipeline::SubgraphProducer &producer() override { return producer_; }
+    host::EdgeStore *edgeStore() override { return &store_; }
+
+    void
+    addMetrics(const core::MetricSink &add) const override
+    {
+        add("ssd_buffer_hit_frac", store_.bufferHitRate());
+        add("flash_pages_read",
+            static_cast<double>(store_.flashPagesRead()));
+    }
+
+    std::string
+    notes() const override
+    {
+        return "shards " + std::to_string(store_.numShards()) +
+               ", scratchpad " +
+               core::fmtPct(store_.scratchpadHitRate()) + ", submits " +
+               std::to_string(store_.submits());
+    }
+
+    void
+    addStats(const core::StatSink &add) const override
+    {
+        add("ssd.shards", static_cast<double>(store_.numShards()),
+            "devices in the striped array");
+        add("ssd.host_reads", static_cast<double>(store_.hostReads()),
+            "block read commands served, all shards");
+        add("ssd.bytes_to_host",
+            static_cast<double>(store_.bytesToHost()),
+            "bytes shipped over all PCIe links");
+        add("ssd.page_buffer.hit_rate", store_.bufferHitRate(),
+            "controller DRAM buffer hit rate, all shards");
+        add("ssd.flash.pages_read",
+            static_cast<double>(store_.flashPagesRead()),
+            "NAND pages sensed, all shards");
+        add("host.scratchpad.hit_rate", store_.scratchpadHitRate(),
+            "user scratchpad hit rate");
+        add("host.direct_io.submits",
+            static_cast<double>(store_.submits()),
+            "O_DIRECT submissions");
+    }
+
+  private:
+    ShardedEdgeStore store_;
+    pipeline::CpuProducer producer_;
+};
+
+std::unique_ptr<core::BackendInstance>
+buildMultiSsd(const core::BackendBuildContext &ctx)
+{
+    return std::make_unique<MultiSsdInstance>(ctx);
+}
+
+const core::BackendRegistrar reg_multi_ssd{
+    std::make_unique<core::SimpleBackend>(
+        "multi-ssd", "Multi-SSD",
+        "RAID-0 page striping across N independent SSD timelines, "
+        "direct-I/O host path",
+        core::BackendCaps{true, false, core::EdgeStoreKind::Sharded,
+                          {"host.", "ssd.", "multi-ssd."}},
+        buildMultiSsd)};
+
+} // namespace
+
+} // namespace smartsage::ssd

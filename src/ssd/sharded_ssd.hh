@@ -1,0 +1,106 @@
+/**
+ * @file
+ * RAID-0-style sharded SSD edge store: page striping across N
+ * independent SsdDevice timelines.
+ *
+ * The host path is the direct-I/O runtime (user scratchpad, coalesced
+ * O_DIRECT gathers), but missing blocks fan out across the stripe set:
+ * block b belongs to stripe b/stripe_blocks, stripes are assigned
+ * round-robin to shards, and each shard is a complete SsdDevice with
+ * its own firmware cores, page buffer, flash channels, and PCIe link —
+ * so per-channel (per-device) contention and the striping speedup both
+ * emerge from the independent busy-until timelines.
+ *
+ * This file also registers the "multi-ssd" storage backend
+ * (core::BackendRegistry) — the whole design point lives here, with
+ * zero edits to src/core.
+ */
+
+#ifndef SMARTSAGE_SSD_SHARDED_SSD_HH
+#define SMARTSAGE_SSD_SHARDED_SSD_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "host/config.hh"
+#include "host/io_path.hh"
+#include "sim/set_assoc.hh"
+#include "ssd/ssd_device.hh"
+
+namespace smartsage::ssd
+{
+
+/** Stripe geometry of the sharded array. */
+struct ShardedSsdParams
+{
+    unsigned shards = 4;                       //!< devices in the array
+    std::uint64_t stripe_bytes = sim::KiB(64); //!< RAID-0 chunk size
+};
+
+/** Direct-I/O edge store striped over N independent SSDs. */
+class ShardedEdgeStore : public host::EdgeStore
+{
+  public:
+    /**
+     * @param config     host-side parameters (scratchpad sizing)
+     * @param ssd_config per-device template; the controller page
+     *                   buffer budget is split evenly across shards
+     * @param params     stripe geometry
+     */
+    ShardedEdgeStore(const host::HostConfig &config,
+                     const SsdConfig &ssd_config,
+                     const ShardedSsdParams &params);
+
+    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
+                   std::uint64_t bytes) override;
+
+    /** One coalesced submission; missing runs fan out per shard. */
+    sim::Tick readGather(sim::Tick arrival,
+                         const std::vector<std::uint64_t> &addrs,
+                         unsigned entry_bytes) override;
+
+    const std::string &name() const override { return name_; }
+    void reset() override;
+
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+    SsdDevice &shard(unsigned i) { return *shards_[i]; }
+    const SsdDevice &shard(unsigned i) const { return *shards_[i]; }
+
+    double scratchpadHitRate() const { return cache_.hitRate(); }
+    std::uint64_t submits() const { return submits_; }
+
+    /** Page-buffer hit rate aggregated over every shard. */
+    double bufferHitRate() const;
+    /** NAND pages sensed, summed over every shard. */
+    std::uint64_t flashPagesRead() const;
+    /** Host block reads served, summed over every shard. */
+    std::uint64_t hostReads() const;
+    /** Bytes shipped over all PCIe links. */
+    std::uint64_t bytesToHost() const;
+
+  private:
+    std::string name_ = "Multi-SSD";
+    host::HostConfig config_;
+    ShardedSsdParams params_;
+    std::uint64_t stripe_blocks_; //!< scratchpad blocks per stripe
+    std::vector<std::unique_ptr<SsdDevice>> shards_;
+    sim::SetAssocLru cache_; //!< user scratchpad, block-granular
+    std::uint64_t submits_ = 0;
+    std::vector<std::uint64_t> missing_; //!< gather scratch
+
+    /** Shard owning global block @p block. */
+    unsigned shardOf(std::uint64_t block) const;
+    /** Shard-local block index of global block @p block. */
+    std::uint64_t localBlockOf(std::uint64_t block) const;
+
+    /** Issue the sorted, deduped missing-block list at @p submitted. */
+    sim::Tick issueMissing(sim::Tick submitted);
+};
+
+} // namespace smartsage::ssd
+
+#endif // SMARTSAGE_SSD_SHARDED_SSD_HH

@@ -65,7 +65,8 @@ TEST(Sensitivity, BatchSizeHasLittleEffectOnSpeedup)
 
     auto tput = [&run](DesignPoint dp, std::size_t batch) {
         for (const auto &cell : run.cells)
-            if (cell.cell.design == dp && cell.cell.batch_size == batch)
+            if (cell.cell.backend == backendIdOf(dp) &&
+                cell.cell.batch_size == batch)
                 return cell.metric("batches_per_s");
         return 0.0;
     };
