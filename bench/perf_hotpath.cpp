@@ -3,8 +3,10 @@
  * Hot-path microbenchmark: times the three compute hot paths — frontier
  * sampling, GEMM/aggregate kernels, and the multi-worker functional
  * sampling/training pipeline — in both their naive (seed) and optimized
- * forms, and emits machine-readable BENCH_hotpath.json so every future
- * PR can be checked against this perf trajectory.
+ * forms, plus the storage blocking-adapter overhead (direct service
+ * call vs submit-and-drain through the async request layer), and emits
+ * machine-readable BENCH_hotpath.json so every future PR can be
+ * checked against this perf trajectory.
  *
  * Naive forms: SageSampler::sampleBaseline (per-batch hash dedup,
  * virtual visitor dispatch) and KernelMode::Naive (reference loops).
@@ -30,9 +32,11 @@
 #include "gnn/model.hh"
 #include "gnn/sampler.hh"
 #include "graph/powerlaw.hh"
+#include "host/io_path.hh"
 #include "pipeline/producer.hh"
 #include "sim/random.hh"
 #include "sim/thread_pool.hh"
+#include "ssd/ssd_device.hh"
 
 using namespace smartsage;
 
@@ -67,8 +71,93 @@ struct BenchConfig
     unsigned dim = 32;
     std::size_t kernel_reps = 4;
     std::size_t pipeline_batches = 10;
+    std::size_t storage_gathers = 20000;
     unsigned workers = std::max(1u, std::thread::hardware_concurrency());
 };
+
+/** Blocking-adapter overhead on the storage replay path. */
+struct AdapterCost
+{
+    double direct_ops_per_s = 0;  //!< serviceGather called directly
+    double adapter_ops_per_s = 0; //!< submit-and-drain blocking call
+
+    /** Fraction of direct-call throughput lost to the adapter. */
+    double
+    overheadFrac() const
+    {
+        return direct_ops_per_s > 0
+                   ? 1.0 - adapter_ops_per_s / direct_ops_per_s
+                   : 0.0;
+    }
+};
+
+/**
+ * Exposes the protected service entry point so the bench can time the
+ * pre-refactor equivalent (direct service-math call, no event-queue
+ * machinery) against the blocking submit-and-drain adapter the sweep
+ * path now rides.
+ */
+class RawDirectIoStore : public host::DirectIoEdgeStore
+{
+  public:
+    using host::DirectIoEdgeStore::DirectIoEdgeStore;
+
+    sim::Tick
+    rawGather(sim::Tick start, const std::vector<std::uint64_t> &addrs,
+              unsigned entry_bytes)
+    {
+        return serviceGather(start, addrs, entry_bytes);
+    }
+};
+
+/**
+ * Gathers per second through the direct-I/O store: the raw service
+ * call vs the blocking adapter, on identical request streams against
+ * identical (separate) stores. Tracks what the async refactor costs
+ * the classic sweep replay path.
+ */
+AdapterCost
+benchStorageAdapter(const BenchConfig &cfg)
+{
+    host::HostConfig host;
+    host.scratchpad_bytes = sim::MiB(4); // small: a real hit/miss mix
+    ssd::SsdConfig ssd_cfg;
+    ssd_cfg.page_buffer_bytes = sim::MiB(8);
+
+    // One identical pre-generated gather stream for both paths.
+    const std::uint64_t span = sim::MiB(512);
+    std::vector<std::vector<std::uint64_t>> gathers(cfg.storage_gathers);
+    sim::Rng rng(0x10ad);
+    for (auto &addrs : gathers) {
+        addrs.resize(12);
+        std::uint64_t node_base = rng.nextBounded(span);
+        for (auto &a : addrs)
+            a = node_base + rng.nextBounded(sim::KiB(64));
+    }
+
+    AdapterCost cost;
+    {
+        ssd::SsdDevice ssd(ssd_cfg);
+        RawDirectIoStore store(host, ssd);
+        sim::Tick t = 0;
+        double t0 = now_s();
+        for (const auto &addrs : gathers)
+            t = store.rawGather(t, addrs, 8);
+        cost.direct_ops_per_s =
+            static_cast<double>(gathers.size()) / (now_s() - t0);
+    }
+    {
+        ssd::SsdDevice ssd(ssd_cfg);
+        host::DirectIoEdgeStore store(host, ssd);
+        sim::Tick t = 0;
+        double t0 = now_s();
+        for (const auto &addrs : gathers)
+            t = store.readGather(t, addrs, 8);
+        cost.adapter_ops_per_s =
+            static_cast<double>(gathers.size()) / (now_s() - t0);
+    }
+    return cost;
+}
 
 /** Sampler throughput in sampled edges per second. */
 Pair
@@ -219,7 +308,7 @@ benchPipeline(const graph::CsrGraph &g, const BenchConfig &cfg)
 void
 writeJson(std::ostream &os, const BenchConfig &cfg, const Pair &sampler,
           const Pair &mm, const Pair &mm_tn, const Pair &mm_nt,
-          const Pair &pipeline)
+          const Pair &pipeline, const AdapterCost &adapter)
 {
     auto obj = [&os](const char *name, const Pair &p, const char *unit,
                      bool last = false) {
@@ -248,7 +337,11 @@ writeJson(std::ostream &os, const BenchConfig &cfg, const Pair &sampler,
     obj("matmul_gflops", mm, "GFLOP/s");
     obj("matmul_tn_gflops", mm_tn, "GFLOP/s");
     obj("matmul_nt_gflops", mm_nt, "GFLOP/s");
-    obj("pipeline_batches_per_s", pipeline, "batches/s", true);
+    obj("pipeline_batches_per_s", pipeline, "batches/s");
+    os << "    \"storage_adapter\": {\"direct_ops_per_s\": "
+       << adapter.direct_ops_per_s << ", \"adapter_ops_per_s\": "
+       << adapter.adapter_ops_per_s << ", \"overhead_frac\": "
+       << adapter.overheadFrac() << ", \"unit\": \"gathers/s\"}\n";
     os << "  },\n"
        << "  \"acceptance\": {\n"
        << "    \"sampler_speedup_target\": 3.0,\n"
@@ -277,6 +370,7 @@ main(int argc, char **argv)
             cfg.gemm_rows = 4096;
             cfg.kernel_reps = 2;
             cfg.pipeline_batches = 4;
+            cfg.storage_gathers = 4000;
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg == "--workers" && i + 1 < argc) {
@@ -336,6 +430,10 @@ main(int argc, char **argv)
               << " workers)...\n";
     Pair pipeline = benchPipeline(g, cfg);
 
+    std::cout << "perf_hotpath: storage blocking adapter ("
+              << cfg.storage_gathers << " gathers)...\n";
+    AdapterCost adapter = benchStorageAdapter(cfg);
+
     auto report = [](const char *name, const Pair &p, const char *unit) {
         std::cout << "  " << name << ": naive " << p.naive << " " << unit
                   << ", fast " << p.fast << " " << unit << "  ("
@@ -347,13 +445,17 @@ main(int argc, char **argv)
     report("matmulTN  ", mm_tn, "GFLOP/s");
     report("matmulNT  ", mm_nt, "GFLOP/s");
     report("pipeline  ", pipeline, "batches/s");
+    std::cout << "  storage   : direct " << adapter.direct_ops_per_s
+              << " gathers/s, adapter " << adapter.adapter_ops_per_s
+              << " gathers/s  (overhead "
+              << adapter.overheadFrac() * 100.0 << "%)\n";
 
     std::ofstream json(out_path);
     if (!json) {
         std::cerr << "perf_hotpath: cannot open " << out_path << "\n";
         return 1;
     }
-    writeJson(json, cfg, sampler, mm, mm_tn, mm_nt, pipeline);
+    writeJson(json, cfg, sampler, mm, mm_tn, mm_nt, pipeline, adapter);
     std::cout << "perf_hotpath: wrote " << out_path << "\n";
 
     const bool pass =

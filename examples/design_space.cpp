@@ -17,9 +17,13 @@
  *   --family <name>    run one family (repeatable; default: builtins)
  *   --design <id>      restrict every family to this storage backend
  *                      (repeatable; unknown ids list the registry)
- *   --out <path>       write BENCH_designspace.json here
+ *   --out <path>       write BENCH_designspace.json here (non-serving
+ *                      families)
+ *   --serving-out <path> write BENCH_serving.json here (serving-kind
+ *                      families, e.g. --family serving-load)
  *   --stats-json <path> write BENCH-schema per-backend stats here
- *   --smoke            CI sizes: in-memory datasets, few batches
+ *   --smoke            CI sizes: in-memory datasets, few batches and
+ *                      requests
  *   --stats            dump every cell's component counters
  *   --list             list scenario families and exit
  *   --backends         print the registered-backend table and exit
@@ -46,7 +50,8 @@ usage()
 {
     std::cerr << "usage: design_space [dataset] [--workers <n>] "
                  "[--family <name>]... [--design <id>]... "
-                 "[--out <path>] [--stats-json <path>] [--smoke] "
+                 "[--out <path>] [--serving-out <path>] "
+                 "[--stats-json <path>] [--smoke] "
                  "[--stats] [--list] [--backends]\n";
     return 2;
 }
@@ -122,7 +127,7 @@ main(int argc, char **argv)
 {
     unsigned workers = 1;
     bool smoke = false, stats = false;
-    std::string out_path, stats_json_path;
+    std::string out_path, serving_out_path, stats_json_path;
     std::vector<std::string> families;
     std::vector<std::string> designs;
     const graph::DatasetId *dataset = nullptr;
@@ -142,6 +147,8 @@ main(int argc, char **argv)
                 core::BackendRegistry::instance().get(argv[++i]).id());
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--serving-out" && i + 1 < argc) {
+            serving_out_path = argv[++i];
         } else if (arg == "--stats-json" && i + 1 < argc) {
             stats_json_path = argv[++i];
         } else if (arg == "--smoke") {
@@ -207,12 +214,35 @@ main(int argc, char **argv)
                 std::cout << cell.stats;
     }
 
+    // Serving-kind families get their own schema (latency metrics);
+    // everything else shares the classic design-space document.
+    std::vector<core::ScenarioRun> serving_runs, sweep_runs;
+    for (auto &run : runs) {
+        if (run.scenario.kind == core::ExperimentKind::Serving)
+            serving_runs.push_back(std::move(run));
+        else
+            sweep_runs.push_back(std::move(run));
+    }
+
     if (!out_path.empty()) {
         std::ofstream json(out_path);
         if (!json)
             SS_FATAL("cannot open ", out_path);
-        core::writeDesignSpaceJson(json, runs);
+        core::writeDesignSpaceJson(json, sweep_runs);
         std::cout << "design_space: wrote " << out_path << "\n";
+    }
+    if (!serving_runs.empty() && serving_out_path.empty())
+        SS_WARN("serving-kind families ran but --serving-out was not "
+                "given; their cells are not in the --out artifact");
+    if (!serving_out_path.empty()) {
+        if (serving_runs.empty())
+            SS_FATAL("--serving-out needs a serving-kind family "
+                     "(e.g. --family serving-load)");
+        std::ofstream json(serving_out_path);
+        if (!json)
+            SS_FATAL("cannot open ", serving_out_path);
+        core::writeServingJson(json, serving_runs);
+        std::cout << "design_space: wrote " << serving_out_path << "\n";
     }
     if (!stats_json_path.empty()) {
         std::ofstream json(stats_json_path);

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "backend.hh"
+#include "serving.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
@@ -43,11 +44,28 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
         add("batches_per_s", r.throughput());
         add("avg_sample_ms", r.avg_sampling_us / 1000.0);
         add("gpu_idle_frac", r.gpu_idle_frac);
-    } else {
+    } else if (cell.kind == ExperimentKind::SamplingOnly) {
         auto r = system.runSamplingOnly(cell.sim_workers,
                                         cell.num_batches);
         add("batches_per_s", r.batchesPerSecond());
         add("avg_sample_ms", r.avg_batch_us / 1000.0);
+    } else {
+        ServingConfig sc;
+        sc.arrival_qps = cell.arrival_qps;
+        sc.poisson = cell.serve_poisson;
+        sc.num_requests = cell.serve_requests;
+        sc.fanout = cell.serve_fanout;
+        sc.seed = cell.serve_seed;
+        ServingResult r = runServingLoad(system, sc);
+        add("p50_us", r.p50_us());
+        add("p95_us", r.p95_us());
+        add("p99_us", r.p99_us());
+        add("max_us", r.max_us());
+        add("mean_us", r.latency_us.mean());
+        add("achieved_qps", r.achieved_qps);
+        add("queue_wait_us", r.mean_queue_wait_us);
+        add("peak_outstanding",
+            static_cast<double>(r.peak_outstanding));
     }
 
     // Backend-specific counters come through the uniform instance
@@ -190,6 +208,20 @@ ExperimentRunner::table(const ScenarioRun &run)
          [](const ExperimentCell &c) {
              return std::to_string(c.sim_workers);
          }},
+        {"rate_qps",
+         s.kind == ExperimentKind::Serving &&
+             s.arrival_rates.size() > 1,
+         [](const ExperimentCell &c) {
+             char buf[32];
+             std::snprintf(buf, sizeof(buf), "%g", c.arrival_qps);
+             return std::string(buf);
+         }},
+        {"qdepth",
+         s.kind == ExperimentKind::Serving && s.queue_depths.size() > 1,
+         [](const ExperimentCell &c) {
+             return c.queue_depth ? std::to_string(c.queue_depth)
+                                  : std::string("default");
+         }},
     };
     bool any_axis = false;
     for (const auto &axis : axes)
@@ -243,6 +275,66 @@ ExperimentRunner::table(const ScenarioRun &run)
 }
 
 void
+writeServingJson(std::ostream &os, const std::vector<ScenarioRun> &runs)
+{
+    os.precision(10);
+    os << "{\n"
+       << "  \"bench\": \"serving_load\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"config\": {\n"
+       << "    \"families\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        os << (i ? ", " : "") << '"'
+           << jsonEscape(runs[i].scenario.family) << '"';
+    os << "]\n  },\n"
+       << "  \"results\": {\n";
+
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const ScenarioRun &run = runs[r];
+        const Scenario &s = run.scenario;
+        SS_ASSERT(s.kind == ExperimentKind::Serving,
+                  "writeServingJson needs serving runs, got family '",
+                  s.family, "'");
+        os << "    \"" << jsonEscape(s.family) << "\": {\n"
+           << "      \"title\": \"" << jsonEscape(s.title) << "\",\n"
+           << "      \"kind\": \"serving\",\n"
+           << "      \"large_scale\": "
+           << (s.large_scale ? "true" : "false") << ",\n"
+           << "      \"requests\": " << s.serve_requests << ",\n"
+           << "      \"fanout\": " << s.serve_fanout << ",\n"
+           << "      \"poisson\": "
+           << (s.serve_poisson ? "true" : "false") << ",\n"
+           << "      \"seed\": " << s.seed << ",\n"
+           << "      \"cells\": [\n";
+        for (std::size_t i = 0; i < run.cells.size(); ++i) {
+            const CellResult &cell = run.cells[i];
+            const ExperimentCell &c = cell.cell;
+            os << "        {\"dataset\": \""
+               << jsonEscape(graph::datasetName(c.dataset))
+               << "\", \"backend\": \"" << jsonEscape(c.backend)
+               << "\", \"design\": \""
+               << jsonEscape(backendDisplayName(c.backend))
+               << "\", \"arrival_qps\": " << c.arrival_qps
+               << ", \"queue_depth\": " << c.queue_depth
+               << ", \"knobs\": {";
+            for (std::size_t k = 0; k < c.knobs.size(); ++k)
+                os << (k ? ", " : "") << '"'
+                   << jsonEscape(c.knobs[k].key)
+                   << "\": " << c.knobs[k].value;
+            os << "}, \"metrics\": {";
+            for (std::size_t m = 0; m < cell.metrics.size(); ++m)
+                os << (m ? ", " : "") << '"'
+                   << jsonEscape(cell.metrics[m].name)
+                   << "\": " << cell.metrics[m].value;
+            os << "}, \"notes\": \"" << jsonEscape(cell.notes) << "\"}"
+               << (i + 1 < run.cells.size() ? ",\n" : "\n");
+        }
+        os << "      ]\n    }" << (r + 1 < runs.size() ? ",\n" : "\n");
+    }
+    os << "  }\n}\n";
+}
+
+void
 writeDesignSpaceJson(std::ostream &os,
                      const std::vector<ScenarioRun> &runs)
 {
@@ -264,8 +356,9 @@ writeDesignSpaceJson(std::ostream &os,
         os << "    \"" << jsonEscape(s.family) << "\": {\n"
            << "      \"title\": \"" << jsonEscape(s.title) << "\",\n"
            << "      \"kind\": \""
-           << (s.kind == ExperimentKind::Pipeline ? "pipeline"
-                                                  : "sampling")
+           << (s.kind == ExperimentKind::Pipeline     ? "pipeline"
+               : s.kind == ExperimentKind::SamplingOnly ? "sampling"
+                                                        : "serving")
            << "\",\n"
            << "      \"large_scale\": "
            << (s.large_scale ? "true" : "false") << ",\n"

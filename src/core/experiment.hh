@@ -109,6 +109,16 @@ class ExperimentRunner
 void writeDesignSpaceJson(std::ostream &os,
                           const std::vector<ScenarioRun> &runs);
 
+/**
+ * Emit serving-kind runs as BENCH_serving.json (same schema envelope:
+ * bench/schema_version/config/results). Per cell: backend, offered
+ * rate, queue depth, and the latency metrics (p50/p95/p99/max/mean,
+ * achieved qps, queue wait). Bit-identical at any runner worker count.
+ * @pre every run's scenario kind is ExperimentKind::Serving
+ */
+void writeServingJson(std::ostream &os,
+                      const std::vector<ScenarioRun> &runs);
+
 } // namespace smartsage::core
 
 #endif // SMARTSAGE_CORE_EXPERIMENT_HH

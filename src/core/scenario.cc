@@ -158,9 +158,13 @@ Scenario::resolvedBackends() const
 std::size_t
 Scenario::gridSize() const
 {
-    return datasets.size() * resolvedBackends().size() *
-           fanout_grid.size() * batch_sizes.size() *
-           batch_mixes.size() * overrides.size() * worker_grid.size();
+    std::size_t cells = datasets.size() * resolvedBackends().size() *
+                        fanout_grid.size() * batch_sizes.size() *
+                        batch_mixes.size() * overrides.size() *
+                        worker_grid.size();
+    if (kind == ExperimentKind::Serving)
+        cells *= arrival_rates.size() * queue_depths.size();
+    return cells;
 }
 
 std::string
@@ -173,7 +177,13 @@ ExperimentCell::label() const
                              : mixLabel(batch_mix);
     for (const auto &knob : knobs)
         out += "/" + knob.label();
-    out += "/w=" + std::to_string(sim_workers);
+    if (kind == ExperimentKind::Serving) {
+        out += "/rate=" + fmtValue(arrival_qps);
+        out += "/qd=" + (queue_depth ? std::to_string(queue_depth)
+                                     : std::string("default"));
+    } else {
+        out += "/w=" + std::to_string(sim_workers);
+    }
     return out;
 }
 
@@ -193,6 +203,19 @@ expandScenario(const Scenario &scenario)
     for (const auto &id : backend_axis)
         BackendRegistry::instance().get(id);
 
+    // The serving axes only multiply the grid for serving scenarios;
+    // other kinds iterate a single dummy point so their expansion (and
+    // therefore the default BENCH_designspace.json) is untouched.
+    const bool serving = scenario.kind == ExperimentKind::Serving;
+    const std::vector<double> rate_axis =
+        serving ? scenario.arrival_rates : std::vector<double>{0};
+    const std::vector<unsigned> depth_axis =
+        serving ? scenario.queue_depths : std::vector<unsigned>{0};
+    if (serving)
+        SS_ASSERT(!rate_axis.empty() && !depth_axis.empty(),
+                  "scenario '", scenario.family,
+                  "' has an empty serving axis");
+
     std::vector<ExperimentCell> cells;
     cells.reserve(scenario.gridSize());
     sim::Rng master(scenario.seed);
@@ -203,7 +226,9 @@ expandScenario(const Scenario &scenario)
        for (auto batch_size : scenario.batch_sizes)
         for (const auto &mix : scenario.batch_mixes)
          for (const auto &knobs : scenario.overrides)
-          for (auto workers : scenario.worker_grid) {
+          for (auto workers : scenario.worker_grid)
+           for (auto rate : rate_axis)
+            for (auto depth : depth_axis) {
               ExperimentCell cell;
               cell.index = cells.size();
               cell.family = scenario.family;
@@ -217,6 +242,14 @@ expandScenario(const Scenario &scenario)
               cell.knobs = knobs;
               cell.sim_workers = workers;
               cell.num_batches = scenario.num_batches;
+              if (serving) {
+                  cell.arrival_qps = rate;
+                  cell.queue_depth = depth;
+                  cell.serve_requests = scenario.serve_requests;
+                  cell.serve_fanout = scenario.serve_fanout;
+                  cell.serve_poisson = scenario.serve_poisson;
+                  cell.serve_seed = scenario.seed;
+              }
 
               SystemConfig sc;
               sc.backend = backend;
@@ -235,6 +268,8 @@ expandScenario(const Scenario &scenario)
                       SS_FATAL("scenario '", scenario.family,
                                "': unknown config knob '", knob.key, "'");
               }
+              if (serving && depth > 0)
+                  sc.host.io_queue_depth = depth;
               cell.config = std::move(sc);
               cells.push_back(std::move(cell));
           }
@@ -352,6 +387,27 @@ workerScalingScenario()
 }
 
 Scenario
+servingLoadScenario()
+{
+    // Registry-driven like backend-space, but restricted to backends
+    // the serving harness can drive (a host-side edge store). The
+    // arrival-rate axis spans comfortably-below-capacity through
+    // saturation for the SSD-backed stores, so the latency tail's
+    // rise with load is visible in one table; the queue-depth axis
+    // shows the admission bound trading tail latency for fairness.
+    Scenario s;
+    s.family = "serving-load";
+    s.title = "Online serving: open-loop arrivals vs storage backend";
+    s.kind = ExperimentKind::Serving;
+    s.backends = servableBackendIds();
+    s.arrival_rates = {2000, 10000, 50000};
+    s.queue_depths = {4, 32};
+    s.serve_requests = 768;
+    s.serve_fanout = 10;
+    return s;
+}
+
+Scenario
 backendSpaceScenario()
 {
     // Registry-driven: every backend alive in this build, including
@@ -381,11 +437,24 @@ builtinScenarios()
     return scenarios;
 }
 
+std::vector<std::string>
+servableBackendIds()
+{
+    std::vector<std::string> out;
+    for (const StorageBackend *backend :
+         BackendRegistry::instance().all()) {
+        if (backend->caps().edge_store != EdgeStoreKind::None)
+            out.push_back(backend->id());
+    }
+    return out;
+}
+
 const std::vector<Scenario> &
 extraScenarios()
 {
     static const std::vector<Scenario> scenarios = {
         backendSpaceScenario(),
+        servingLoadScenario(),
     };
     return scenarios;
 }
@@ -407,6 +476,8 @@ smokeVariant(Scenario scenario)
 {
     scenario.large_scale = false;
     scenario.num_batches = std::min<std::size_t>(scenario.num_batches, 4);
+    scenario.serve_requests =
+        std::min<std::size_t>(scenario.serve_requests, 192);
     return scenario;
 }
 

@@ -61,6 +61,7 @@ enum class ExperimentKind
 {
     Pipeline,     //!< full producer-consumer training pipeline
     SamplingOnly, //!< worker timelines producing batches, no GPU stage
+    Serving,      //!< open-loop request latency (core/serving.hh)
 };
 
 /** Declarative description of one experiment family's design grid. */
@@ -92,6 +93,18 @@ struct Scenario
     /** Simulated producer-worker timelines per cell. */
     std::vector<unsigned> worker_grid{4};
 
+    // ------- serving axes (ExperimentKind::Serving only) -------
+    /** Offered open-loop arrival rates, requests per second. */
+    std::vector<double> arrival_rates{20000};
+    /** Host-I/O queue-depth axis; 0 keeps the config default. */
+    std::vector<unsigned> queue_depths{0};
+    /** Requests per serving cell. */
+    std::size_t serve_requests = 512;
+    /** Neighbor entries gathered per request. */
+    unsigned serve_fanout = 10;
+    /** Poisson vs fixed-rate arrivals. */
+    bool serve_poisson = true;
+
     // ------- shared cell parameters -------
     bool large_scale = true;   //!< dataset variant
     std::size_t num_batches = 8;
@@ -122,6 +135,19 @@ struct ExperimentCell
     unsigned sim_workers = 4;
     std::size_t num_batches = 8;
 
+    // ------- serving cells only -------
+    double arrival_qps = 0;    //!< offered rate; 0 for non-serving
+    unsigned queue_depth = 0;  //!< host-I/O depth; 0 = config default
+    std::size_t serve_requests = 0;
+    unsigned serve_fanout = 0;
+    bool serve_poisson = true;
+    /**
+     * Serving request-stream seed: the *scenario* seed, shared by
+     * every cell so rates, depths, and backends are compared on the
+     * identical request stream (paired comparison).
+     */
+    std::uint64_t serve_seed = 0;
+
     /** Resolved config: design, fanouts, knobs, and per-cell seed. */
     SystemConfig config;
 
@@ -149,12 +175,20 @@ std::vector<ExperimentCell> expandScenario(const Scenario &scenario);
 const std::vector<Scenario> &builtinScenarios();
 
 /**
- * Additional registry-driven families ("backend-space": every
- * registered storage backend, including out-of-core plugins). Run via
- * `design_space --family`; excluded from the default all-family sweep
- * so the default artifact's family set stays stable.
+ * Additional registry-driven families, excluded from the default
+ * all-family sweep so the default artifact's family set stays stable
+ * (run via `design_space --family`):
+ *  - "backend-space": every registered storage backend, including
+ *    out-of-core plugins;
+ *  - "serving-load": open-loop request serving over every backend
+ *    with a host-side edge store, arrival rate x queue depth grid,
+ *    emitting BENCH_serving.json (writeServingJson).
  */
 const std::vector<Scenario> &extraScenarios();
+
+/** Registered backend ids whose caps include a host-side edge store —
+ *  the backends the serving harness can evaluate. Sorted by id. */
+std::vector<std::string> servableBackendIds();
 
 /** Find a family by id in builtin + extra. @return nullptr when absent */
 const Scenario *findScenario(const std::string &family);

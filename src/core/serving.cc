@@ -1,0 +1,152 @@
+#include "serving.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "host/io_path.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace smartsage::core
+{
+
+namespace
+{
+
+/** One pre-generated request: arrival tick plus gather addresses. */
+struct ServingRequest
+{
+    sim::Tick arrival = 0;
+    std::vector<std::uint64_t> addrs;
+};
+
+/**
+ * Deterministically pick a node with at least one neighbor: bounded
+ * rejection, then a forward scan so pathological graphs still
+ * terminate.
+ */
+graph::LocalNodeId
+pickServedNode(const graph::CsrGraph &graph, sim::Rng &rng)
+{
+    std::uint64_t n = graph.numNodes();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        auto node =
+            static_cast<graph::LocalNodeId>(rng.nextBounded(n));
+        if (graph.degree(node) > 0)
+            return node;
+    }
+    auto node = static_cast<graph::LocalNodeId>(rng.nextBounded(n));
+    for (std::uint64_t step = 0; step < n; ++step) {
+        auto candidate = static_cast<graph::LocalNodeId>(
+            (node + step) % n);
+        if (graph.degree(candidate) > 0)
+            return candidate;
+    }
+    SS_FATAL("serving workload needs a graph with at least one edge");
+}
+
+/**
+ * Pre-generate the whole request stream. Request i draws from fork(i)
+ * of the seed and arrivals accumulate in order, so the stream is a
+ * pure function of (config, workload) — independent of event
+ * interleaving and of which runner thread executes the cell.
+ */
+std::vector<ServingRequest>
+generateRequests(const GnnSystem &system, const ServingConfig &config)
+{
+    const graph::CsrGraph &graph = system.workload().graph;
+    const graph::EdgeLayout &layout = system.config().layout;
+    sim::Rng master(config.seed);
+    sim::Rng arrivals = master.fork(0);
+
+    const double gap_ns = 1e9 / config.arrival_qps;
+    double clock_ns = 0;
+
+    std::vector<ServingRequest> requests(config.num_requests);
+    for (std::size_t i = 0; i < config.num_requests; ++i) {
+        ServingRequest &req = requests[i];
+        if (i > 0) {
+            // Open loop: the next arrival does not wait for anything.
+            double gap = gap_ns;
+            if (config.poisson)
+                gap = -std::log1p(-arrivals.nextDouble()) * gap_ns;
+            clock_ns += gap;
+        }
+        req.arrival = static_cast<sim::Tick>(clock_ns);
+
+        sim::Rng rng = master.fork(i + 1);
+        graph::LocalNodeId node = pickServedNode(graph, rng);
+        std::uint64_t degree = graph.degree(node);
+        sim::EdgeIndex row = graph.edgeOffset(node);
+        req.addrs.reserve(config.fanout);
+        for (unsigned k = 0; k < config.fanout; ++k)
+            req.addrs.push_back(
+                layout.addrOf(row + rng.nextBounded(degree)));
+    }
+    return requests;
+}
+
+} // namespace
+
+ServingResult
+runServingLoad(GnnSystem &system, const ServingConfig &config)
+{
+    SS_ASSERT(config.arrival_qps > 0, "arrival rate must be positive");
+    SS_ASSERT(config.num_requests > 0 && config.fanout > 0,
+              "degenerate serving run");
+
+    host::EdgeStore *store = system.edgeStore();
+    if (!store)
+        SS_FATAL("backend '", system.config().resolvedBackend(),
+                 "' has no host-side edge store; the serving harness "
+                 "evaluates the host request path (pick a backend "
+                 "whose caps list an edge store)");
+    store->reset();
+
+    std::vector<ServingRequest> requests =
+        generateRequests(system, config);
+    const unsigned entry_bytes = system.config().layout.entry_bytes;
+
+    ServingResult result;
+    result.offered_qps = config.arrival_qps;
+    result.requests = requests.size();
+
+    sim::EventQueue eq;
+    sim::Tick last_completion = 0;
+    for (const ServingRequest &req : requests) {
+        eq.schedule(req.arrival, [&, &req = req] {
+            store->submitGather(
+                eq, req.addrs, entry_bytes,
+                [&result, &last_completion,
+                 arrival = req.arrival](sim::Tick finish) {
+                    result.latency_us.record(
+                        sim::toMicros(finish - arrival));
+                    last_completion =
+                        std::max(last_completion, finish);
+                });
+        });
+    }
+    eq.run();
+
+    SS_ASSERT(result.latency_us.count() == requests.size(),
+              "serving run dropped requests");
+    result.makespan = last_completion - requests.front().arrival;
+    result.achieved_qps =
+        result.makespan
+            ? static_cast<double>(result.requests) /
+                  sim::toSeconds(result.makespan)
+            : 0.0;
+
+    const sim::StorageChannel &channel = store->ioChannel();
+    result.peak_outstanding = channel.peakOutstanding();
+    result.mean_queue_wait_us =
+        channel.submitted()
+            ? sim::toMicros(channel.totalQueueWait()) /
+                  static_cast<double>(channel.submitted())
+            : 0.0;
+    return result;
+}
+
+} // namespace smartsage::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Online serving harness: request-level evaluation of a storage
+ * backend under open-loop load.
+ *
+ * A GNN inference service answers neighbor-lookup requests — "gather
+ * this node's sampled adjacency entries" — arriving from an open
+ * population of users at a fixed offered rate (Poisson or metronome
+ * arrivals), independent of how fast the system drains them. Requests
+ * are submitted through the edge store's asynchronous port (sim/io.hh)
+ * so many are in flight at once; queue-depth contention and latency
+ * tails emerge from the bounded host-I/O channel plus the shared
+ * busy-until device timelines. Per-request latency is recorded into a
+ * sim::LatencyHistogram (p50/p95/p99/max), which is what distinguishes
+ * this mode from the throughput-oriented sweep harnesses: under load,
+ * the tail is the product.
+ *
+ * The whole run is a single-threaded, fully deterministic simulation:
+ * request i draws its node and entries from fork(i) of the seed, so
+ * results are bit-reproducible at any runner --workers count.
+ */
+
+#ifndef SMARTSAGE_CORE_SERVING_HH
+#define SMARTSAGE_CORE_SERVING_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "system.hh"
+
+namespace smartsage::core
+{
+
+/** Parameters of one open-loop serving run. */
+struct ServingConfig
+{
+    /** Offered arrival rate, requests per second (open loop). */
+    double arrival_qps = 20000;
+    /** Poisson (exponential gaps) vs fixed-rate metronome arrivals. */
+    bool poisson = true;
+    /** Requests in the run. */
+    std::size_t num_requests = 512;
+    /** Sampled neighbor entries gathered per request. */
+    unsigned fanout = 10;
+    /** Master seed; request i uses fork(i). */
+    std::uint64_t seed = 0xba7c;
+};
+
+/** Outcome of one serving run. */
+struct ServingResult
+{
+    /** Per-request latency (submit -> data usable), microseconds. */
+    sim::LatencyHistogram latency_us;
+    std::uint64_t requests = 0;
+    sim::Tick makespan = 0;     //!< first arrival to last completion
+    double offered_qps = 0;     //!< configured arrival rate
+    double achieved_qps = 0;    //!< completions over the makespan
+    double mean_queue_wait_us = 0; //!< host-I/O channel admission wait
+    std::uint64_t peak_outstanding = 0; //!< channel high-water mark
+
+    double p50_us() const { return latency_us.percentile(50.0); }
+    double p95_us() const { return latency_us.percentile(95.0); }
+    double p99_us() const { return latency_us.percentile(99.0); }
+    double max_us() const { return latency_us.max(); }
+};
+
+/**
+ * Run one open-loop serving experiment against @p system's edge store.
+ * The store is reset() first; backends without a host-side edge store
+ * (in-storage ISP/FPGA producers) are fatal — serving evaluates the
+ * host request path.
+ */
+ServingResult runServingLoad(GnnSystem &system,
+                             const ServingConfig &config);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_SERVING_HH

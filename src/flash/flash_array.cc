@@ -13,8 +13,12 @@ FlashArray::FlashArray(const FlashConfig &config) : config_(config)
     for (unsigned i = 0; i < config.totalDies(); ++i)
         dies_.emplace_back("die" + std::to_string(i));
     channels_.reserve(config.channels);
-    for (unsigned i = 0; i < config.channels; ++i)
+    channel_queues_.reserve(config.channels);
+    for (unsigned i = 0; i < config.channels; ++i) {
         channels_.emplace_back("ch" + std::to_string(i));
+        channel_queues_.emplace_back("chq" + std::to_string(i),
+                                     config.channel_queue_depth);
+    }
 }
 
 sim::Tick
@@ -32,6 +36,26 @@ FlashArray::readPage(const PageAddress &addr, sim::Tick arrival)
         sensed.finish, config_.pageTransferTime());
     ++pages_read_;
     return moved.finish;
+}
+
+void
+FlashArray::submitRead(sim::EventQueue &eq, const PageAddress &addr,
+                       sim::IoCompletion done)
+{
+    SS_ASSERT(addr.channel < config_.channels, "channel ", addr.channel,
+              " out of range");
+    channel_queues_[addr.channel].submit(
+        eq,
+        [this, addr](sim::Tick start) { return readPage(addr, start); },
+        std::move(done));
+}
+
+const sim::StorageChannel &
+FlashArray::channelQueue(unsigned channel) const
+{
+    SS_ASSERT(channel < channel_queues_.size(), "channel ", channel,
+              " out of range");
+    return channel_queues_[channel];
 }
 
 double
@@ -65,6 +89,8 @@ FlashArray::reset()
         d.reset();
     for (auto &c : channels_)
         c.reset();
+    for (auto &q : channel_queues_)
+        q.reset();
     pages_read_ = 0;
 }
 

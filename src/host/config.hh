@@ -42,6 +42,18 @@ struct HostConfig
     /** Minor cost of touching an already-resident mmap page. */
     sim::Tick page_cache_hit = sim::ns(250);
 
+    // --- Host I/O request path (async submit/complete) ---
+    /**
+     * Bound on concurrently serviced edge-store requests: the NVMe
+     * submission-queue slots (and matching scratchpad staging buffers)
+     * the runtime exposes to the application. Requests beyond this
+     * depth wait in the host I/O channel; the serving-load scenario
+     * family sweeps it. Blocking (submit-and-drain) callers never have
+     * more than one request outstanding, so this does not affect the
+     * classic sweep results.
+     */
+    unsigned io_queue_depth = 64;
+
     // --- Direct I/O path, Section IV-C ---
     /** Syscall + NVMe submit without page-cache maintenance. */
     sim::Tick direct_io_submit = sim::us(8);
@@ -84,6 +96,8 @@ applyKnob(HostConfig &config, std::string_view key, double value)
         config.page_fault_cost = sim::us(value);
     else if (key == "direct_io_submit_us")
         config.direct_io_submit = sim::us(value);
+    else if (key == "io_queue_depth")
+        config.io_queue_depth = static_cast<unsigned>(value);
     else if (key == "pmem_latency_ns")
         config.pmem_latency = sim::ns(value);
     else if (key == "cpu_per_edge_ns")

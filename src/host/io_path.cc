@@ -7,45 +7,112 @@
 namespace smartsage::host
 {
 
+EdgeStore::EdgeStore(unsigned queue_depth)
+    : channel_("host-io", queue_depth)
+{
+}
+
+void
+EdgeStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                      std::uint64_t bytes, sim::IoCompletion done)
+{
+    channel_.submit(
+        eq,
+        [this, addr, bytes](sim::Tick start) {
+            return serviceRead(start, addr, bytes);
+        },
+        std::move(done));
+}
+
+void
+EdgeStore::submitGather(sim::EventQueue &eq,
+                        const std::vector<std::uint64_t> &addrs,
+                        unsigned entry_bytes, sim::IoCompletion done)
+{
+    if (addrs.empty()) {
+        if (done)
+            done(eq.now());
+        return;
+    }
+    channel_.submit(
+        eq,
+        [this, &addrs, entry_bytes](sim::Tick start) {
+            return serviceGather(start, addrs, entry_bytes);
+        },
+        std::move(done));
+}
+
+sim::Tick
+EdgeStore::read(sim::Tick arrival, std::uint64_t addr,
+                std::uint64_t bytes)
+{
+    return sim::drainOne(
+        drain_eq_, arrival,
+        [&](sim::EventQueue &eq, sim::IoCompletion done) {
+            submitRead(eq, addr, bytes, std::move(done));
+        });
+}
+
 sim::Tick
 EdgeStore::readGather(sim::Tick arrival,
                       const std::vector<std::uint64_t> &addrs,
                       unsigned entry_bytes)
 {
-    sim::Tick t = arrival;
+    return sim::drainOne(
+        drain_eq_, arrival,
+        [&](sim::EventQueue &eq, sim::IoCompletion done) {
+            submitGather(eq, addrs, entry_bytes, std::move(done));
+        });
+}
+
+sim::Tick
+EdgeStore::serviceGather(sim::Tick start,
+                         const std::vector<std::uint64_t> &addrs,
+                         unsigned entry_bytes)
+{
+    sim::Tick t = start;
     for (std::uint64_t a : addrs)
-        t = read(t, a, entry_bytes);
+        t = serviceRead(t, a, entry_bytes);
     return t;
 }
 
-DramEdgeStore::DramEdgeStore(const HostConfig &config) : llc_(config)
+void
+EdgeStore::reset()
+{
+    channel_.reset();
+    drain_eq_.reset();
+    resetStore();
+}
+
+DramEdgeStore::DramEdgeStore(const HostConfig &config)
+    : EdgeStore(config.io_queue_depth), llc_(config)
 {
 }
 
 sim::Tick
-DramEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
-                    std::uint64_t bytes)
+DramEdgeStore::serviceRead(sim::Tick start, std::uint64_t addr,
+                           std::uint64_t bytes)
 {
-    return arrival + llc_.access(addr, bytes);
+    return start + llc_.access(addr, bytes);
 }
 
 void
-DramEdgeStore::reset()
+DramEdgeStore::resetStore()
 {
     llc_.reset();
 }
 
 MmapEdgeStore::MmapEdgeStore(const HostConfig &config,
                              ssd::SsdDevice &ssd)
-    : config_(config), ssd_(ssd),
+    : EdgeStore(config.io_queue_depth), config_(config), ssd_(ssd),
       cache_(config.page_cache_bytes, config.os_page_bytes,
              config.page_cache_ways)
 {
 }
 
 sim::Tick
-MmapEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
-                    std::uint64_t bytes)
+MmapEdgeStore::serviceRead(sim::Tick start, std::uint64_t addr,
+                           std::uint64_t bytes)
 {
     SS_ASSERT(bytes > 0, "zero-length mmap read");
     // Touch every OS page the range spans. Each missing page is a
@@ -53,13 +120,13 @@ MmapEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
     // in exactly one page-sized block.
     std::uint64_t first = cache_.lineOf(addr);
     std::uint64_t last = cache_.lineOf(addr + bytes - 1);
-    sim::Tick done = arrival;
+    sim::Tick done = start;
     for (std::uint64_t page = first; page <= last; ++page) {
         if (cache_.access(page)) {
-            done = std::max(done, arrival + config_.page_cache_hit);
+            done = std::max(done, start + config_.page_cache_hit);
         } else {
             ++faults_;
-            sim::Tick submitted = arrival + config_.page_fault_cost;
+            sim::Tick submitted = start + config_.page_fault_cost;
             sim::Tick landed = ssd_.readBlocks(
                 submitted, page * config_.os_page_bytes,
                 config_.os_page_bytes);
@@ -70,7 +137,7 @@ MmapEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
 }
 
 void
-MmapEdgeStore::reset()
+MmapEdgeStore::resetStore()
 {
     cache_.reset();
     faults_ = 0;
@@ -78,26 +145,26 @@ MmapEdgeStore::reset()
 
 DirectIoEdgeStore::DirectIoEdgeStore(const HostConfig &config,
                                      ssd::SsdDevice &ssd)
-    : config_(config), ssd_(ssd),
+    : EdgeStore(config.io_queue_depth), config_(config), ssd_(ssd),
       cache_(config.scratchpad_bytes, config.os_page_bytes,
              config.scratchpad_ways)
 {
 }
 
 sim::Tick
-DirectIoEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
-                        std::uint64_t bytes)
+DirectIoEdgeStore::serviceRead(sim::Tick start, std::uint64_t addr,
+                               std::uint64_t bytes)
 {
     SS_ASSERT(bytes > 0, "zero-length direct read");
     std::uint64_t first = cache_.lineOf(addr);
     std::uint64_t last = cache_.lineOf(addr + bytes - 1);
-    sim::Tick done = arrival;
+    sim::Tick done = start;
     for (std::uint64_t block = first; block <= last; ++block) {
         if (cache_.access(block)) {
-            done = std::max(done, arrival + config_.scratchpad_hit);
+            done = std::max(done, start + config_.scratchpad_hit);
         } else {
             ++submits_;
-            sim::Tick submitted = arrival + config_.direct_io_submit;
+            sim::Tick submitted = start + config_.direct_io_submit;
             sim::Tick landed = ssd_.readBlocks(
                 submitted, block * config_.os_page_bytes,
                 config_.os_page_bytes);
@@ -108,12 +175,12 @@ DirectIoEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
 }
 
 sim::Tick
-DirectIoEdgeStore::readGather(sim::Tick arrival,
-                              const std::vector<std::uint64_t> &addrs,
-                              unsigned entry_bytes)
+DirectIoEdgeStore::serviceGather(sim::Tick start,
+                                 const std::vector<std::uint64_t> &addrs,
+                                 unsigned entry_bytes)
 {
     if (addrs.empty())
-        return arrival;
+        return start;
 
     // Classify the touched blocks through the scratchpad.
     std::vector<std::uint64_t> missing;
@@ -129,9 +196,9 @@ DirectIoEdgeStore::readGather(sim::Tick arrival,
         }
     }
 
-    sim::Tick done = arrival;
+    sim::Tick done = start;
     if (any_hit)
-        done = std::max(done, arrival + config_.scratchpad_hit);
+        done = std::max(done, start + config_.scratchpad_hit);
     if (!missing.empty()) {
         // The runtime knows every offset up front, so the whole gather
         // rides one submission: contiguous runs of missing blocks
@@ -142,7 +209,7 @@ DirectIoEdgeStore::readGather(sim::Tick arrival,
         missing.erase(std::unique(missing.begin(), missing.end()),
                       missing.end());
         std::uint64_t bs = config_.os_page_bytes;
-        sim::Tick submitted = arrival + config_.direct_io_submit;
+        sim::Tick submitted = start + config_.direct_io_submit;
         std::size_t i = 0;
         while (i < missing.size()) {
             std::size_t j = i + 1;
@@ -160,19 +227,20 @@ DirectIoEdgeStore::readGather(sim::Tick arrival,
 }
 
 void
-DirectIoEdgeStore::reset()
+DirectIoEdgeStore::resetStore()
 {
     cache_.reset();
     submits_ = 0;
 }
 
-PmemEdgeStore::PmemEdgeStore(const HostConfig &config) : config_(config)
+PmemEdgeStore::PmemEdgeStore(const HostConfig &config)
+    : EdgeStore(config.io_queue_depth), config_(config)
 {
 }
 
 sim::Tick
-PmemEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
-                    std::uint64_t bytes)
+PmemEdgeStore::serviceRead(sim::Tick start, std::uint64_t addr,
+                           std::uint64_t bytes)
 {
     // Byte-addressable: one XPLine access per touched chunk.
     std::uint64_t chunk = config_.pmem_access_bytes;
@@ -180,11 +248,11 @@ PmemEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
     std::uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / chunk;
     std::uint64_t chunks = last - first + 1;
     reads_ += chunks;
-    return arrival + config_.pmem_latency * chunks;
+    return start + config_.pmem_latency * chunks;
 }
 
 void
-PmemEdgeStore::reset()
+PmemEdgeStore::resetStore()
 {
     reads_ = 0;
 }

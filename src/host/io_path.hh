@@ -8,6 +8,15 @@
  * (SmartSAGE(SW)), or Optane PMEM. The CPU-side sampler drivers are
  * written against this interface; the ISP path (src/isp) deliberately
  * is not — offloading whole-subgraph generation is the paper's point.
+ *
+ * The access model is asynchronous submit/complete: requests enter a
+ * bounded host-I/O StorageChannel (sim/io.hh) and dispatch when a queue
+ * slot frees, so N requests can be in flight and queue-depth contention
+ * emerges under open-loop load (the serving harness, core/serving.hh).
+ * Each store implements the *service* timing (serviceRead /
+ * serviceGather); the classic blocking calls (read / readGather) are
+ * thin submit-and-drain adapters over the async port and reproduce the
+ * pre-async completion ticks exactly.
  */
 
 #ifndef SMARTSAGE_HOST_IO_PATH_HH
@@ -16,9 +25,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "config.hh"
 #include "llc.hh"
+#include "sim/io.hh"
 #include "sim/set_assoc.hh"
 #include "sim/types.hh"
 #include "ssd/ssd_device.hh"
@@ -30,36 +41,82 @@ namespace smartsage::host
 class EdgeStore
 {
   public:
+    /** @param queue_depth host I/O path queue bound (NVMe SQ slots the
+     *  runtime exposes to the application; HostConfig::io_queue_depth) */
+    explicit EdgeStore(unsigned queue_depth);
     virtual ~EdgeStore() = default;
 
-    /**
-     * Read @p bytes at file offset @p addr, issued at @p arrival.
-     * @return tick the data is usable by the CPU
-     */
-    virtual sim::Tick read(sim::Tick arrival, std::uint64_t addr,
-                           std::uint64_t bytes) = 0;
+    // ------------------------- async port -------------------------
 
     /**
-     * Gather all of one node's sampled entries ( @p addrs byte
-     * addresses, @p entry_bytes each), issued at @p arrival.
-     *
-     * The default walks the entries one blocking read at a time —
-     * correct for byte-addressable stores and for mmap, whose kernel
-     * faults are inherently per-page-blocking. The direct-I/O store
-     * overrides this to coalesce one command per node, which is
-     * precisely its latency edge (Section IV-C).
-     *
-     * @return tick the last entry is usable by the CPU
+     * Submit a read of @p bytes at file offset @p addr at eq.now().
+     * @p done fires at the tick the data is usable by the CPU.
      */
-    virtual sim::Tick readGather(sim::Tick arrival,
-                                 const std::vector<std::uint64_t> &addrs,
-                                 unsigned entry_bytes);
+    void submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                    std::uint64_t bytes, sim::IoCompletion done);
+
+    /**
+     * Submit a gather of one node's sampled entries (@p addrs byte
+     * addresses, @p entry_bytes each) at eq.now(). @p addrs must stay
+     * alive until completion. An empty gather completes immediately
+     * without occupying a queue slot.
+     */
+    void submitGather(sim::EventQueue &eq,
+                      const std::vector<std::uint64_t> &addrs,
+                      unsigned entry_bytes, sim::IoCompletion done);
+
+    // --------------------- blocking adapters ----------------------
+
+    /**
+     * Read @p bytes at file offset @p addr, issued at @p arrival:
+     * submit-and-drain over the async port (bit-identical to the
+     * pre-async blocking path). @return tick the data is usable
+     */
+    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
+                   std::uint64_t bytes);
+
+    /** Blocking gather adapter; see submitGather. */
+    sim::Tick readGather(sim::Tick arrival,
+                         const std::vector<std::uint64_t> &addrs,
+                         unsigned entry_bytes);
 
     /** Display name for reports. */
     virtual const std::string &name() const = 0;
 
-    /** Fresh timeline + caches for a new experiment. */
-    virtual void reset() = 0;
+    /** Fresh timelines, caches, and queue counters. */
+    void reset();
+
+    /** The bounded host-I/O service queue (depth, wait stats). */
+    sim::StorageChannel &ioChannel() { return channel_; }
+    const sim::StorageChannel &ioChannel() const { return channel_; }
+
+  protected:
+    /**
+     * Service timing of one read beginning at @p start (after any
+     * queueing delay). @return completion tick >= start
+     */
+    virtual sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                                  std::uint64_t bytes) = 0;
+
+    /**
+     * Service timing of one gather beginning at @p start.
+     *
+     * The default walks the entries one serviceRead at a time —
+     * correct for byte-addressable stores and for mmap, whose kernel
+     * faults are inherently per-page-blocking. The direct-I/O store
+     * overrides this to coalesce one command per node, which is
+     * precisely its latency edge (Section IV-C).
+     */
+    virtual sim::Tick serviceGather(sim::Tick start,
+                                    const std::vector<std::uint64_t> &addrs,
+                                    unsigned entry_bytes);
+
+    /** Subclass caches/counters back to a fresh state. */
+    virtual void resetStore() = 0;
+
+  private:
+    sim::StorageChannel channel_;
+    sim::EventQueue drain_eq_; //!< blocking-adapter drain queue
 };
 
 /** Oracle: the whole edge list resides in host DRAM behind the LLC. */
@@ -68,12 +125,14 @@ class DramEdgeStore : public EdgeStore
   public:
     explicit DramEdgeStore(const HostConfig &config);
 
-    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
-                   std::uint64_t bytes) override;
     const std::string &name() const override { return name_; }
-    void reset() override;
 
     LlcModel &llc() { return llc_; }
+
+  protected:
+    sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                          std::uint64_t bytes) override;
+    void resetStore() override;
 
   private:
     std::string name_ = "DRAM";
@@ -91,13 +150,15 @@ class MmapEdgeStore : public EdgeStore
   public:
     MmapEdgeStore(const HostConfig &config, ssd::SsdDevice &ssd);
 
-    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
-                   std::uint64_t bytes) override;
     const std::string &name() const override { return name_; }
-    void reset() override;
 
     double pageCacheHitRate() const { return cache_.hitRate(); }
     std::uint64_t pageFaults() const { return faults_; }
+
+  protected:
+    sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                          std::uint64_t bytes) override;
+    void resetStore() override;
 
   private:
     std::string name_ = "SSD (mmap)";
@@ -116,19 +177,21 @@ class DirectIoEdgeStore : public EdgeStore
   public:
     DirectIoEdgeStore(const HostConfig &config, ssd::SsdDevice &ssd);
 
-    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
-                   std::uint64_t bytes) override;
-
-    /** Coalesce one O_DIRECT command covering all missing blocks. */
-    sim::Tick readGather(sim::Tick arrival,
-                         const std::vector<std::uint64_t> &addrs,
-                         unsigned entry_bytes) override;
-
     const std::string &name() const override { return name_; }
-    void reset() override;
 
     double scratchpadHitRate() const { return cache_.hitRate(); }
     std::uint64_t submits() const { return submits_; }
+
+  protected:
+    sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                          std::uint64_t bytes) override;
+
+    /** Coalesce one O_DIRECT command covering all missing blocks. */
+    sim::Tick serviceGather(sim::Tick start,
+                            const std::vector<std::uint64_t> &addrs,
+                            unsigned entry_bytes) override;
+
+    void resetStore() override;
 
   private:
     std::string name_ = "SmartSAGE (SW)";
@@ -144,10 +207,12 @@ class PmemEdgeStore : public EdgeStore
   public:
     explicit PmemEdgeStore(const HostConfig &config);
 
-    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
-                   std::uint64_t bytes) override;
     const std::string &name() const override { return name_; }
-    void reset() override;
+
+  protected:
+    sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                          std::uint64_t bytes) override;
+    void resetStore() override;
 
   private:
     std::string name_ = "PMEM";

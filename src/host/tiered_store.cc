@@ -27,7 +27,7 @@ hotCapacity(const HostConfig &config, const TieredStoreParams &params)
 TieredEdgeStore::TieredEdgeStore(const HostConfig &config,
                                  ssd::SsdDevice &ssd,
                                  const TieredStoreParams &params)
-    : params_(params),
+    : EdgeStore(config.io_queue_depth), params_(params),
       hot_(hotCapacity(config, params), params.hot_line_bytes,
            config.page_cache_ways),
       cold_(config, ssd)
@@ -35,8 +35,8 @@ TieredEdgeStore::TieredEdgeStore(const HostConfig &config,
 }
 
 sim::Tick
-TieredEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
-                      std::uint64_t bytes)
+TieredEdgeStore::serviceRead(sim::Tick start, std::uint64_t addr,
+                             std::uint64_t bytes)
 {
     SS_ASSERT(bytes > 0, "zero-length tiered read");
     // Install-on-miss: a miss is fetched through the cold path and
@@ -48,18 +48,18 @@ TieredEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
     for (std::uint64_t line = first; line <= last; ++line)
         all_hot = hot_.access(line) && all_hot;
     if (all_hot)
-        return arrival + params_.hot_hit;
-    return std::max(arrival + params_.hot_hit,
-                    cold_.read(arrival, addr, bytes));
+        return start + params_.hot_hit;
+    return std::max(start + params_.hot_hit,
+                    cold_.read(start, addr, bytes));
 }
 
 sim::Tick
-TieredEdgeStore::readGather(sim::Tick arrival,
-                            const std::vector<std::uint64_t> &addrs,
-                            unsigned entry_bytes)
+TieredEdgeStore::serviceGather(sim::Tick start,
+                               const std::vector<std::uint64_t> &addrs,
+                               unsigned entry_bytes)
 {
     if (addrs.empty())
-        return arrival;
+        return start;
 
     cold_addrs_.clear();
     bool any_hot = false;
@@ -75,17 +75,17 @@ TieredEdgeStore::readGather(sim::Tick arrival,
             cold_addrs_.push_back(a);
     }
 
-    sim::Tick done = arrival;
+    sim::Tick done = start;
     if (any_hot)
-        done = std::max(done, arrival + params_.hot_hit);
+        done = std::max(done, start + params_.hot_hit);
     if (!cold_addrs_.empty())
         done = std::max(
-            done, cold_.readGather(arrival, cold_addrs_, entry_bytes));
+            done, cold_.readGather(start, cold_addrs_, entry_bytes));
     return done;
 }
 
 void
-TieredEdgeStore::reset()
+TieredEdgeStore::resetStore()
 {
     hot_.reset();
     cold_.reset();

@@ -40,21 +40,23 @@ class TieredEdgeStore : public EdgeStore
     TieredEdgeStore(const HostConfig &config, ssd::SsdDevice &ssd,
                     const TieredStoreParams &params);
 
-    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
-                   std::uint64_t bytes) override;
-
-    /** Hot hits answer from DRAM; the cold remainder rides one
-     *  coalesced O_DIRECT gather. */
-    sim::Tick readGather(sim::Tick arrival,
-                         const std::vector<std::uint64_t> &addrs,
-                         unsigned entry_bytes) override;
-
     const std::string &name() const override { return name_; }
-    void reset() override;
 
     double hotHitRate() const { return hot_.hitRate(); }
     double scratchpadHitRate() const { return cold_.scratchpadHitRate(); }
     std::uint64_t submits() const { return cold_.submits(); }
+
+  protected:
+    sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                          std::uint64_t bytes) override;
+
+    /** Hot hits answer from DRAM; the cold remainder rides one
+     *  coalesced O_DIRECT gather. */
+    sim::Tick serviceGather(sim::Tick start,
+                            const std::vector<std::uint64_t> &addrs,
+                            unsigned entry_bytes) override;
+
+    void resetStore() override;
 
   private:
     std::string name_ = "Tiered-Hybrid";

@@ -10,15 +10,47 @@ namespace smartsage::isp
 
 IspEngine::IspEngine(const IspConfig &config, ssd::SsdDevice &ssd,
                      const graph::EdgeLayout &layout)
-    : config_(config), ssd_(ssd), layout_(layout)
+    : config_(config), ssd_(ssd), layout_(layout),
+      cmd_queue_("isp-cmd", config.queue_depth)
 {
     SS_ASSERT(config.coalesce_targets > 0,
               "coalescing granularity must be positive");
 }
 
+void
+IspEngine::submitGroup(sim::EventQueue &eq, const NodeWork *work,
+                       std::size_t count, IspBatchResult &result,
+                       sim::IoCompletion done) const
+{
+    cmd_queue_.submit(
+        eq,
+        [this, work, count, &result](sim::Tick start) {
+            return serviceGroup(work, count, start, result);
+        },
+        std::move(done));
+}
+
 sim::Tick
 IspEngine::runGroup(const NodeWork *work, std::size_t count,
                     sim::Tick arrival, IspBatchResult &result) const
+{
+    return sim::drainOne(
+        drain_eq_, arrival,
+        [&](sim::EventQueue &eq, sim::IoCompletion done) {
+            submitGroup(eq, work, count, result, std::move(done));
+        });
+}
+
+void
+IspEngine::reset()
+{
+    cmd_queue_.reset();
+    drain_eq_.reset();
+}
+
+sim::Tick
+IspEngine::serviceGroup(const NodeWork *work, std::size_t count,
+                        sim::Tick arrival, IspBatchResult &result) const
 {
     const auto &ssd_cfg = ssd_.config();
 

@@ -405,6 +405,7 @@ void
 IspProducer::reset()
 {
     ssd_.reset();
+    engine_.reset();
     accum_ = isp::IspBatchResult{};
 }
 

@@ -8,7 +8,10 @@ namespace smartsage::sim
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    SS_ASSERT(when >= now_, "scheduling at ", when, " before now ", now_);
+    if (when < now_)
+        SS_PANIC("EventQueue::schedule: scheduling at tick ", when,
+                 ", which is in the past (now = ", now_,
+                 ") — events must never rewind simulated time");
     heap_.push(Event{when, next_seq_++, std::move(cb)});
 }
 
@@ -22,6 +25,15 @@ Tick
 EventQueue::run()
 {
     return runUntil(maxTick);
+}
+
+void
+EventQueue::reset()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    now_ = 0;
+    next_seq_ = 0;
 }
 
 Tick

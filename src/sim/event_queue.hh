@@ -36,7 +36,8 @@ class EventQueue
 
     /**
      * Schedule @p cb at absolute time @p when.
-     * @pre when >= now() — scheduling in the past is a simulator bug.
+     * @pre when >= now() — scheduling in the past is a simulator bug
+     * and panics with the offending ticks (enforced, not advisory).
      */
     void schedule(Tick when, Callback cb);
 
@@ -48,6 +49,13 @@ class EventQueue
 
     /** Run until the queue is empty or time would exceed @p limit. */
     Tick runUntil(Tick limit);
+
+    /**
+     * Rewind the clock to 0 and drop any pending events. The blocking
+     * submit-and-drain adapters (sim/io.hh) reuse one queue across
+     * independent drains whose arrival ticks are not monotonic.
+     */
+    void reset();
 
   private:
     struct Event

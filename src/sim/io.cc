@@ -1,0 +1,121 @@
+#include "io.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+StorageChannel::StorageChannel(std::string name, unsigned depth)
+    : name_(std::move(name)), depth_(depth)
+{
+    SS_ASSERT(depth >= 1, "channel '", name_,
+              "' needs a queue depth of at least 1");
+}
+
+void
+StorageChannel::submit(EventQueue &eq, Service service, IoCompletion done)
+{
+    // Wrap the synchronous service as a one-event staged service: the
+    // finish tick is known at dispatch; the slot is released (and the
+    // completion delivered) by an event at that tick.
+    submitStaged(
+        eq,
+        [service = std::move(service)](EventQueue &q, Tick start,
+                                       IoCompletion complete) {
+            Tick finish = service(start);
+            SS_ASSERT(finish >= start, "service finished at ", finish,
+                      " before it started at ", start);
+            q.schedule(finish, [complete = std::move(complete), finish] {
+                complete(finish);
+            });
+        },
+        std::move(done));
+}
+
+void
+StorageChannel::submitStaged(EventQueue &eq, StagedService service,
+                             IoCompletion done)
+{
+    ++submitted_;
+    peak_outstanding_ = std::max<std::uint64_t>(
+        peak_outstanding_, in_flight_ + pending_.size() + 1);
+    Pending p{std::move(service), std::move(done), eq.now()};
+    if (in_flight_ < depth_) {
+        dispatch(eq, std::move(p));
+    } else {
+        pending_.push_back(std::move(p));
+    }
+}
+
+void
+StorageChannel::dispatch(EventQueue &eq, Pending p)
+{
+    ++in_flight_;
+    Tick start = eq.now();
+    Tick wait = start - p.submit;
+    total_queue_wait_ += wait;
+    max_queue_wait_ = std::max(max_queue_wait_, wait);
+
+    // The staged service owns its own event scheduling; the channel
+    // only hears back through this wrapper, which frees the slot and
+    // pulls the next pending request forward at the completion tick.
+    auto service = std::move(p.service);
+    service(eq, start,
+            [this, &eq, done = std::move(p.done)](Tick finish) {
+                onComplete(eq, finish);
+                if (done)
+                    done(finish);
+            });
+}
+
+void
+StorageChannel::onComplete(EventQueue &eq, Tick finish)
+{
+    SS_ASSERT(in_flight_ > 0, "channel '", name_,
+              "' completed with nothing in flight");
+    (void)finish;
+    --in_flight_;
+    ++completed_;
+    if (!pending_.empty() && in_flight_ < depth_) {
+        Pending next = std::move(pending_.front());
+        pending_.pop_front();
+        dispatch(eq, std::move(next));
+    }
+}
+
+void
+StorageChannel::reset()
+{
+    SS_ASSERT(idle(), "channel '", name_,
+              "' reset with requests outstanding");
+    submitted_ = 0;
+    completed_ = 0;
+    peak_outstanding_ = 0;
+    total_queue_wait_ = 0;
+    max_queue_wait_ = 0;
+}
+
+Tick
+drainOne(EventQueue &eq, Tick arrival,
+         const std::function<void(EventQueue &, IoCompletion)> &submit)
+{
+    SS_ASSERT(eq.pending() == 0,
+              "blocking adapter needs an empty event queue");
+    eq.reset();
+    Tick result = 0;
+    bool completed = false;
+    eq.schedule(arrival, [&] {
+        submit(eq, [&](Tick finish) {
+            result = finish;
+            completed = true;
+        });
+    });
+    eq.run();
+    SS_ASSERT(completed, "blocking adapter drained without a completion");
+    return result;
+}
+
+} // namespace smartsage::sim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Asynchronous storage request primitives.
+ *
+ * The storage stack's components service `IoRequest`s through
+ * `StorageChannel`s: bounded FIFO service stations driven by the
+ * discrete-event kernel (event_queue.hh). A request submitted while the
+ * channel has a free slot dispatches immediately; otherwise it waits in
+ * the channel's pending queue until an in-flight request completes, so
+ * queue-depth contention emerges from queueing rather than serialized
+ * timeline math. The busy-until Resource models (resource.hh) remain
+ * the *service-time* math inside a dispatch; the channel layer decides
+ * *when* a request may begin service.
+ *
+ * The legacy blocking API (`EdgeStore::read`, `SsdDevice::readBlocks`,
+ * ...) survives as a thin submit-and-drain adapter over this layer: one
+ * request is submitted on a private event queue and the queue is run to
+ * completion, which reproduces the pre-async completion ticks exactly
+ * (a single in-flight request never queues).
+ */
+
+#ifndef SMARTSAGE_SIM_IO_HH
+#define SMARTSAGE_SIM_IO_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace smartsage::sim
+{
+
+/** Completion callback: invoked at the request's finish tick. */
+using IoCompletion = std::function<void(Tick finish)>;
+
+/** One in-flight storage request (serving-mode bookkeeping). */
+struct IoRequest
+{
+    std::uint64_t id = 0;   //!< caller-assigned identifier
+    Tick submit = 0;        //!< tick handed to the port
+    Tick dispatch = 0;      //!< tick service admission began
+    Tick complete = 0;      //!< tick the data became usable
+
+    /** End-to-end latency including queueing. */
+    Tick latency() const { return complete - submit; }
+
+    /** Time spent waiting for a channel slot. */
+    Tick queueWait() const { return dispatch - submit; }
+};
+
+/**
+ * A bounded FIFO service station.
+ *
+ * At most `depth` requests are in service at once; excess submissions
+ * wait in arrival order. Service itself is expressed as a callback so
+ * any existing timing math (busy-until servers, links, nested blocking
+ * calls) can stand in as the station's service process:
+ *
+ *  - submit():       synchronous service — service(start) returns the
+ *                    finish tick; the slot is held until that tick.
+ *  - submitStaged(): multi-stage service — the service schedules its
+ *                    own events and reports the finish tick through the
+ *                    provided completion; the slot is held until then.
+ */
+class StorageChannel
+{
+  public:
+    /** Service process returning the finish tick for a dispatch. */
+    using Service = std::function<Tick(Tick start)>;
+    /** Staged service: complete(finish) must be called exactly once,
+     *  at a tick >= start, from an event on the same queue. */
+    using StagedService =
+        std::function<void(EventQueue &eq, Tick start, IoCompletion complete)>;
+
+    /** @param depth maximum requests in service at once (>= 1) */
+    StorageChannel(std::string name, unsigned depth);
+
+    /** Submit a synchronous-service request at eq.now(). */
+    void submit(EventQueue &eq, Service service, IoCompletion done);
+
+    /** Submit a staged (self-scheduling) request at eq.now(). */
+    void submitStaged(EventQueue &eq, StagedService service,
+                      IoCompletion done);
+
+    /** No request in service and none pending. */
+    bool
+    idle() const
+    {
+        return in_flight_ == 0 && pending_.empty();
+    }
+
+    unsigned depth() const { return depth_; }
+
+    /** Requests currently in service. */
+    unsigned inFlight() const { return in_flight_; }
+    /** Requests waiting for a slot. */
+    std::size_t queued() const { return pending_.size(); }
+
+    // ---- lifetime counters ----
+    std::uint64_t submitted() const { return submitted_; }
+    std::uint64_t completed() const { return completed_; }
+    /** High-water mark of in-service plus waiting requests. */
+    std::uint64_t peakOutstanding() const { return peak_outstanding_; }
+    /** Total ticks requests spent waiting for a slot. */
+    Tick totalQueueWait() const { return total_queue_wait_; }
+    /** Largest single queue wait. */
+    Tick maxQueueWait() const { return max_queue_wait_; }
+
+    const std::string &name() const { return name_; }
+
+    /** Forget all history. @pre idle() — resetting with work in flight
+     *  would orphan completions. */
+    void reset();
+
+  private:
+    struct Pending
+    {
+        StagedService service;
+        IoCompletion done;
+        Tick submit;
+    };
+
+    void dispatch(EventQueue &eq, Pending p);
+    void onComplete(EventQueue &eq, Tick finish);
+
+    std::string name_;
+    unsigned depth_;
+    unsigned in_flight_ = 0;
+    std::deque<Pending> pending_;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t peak_outstanding_ = 0;
+    Tick total_queue_wait_ = 0;
+    Tick max_queue_wait_ = 0;
+};
+
+/**
+ * Submit-and-drain helper implementing a blocking call on top of an
+ * async submission: schedules @p submit at @p arrival on @p eq (reset
+ * first), runs the queue dry, and returns the completion tick the
+ * submission reported. @pre eq has no pending events
+ */
+Tick drainOne(EventQueue &eq, Tick arrival,
+              const std::function<void(EventQueue &, IoCompletion)> &submit);
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_IO_HH

@@ -40,6 +40,23 @@ Distribution::stddev() const
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
+namespace
+{
+
+/** Sorted-sample percentile interpolation, shared with
+ *  LatencyHistogram's exact small-N path. */
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
 double
 Distribution::percentile(double p) const
 {
@@ -50,11 +67,7 @@ Distribution::percentile(double p) const
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
     }
-    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    std::size_t lo = static_cast<std::size_t>(rank);
-    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-    double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    return sortedPercentile(samples_, p);
 }
 
 void
@@ -66,6 +79,147 @@ Distribution::reset()
     sum_sq_ = 0.0;
     min_ = std::numeric_limits<double>::infinity();
     max_ = -std::numeric_limits<double>::infinity();
+}
+
+LatencyHistogram::LatencyHistogram()
+{
+    // Bucket 0 holds [0, 1); each power of two above splits into
+    // kSubBuckets linear slices. 64 decades cover every double a Tick
+    // conversion can produce.
+    buckets_.assign(1 + 64 * kSubBuckets, 0);
+}
+
+std::size_t
+LatencyHistogram::bucketOf(double v)
+{
+    if (v < 1.0)
+        return 0;
+    int exp = 0;
+    double frac = std::frexp(v, &exp); // v = frac * 2^exp, frac in [0.5,1)
+    // Normalize to v = m * 2^(exp-1) with m in [1, 2).
+    double m = frac * 2.0;
+    int decade = exp - 1;
+    auto sub = static_cast<std::size_t>((m - 1.0) * kSubBuckets);
+    sub = std::min<std::size_t>(sub, kSubBuckets - 1);
+    std::size_t index =
+        1 + static_cast<std::size_t>(decade) * kSubBuckets + sub;
+    return std::min(index, static_cast<std::size_t>(64 * kSubBuckets));
+}
+
+double
+LatencyHistogram::bucketLo(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    std::size_t decade = (index - 1) / kSubBuckets;
+    std::size_t sub = (index - 1) % kSubBuckets;
+    return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                      static_cast<int>(decade));
+}
+
+void
+LatencyHistogram::record(double v)
+{
+    SS_ASSERT(std::isfinite(v) && v >= 0.0,
+              "latency sample must be finite and non-negative, got ", v);
+    ++buckets_[bucketOf(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    if (exact_ok_) {
+        if (exact_.size() < kExactCap) {
+            exact_.push_back(v);
+            exact_sorted_ = false;
+        } else {
+            // Past the cap the exact set no longer covers the
+            // population; drop it and rely on the buckets.
+            exact_ok_ = false;
+            exact_.clear();
+            exact_.shrink_to_fit();
+        }
+    }
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+LatencyHistogram::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    SS_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
+    if (count_ == 0)
+        return 0.0;
+    if (exact_ok_) {
+        if (!exact_sorted_) {
+            std::sort(exact_.begin(), exact_.end());
+            exact_sorted_ = true;
+        }
+        return sortedPercentile(exact_, p);
+    }
+
+    // Log-bucket path: find the bucket holding the target rank and
+    // interpolate linearly across its width.
+    double rank = p / 100.0 * static_cast<double>(count_ - 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        double first = static_cast<double>(seen);
+        seen += buckets_[i];
+        if (rank < static_cast<double>(seen)) {
+            double lo = bucketLo(i);
+            double hi = bucketLo(i + 1);
+            double frac = (rank - first) / static_cast<double>(buckets_[i]);
+            double v = lo + (hi - lo) * frac;
+            return std::clamp(v, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+
+    if (exact_ok_ && other.exact_ok_ &&
+        exact_.size() + other.exact_.size() <= kExactCap) {
+        exact_.insert(exact_.end(), other.exact_.begin(),
+                      other.exact_.end());
+        exact_sorted_ = false;
+    } else {
+        exact_ok_ = false;
+        exact_.clear();
+        exact_.shrink_to_fit();
+    }
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    exact_.clear();
+    exact_sorted_ = true;
+    exact_ok_ = true;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = 0.0;
 }
 
 void

@@ -67,6 +67,65 @@ class Distribution
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/**
+ * Latency recorder built for request-level serving experiments:
+ * log-bucketed (power-of-two buckets split into linear sub-buckets, so
+ * the relative quantization error is bounded by 1/kSubBuckets),
+ * mergeable across histograms, with *exact* percentiles while the
+ * sample count is small (the first kExactCap samples are retained
+ * verbatim and used whenever they cover the full population).
+ *
+ * Values must be non-negative; units are the caller's choice
+ * (microseconds throughout the serving harness).
+ */
+class LatencyHistogram
+{
+  public:
+    /** Samples retained verbatim for exact small-N percentiles. */
+    static constexpr std::size_t kExactCap = 512;
+    /** Linear sub-buckets per power-of-two decade. */
+    static constexpr unsigned kSubBuckets = 8;
+
+    LatencyHistogram();
+
+    /** Record one sample. @pre v >= 0 and finite */
+    void record(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Percentile in [0, 100]: exact (sorted-sample interpolation) while
+     * every recorded sample is retained; log-bucket interpolation —
+     * clamped to [min, max] — beyond that.
+     */
+    double percentile(double p) const;
+
+    /** Fold @p other into this histogram. */
+    void merge(const LatencyHistogram &other);
+
+    /** True while percentile() is exact (all samples retained). */
+    bool exact() const { return exact_ok_; }
+
+    void reset();
+
+  private:
+    static std::size_t bucketOf(double v);
+    static double bucketLo(std::size_t index);
+
+    std::vector<std::uint64_t> buckets_;
+    mutable std::vector<double> exact_; //!< sorted lazily
+    mutable bool exact_sorted_ = true;
+    bool exact_ok_ = true;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = 0.0;
+};
+
 /** Named stat registry for one component (or a whole system). */
 class StatGroup
 {

@@ -30,7 +30,8 @@ shardConfig(const SsdConfig &base, unsigned shards)
 ShardedEdgeStore::ShardedEdgeStore(const host::HostConfig &config,
                                    const SsdConfig &ssd_config,
                                    const ShardedSsdParams &params)
-    : config_(config), params_(params),
+    : host::EdgeStore(config.io_queue_depth), config_(config),
+      params_(params),
       stripe_blocks_(params.stripe_bytes / config.os_page_bytes),
       cache_(config.scratchpad_bytes, config.os_page_bytes,
              config.scratchpad_ways)
@@ -98,8 +99,8 @@ ShardedEdgeStore::issueMissing(sim::Tick submitted)
 }
 
 sim::Tick
-ShardedEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
-                       std::uint64_t bytes)
+ShardedEdgeStore::serviceRead(sim::Tick start, std::uint64_t addr,
+                              std::uint64_t bytes)
 {
     SS_ASSERT(bytes > 0, "zero-length sharded read");
     std::uint64_t first = cache_.lineOf(addr);
@@ -112,24 +113,24 @@ ShardedEdgeStore::read(sim::Tick arrival, std::uint64_t addr,
         else
             missing_.push_back(block);
     }
-    sim::Tick done = arrival;
+    sim::Tick done = start;
     if (any_hit)
-        done = std::max(done, arrival + config_.scratchpad_hit);
+        done = std::max(done, start + config_.scratchpad_hit);
     if (!missing_.empty()) {
         ++submits_;
-        done = std::max(
-            done, issueMissing(arrival + config_.direct_io_submit));
+        done = std::max(done,
+                        issueMissing(start + config_.direct_io_submit));
     }
     return done;
 }
 
 sim::Tick
-ShardedEdgeStore::readGather(sim::Tick arrival,
-                             const std::vector<std::uint64_t> &addrs,
-                             unsigned entry_bytes)
+ShardedEdgeStore::serviceGather(sim::Tick start,
+                                const std::vector<std::uint64_t> &addrs,
+                                unsigned entry_bytes)
 {
     if (addrs.empty())
-        return arrival;
+        return start;
 
     // Classify the touched blocks through the scratchpad, exactly like
     // the single-device direct-I/O store.
@@ -146,21 +147,21 @@ ShardedEdgeStore::readGather(sim::Tick arrival,
         }
     }
 
-    sim::Tick done = arrival;
+    sim::Tick done = start;
     if (any_hit)
-        done = std::max(done, arrival + config_.scratchpad_hit);
+        done = std::max(done, start + config_.scratchpad_hit);
     if (!missing_.empty()) {
         // One submission covers the whole gather; the runs fan out
         // across the stripe set and complete in parallel.
         ++submits_;
-        done = std::max(
-            done, issueMissing(arrival + config_.direct_io_submit));
+        done = std::max(done,
+                        issueMissing(start + config_.direct_io_submit));
     }
     return done;
 }
 
 void
-ShardedEdgeStore::reset()
+ShardedEdgeStore::resetStore()
 {
     cache_.reset();
     submits_ = 0;

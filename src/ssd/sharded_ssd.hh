@@ -52,16 +52,7 @@ class ShardedEdgeStore : public host::EdgeStore
                      const SsdConfig &ssd_config,
                      const ShardedSsdParams &params);
 
-    sim::Tick read(sim::Tick arrival, std::uint64_t addr,
-                   std::uint64_t bytes) override;
-
-    /** One coalesced submission; missing runs fan out per shard. */
-    sim::Tick readGather(sim::Tick arrival,
-                         const std::vector<std::uint64_t> &addrs,
-                         unsigned entry_bytes) override;
-
     const std::string &name() const override { return name_; }
-    void reset() override;
 
     unsigned numShards() const
     {
@@ -81,6 +72,17 @@ class ShardedEdgeStore : public host::EdgeStore
     std::uint64_t hostReads() const;
     /** Bytes shipped over all PCIe links. */
     std::uint64_t bytesToHost() const;
+
+  protected:
+    sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                          std::uint64_t bytes) override;
+
+    /** One coalesced submission; missing runs fan out per shard. */
+    sim::Tick serviceGather(sim::Tick start,
+                            const std::vector<std::uint64_t> &addrs,
+                            unsigned entry_bytes) override;
+
+    void resetStore() override;
 
   private:
     std::string name_ = "Multi-SSD";

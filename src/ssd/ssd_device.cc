@@ -12,7 +12,8 @@ SsdDevice::SsdDevice(const SsdConfig &config, bool dedicated_isp)
       buffer_(config.page_buffer_bytes, config.flash.page_bytes,
               config.page_buffer_ways),
       cores_(config, dedicated_isp), flash_(config.flash),
-      pcie_("pcie", config.pcie_gbps, config.pcie_latency)
+      pcie_("pcie", config.pcie_gbps, config.pcie_latency),
+      nvme_sq_("nvme-sq", config.queue_depth)
 {
 }
 
@@ -29,9 +30,9 @@ SsdDevice::fetchPage(sim::Tick arrival, std::uint64_t lpn)
     return in_reg + config_.page_buffer_hit;
 }
 
-sim::Tick
-SsdDevice::readBlocks(sim::Tick arrival, std::uint64_t addr,
-                      std::uint64_t bytes)
+void
+SsdDevice::submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                      std::uint64_t bytes, sim::IoCompletion done)
 {
     SS_ASSERT(bytes > 0, "zero-length block read");
 
@@ -42,18 +43,47 @@ SsdDevice::readBlocks(sim::Tick arrival, std::uint64_t addr,
     std::uint64_t hi = (addr + bytes + bs - 1) / bs * bs;
     std::uint64_t xfer = hi - lo;
 
-    // NVMe command handling on the firmware cores.
-    auto cmd = cores_.execute(arrival, config_.nvme_command);
+    nvme_sq_.submitStaged(
+        eq,
+        [this, lo, xfer](sim::EventQueue &q, sim::Tick start,
+                         sim::IoCompletion complete) {
+            // Stage 1: NVMe command handling on the firmware cores.
+            auto cmd = cores_.execute(start, config_.nvme_command);
+            q.schedule(cmd.finish, [this, &q, lo, xfer,
+                                    issued = cmd.finish,
+                                    complete =
+                                        std::move(complete)]() mutable {
+                // Stage 2: fetch every flash page the range spans;
+                // they proceed in parallel across dies and the
+                // transfer starts once all are buffered.
+                sim::Tick ready = issued;
+                for (std::uint64_t lpn : ftl_.pagesSpanned(lo, xfer))
+                    ready = std::max(ready, fetchPage(issued, lpn));
+                ++host_reads_;
+                bytes_to_host_ += xfer;
+                q.schedule(
+                    ready, [this, &q, xfer, ready,
+                            complete = std::move(complete)]() mutable {
+                        // Stage 3: DMA the blocks over PCIe.
+                        sim::Tick finish = dmaToHost(ready, xfer);
+                        q.schedule(finish,
+                                   [complete = std::move(complete),
+                                    finish] { complete(finish); });
+                    });
+            });
+        },
+        std::move(done));
+}
 
-    // Fetch every flash page the range spans; they proceed in parallel
-    // across dies and the transfer starts once all are buffered.
-    sim::Tick ready = cmd.finish;
-    for (std::uint64_t lpn : ftl_.pagesSpanned(lo, xfer))
-        ready = std::max(ready, fetchPage(cmd.finish, lpn));
-
-    ++host_reads_;
-    bytes_to_host_ += xfer;
-    return dmaToHost(ready, xfer);
+sim::Tick
+SsdDevice::readBlocks(sim::Tick arrival, std::uint64_t addr,
+                      std::uint64_t bytes)
+{
+    return sim::drainOne(
+        drain_eq_, arrival,
+        [&](sim::EventQueue &eq, sim::IoCompletion done) {
+            submitRead(eq, addr, bytes, std::move(done));
+        });
 }
 
 sim::Tick
@@ -75,6 +105,8 @@ SsdDevice::reset()
     cores_.reset();
     flash_.reset();
     pcie_.reset();
+    nvme_sq_.reset();
+    drain_eq_.reset();
     host_reads_ = 0;
     bytes_to_host_ = 0;
 }

@@ -18,6 +18,7 @@
 #include "flash/flash_array.hh"
 #include "ftl.hh"
 #include "page_buffer.hh"
+#include "sim/io.hh"
 #include "sim/resource.hh"
 
 namespace smartsage::ssd
@@ -35,9 +36,22 @@ class SsdDevice
                        bool dedicated_isp = false);
 
     /**
-     * Host block read: fetch the byte range [@p addr, @p addr+@p bytes)
-     * into host DRAM. The range is rounded out to logical-block (4 KiB)
-     * granularity, as a real block device must.
+     * Async host block read: submit a read of the byte range
+     * [@p addr, @p addr+@p bytes) at eq.now(). The command takes an
+     * NVMe submission-queue slot (bounded by SsdConfig::queue_depth;
+     * excess commands wait at the front end), then proceeds through
+     * staged events — firmware command handling, flash page fetches
+     * overlapping across dies, PCIe DMA — and @p done fires at the
+     * tick the last byte lands in host memory. The range is rounded
+     * out to logical-block (4 KiB) granularity, as a real block device
+     * must.
+     */
+    void submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                    std::uint64_t bytes, sim::IoCompletion done);
+
+    /**
+     * Host block read, blocking form: submit-and-drain over the async
+     * port (bit-identical to the pre-async path).
      *
      * @param arrival tick the NVMe command reaches the device
      * @return tick the last byte lands in host memory
@@ -69,6 +83,10 @@ class SsdDevice
     /** Bytes shipped to the host over PCIe. */
     std::uint64_t bytesToHost() const { return bytes_to_host_; }
 
+    /** The NVMe submission queue (depth, occupancy, wait stats). */
+    sim::StorageChannel &nvmeQueue() { return nvme_sq_; }
+    const sim::StorageChannel &nvmeQueue() const { return nvme_sq_; }
+
     void reset();
 
   private:
@@ -78,6 +96,8 @@ class SsdDevice
     EmbeddedCores cores_;
     flash::FlashArray flash_;
     sim::BandwidthLink pcie_;
+    sim::StorageChannel nvme_sq_;
+    sim::EventQueue drain_eq_; //!< blocking-adapter drain queue
     std::uint64_t host_reads_ = 0;
     std::uint64_t bytes_to_host_ = 0;
 };

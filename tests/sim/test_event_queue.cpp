@@ -64,10 +64,42 @@ TEST(EventQueue, NowAdvancesWithEvents)
     EXPECT_EQ(seen, 42u);
 }
 
-TEST(EventQueueDeath, SchedulingInThePastPanics)
+TEST(EventQueue, SameTickSchedulingIsAllowed)
+{
+    // The precondition is when >= now(): scheduling *at* the current
+    // tick is legal (completions fire at eq.now() constantly).
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { q.schedule(10, [&] { ++fired; }); });
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ResetRewindsTheClockAndDropsEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(q.now(), 10u);
+
+    q.schedule(50, [&] { ++fired; });
+    q.reset();
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+
+    // After reset, earlier-than-before ticks are schedulable again.
+    q.schedule(3, [&] { ++fired; });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(fired, 2); // the dropped event never fired
+}
+
+TEST(EventQueueDeath, SchedulingInThePastIsFatal)
 {
     EventQueue q;
     q.schedule(10, [] {});
     q.run();
-    EXPECT_DEATH(q.schedule(5, [] {}), "scheduling at");
+    EXPECT_DEATH(q.schedule(5, [] {}),
+                 "scheduling at tick 5, which is in the past \\(now = "
+                 "10\\)");
 }

@@ -97,3 +97,125 @@ TEST(DistributionDeath, BadPercentilePanics)
     d.sample(1);
     EXPECT_DEATH(d.percentile(101), "out of range");
 }
+
+TEST(LatencyHistogram, SmallNPercentilesAreExact)
+{
+    // While every sample is retained the percentiles must match the
+    // exact Distribution, interpolation rule included.
+    LatencyHistogram h;
+    Distribution d;
+    for (int i = 1; i <= 100; ++i) {
+        h.record(i * 3.7);
+        d.sample(i * 3.7);
+    }
+    EXPECT_TRUE(h.exact());
+    for (double p : {0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), d.percentile(p)) << p;
+    EXPECT_DOUBLE_EQ(h.mean(), d.mean());
+    EXPECT_DOUBLE_EQ(h.min(), d.min());
+    EXPECT_DOUBLE_EQ(h.max(), d.max());
+}
+
+TEST(LatencyHistogram, LargeNPercentilesStayWithinBucketError)
+{
+    // Past the exact cap the log buckets bound the relative error by
+    // 1/kSubBuckets per value.
+    LatencyHistogram h;
+    Distribution d;
+    std::uint64_t state = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        double v = 1.0 + static_cast<double>(state >> 40); // ~[1, 16M]
+        h.record(v);
+        d.sample(v);
+    }
+    EXPECT_FALSE(h.exact());
+    const double tol = 1.0 / LatencyHistogram::kSubBuckets;
+    for (double p : {50.0, 95.0, 99.0}) {
+        double exact = d.percentile(p);
+        EXPECT_NEAR(h.percentile(p), exact, exact * tol) << p;
+    }
+    EXPECT_DOUBLE_EQ(h.min(), d.min());
+    EXPECT_DOUBLE_EQ(h.max(), d.max());
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 5000; ++i)
+        h.record((i * 37) % 1000 + 0.5);
+    double prev = -1.0;
+    for (double p = 0; p <= 100.0; p += 5.0) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, prev) << p;
+        prev = v;
+    }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording)
+{
+    // Small + small staying under the cap: merge stays exact.
+    LatencyHistogram a, b, combined;
+    for (int i = 0; i < 100; ++i) {
+        a.record(i);
+        combined.record(i);
+    }
+    for (int i = 100; i < 200; ++i) {
+        b.record(i);
+        combined.record(i);
+    }
+    a.merge(b);
+    EXPECT_TRUE(a.exact());
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+    for (double p : {10.0, 50.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p)) << p;
+
+    // Large merges drop to buckets but stay consistent.
+    LatencyHistogram big_a, big_b, big_c;
+    for (int i = 0; i < 2000; ++i) {
+        double v = i * 11.0 + 1;
+        (i % 2 ? big_a : big_b).record(v);
+        big_c.record(v);
+    }
+    big_a.merge(big_b);
+    EXPECT_EQ(big_a.count(), big_c.count());
+    EXPECT_FALSE(big_a.exact());
+    for (double p : {50.0, 99.0})
+        EXPECT_DOUBLE_EQ(big_a.percentile(p), big_c.percentile(p)) << p;
+}
+
+TEST(LatencyHistogram, EmptyAndResetAreSafe)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+    h.record(42.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h.exact());
+    h.record(7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+}
+
+TEST(LatencyHistogram, ZeroAndSubOneValuesLandInTheFirstBucket)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(0.0);
+    for (int i = 0; i < 1000; ++i)
+        h.record(0.9);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.9);
+    EXPECT_LE(h.percentile(50), 1.0); // first bucket is [0, 1)
+}
+
+TEST(LatencyHistogramDeath, NegativeSamplePanics)
+{
+    LatencyHistogram h;
+    EXPECT_DEATH(h.record(-1.0), "non-negative");
+}

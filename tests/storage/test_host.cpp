@@ -187,6 +187,147 @@ TEST(Stores, DefaultGatherMatchesSerialReads)
     EXPECT_EQ(gathered, serial);
 }
 
+TEST(DirectIoStore, GatherWithEmptyAddressListIsFree)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    DirectIoEdgeStore store(c, ssd);
+    std::vector<std::uint64_t> none;
+    EXPECT_EQ(store.readGather(1234, none, 8), 1234u);
+    EXPECT_EQ(store.submits(), 0u);
+    EXPECT_EQ(ssd.hostReads(), 0u);
+    // The empty gather never occupied a host-I/O queue slot.
+    EXPECT_EQ(store.ioChannel().submitted(), 0u);
+}
+
+TEST(DirectIoStore, GatherDeduplicatesRepeatedAddresses)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd_dup(testSsd()), ssd_one(testSsd());
+    DirectIoEdgeStore dup(c, ssd_dup);
+    DirectIoEdgeStore one(c, ssd_one);
+
+    // Eight copies of the same entry vs a single copy: one block read
+    // either way, and the same completion tick.
+    std::vector<std::uint64_t> repeated(8, 4096 + 16);
+    std::vector<std::uint64_t> single = {4096 + 16};
+    sim::Tick t_dup = dup.readGather(0, repeated, 8);
+    sim::Tick t_one = one.readGather(0, single, 8);
+    EXPECT_EQ(t_dup, t_one);
+    EXPECT_EQ(dup.submits(), 1u);
+    EXPECT_EQ(ssd_dup.hostReads(), ssd_one.hostReads());
+    EXPECT_EQ(ssd_dup.bytesToHost(), c.os_page_bytes);
+}
+
+TEST(DirectIoStore, GatherEntryStraddlingABlockBoundaryFetchesBoth)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    DirectIoEdgeStore store(c, ssd);
+
+    // One 8 B entry whose bytes span the block boundary: both blocks
+    // are missing, contiguous, and ride one coalesced command.
+    std::vector<std::uint64_t> addrs = {c.os_page_bytes - 4};
+    store.readGather(0, addrs, 8);
+    EXPECT_EQ(store.submits(), 1u);
+    EXPECT_EQ(ssd.hostReads(), 1u); // contiguous run, one command
+    EXPECT_EQ(ssd.bytesToHost(), 2 * c.os_page_bytes);
+}
+
+TEST(DirectIoStore, StraddlingEntryCostsNoMoreThanTwoResidentBlocks)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    DirectIoEdgeStore store(c, ssd);
+
+    std::vector<std::uint64_t> straddle = {c.os_page_bytes - 4};
+    sim::Tick cold = store.readGather(0, straddle, 8);
+    // Warm repeat: both blocks now sit in the scratchpad.
+    sim::Tick warm = store.readGather(cold, straddle, 8) - cold;
+    EXPECT_EQ(warm, c.scratchpad_hit);
+    EXPECT_EQ(store.submits(), 1u);
+}
+
+TEST(DirectIoStore, GatherMixingDuplicatesHitsAndStraddles)
+{
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    DirectIoEdgeStore store(c, ssd);
+
+    // Warm block 0 so the mixed gather sees a hit, a duplicate pair,
+    // and a boundary straddle at once.
+    std::vector<std::uint64_t> warmup = {0};
+    sim::Tick t = store.readGather(0, warmup, 8);
+
+    std::vector<std::uint64_t> mixed = {
+        16,                     // scratchpad hit in block 0
+        2 * c.os_page_bytes,    // miss
+        2 * c.os_page_bytes,    // duplicate of the miss
+        3 * c.os_page_bytes - 4 // straddles blocks 2 and 3
+    };
+    sim::Tick done = store.readGather(t, mixed, 8);
+    EXPECT_GT(done, t);
+    // Blocks 2 and 3 are one contiguous missing run: one command.
+    EXPECT_EQ(store.submits(), 2u);
+    EXPECT_EQ(ssd.hostReads(), 2u);
+    EXPECT_EQ(ssd.bytesToHost(), 3 * c.os_page_bytes);
+}
+
+TEST(Stores, AsyncSubmissionMatchesBlockingAdapter)
+{
+    // For every store flavor: a lone async gather submitted at tick T
+    // completes exactly when the blocking adapter says it does.
+    HostConfig c = testHost();
+    smartsage::ssd::SsdDevice ssd_a(testSsd()), ssd_b(testSsd());
+    DirectIoEdgeStore blocking(c, ssd_a);
+    DirectIoEdgeStore async(c, ssd_b);
+
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 6; ++i)
+        addrs.push_back(i * c.os_page_bytes + 8);
+
+    sim::Tick t_blocking = blocking.readGather(777, addrs, 8);
+
+    smartsage::sim::EventQueue eq;
+    sim::Tick t_async = 0;
+    eq.schedule(777, [&] {
+        async.submitGather(eq, addrs, 8,
+                           [&](sim::Tick f) { t_async = f; });
+    });
+    eq.run();
+    EXPECT_EQ(t_async, t_blocking);
+}
+
+TEST(Stores, ConcurrentGathersQueueAtTheHostChannel)
+{
+    // Sixteen same-tick cold gathers through a depth-2 host channel:
+    // every gather completes, the channel bound is respected, and
+    // later arrivals record queueing delay — the contention signal the
+    // serving harness measures.
+    HostConfig c = testHost();
+    c.io_queue_depth = 2;
+    smartsage::ssd::SsdDevice ssd(testSsd());
+    DirectIoEdgeStore store(c, ssd);
+
+    std::vector<std::vector<std::uint64_t>> gathers;
+    for (int g = 0; g < 16; ++g)
+        gathers.push_back({static_cast<std::uint64_t>(g) *
+                           sim::KiB(256)});
+
+    smartsage::sim::EventQueue eq;
+    int completions = 0;
+    eq.schedule(0, [&] {
+        for (const auto &addrs : gathers)
+            store.submitGather(eq, addrs, 8,
+                               [&](sim::Tick) { ++completions; });
+    });
+    eq.run();
+    EXPECT_EQ(completions, 16);
+    EXPECT_EQ(store.ioChannel().completed(), 16u);
+    EXPECT_GT(store.ioChannel().totalQueueWait(), 0u);
+    EXPECT_EQ(store.ioChannel().peakOutstanding(), 16u);
+}
+
 TEST(Stores, LatencyOrderingAcrossTiers)
 {
     // DRAM < PMEM < direct I/O < mmap for one cold 8 B read.
