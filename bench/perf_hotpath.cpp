@@ -4,7 +4,9 @@
  * sampling, GEMM/aggregate kernels, and the multi-worker functional
  * sampling/training pipeline — in both their naive (seed) and optimized
  * forms, plus the storage blocking-adapter overhead (direct service
- * call vs submit-and-drain through the async request layer), and emits
+ * call vs submit-and-drain through the async request layer) and the
+ * feature-cache decorator's replay-path cost/benefit (raw store vs an
+ * LRU-cached store on a skewed gather stream), and emits
  * machine-readable BENCH_hotpath.json so every future PR can be
  * checked against this perf trajectory.
  *
@@ -32,6 +34,7 @@
 #include "gnn/model.hh"
 #include "gnn/sampler.hh"
 #include "graph/powerlaw.hh"
+#include "host/feature_cache.hh"
 #include "host/io_path.hh"
 #include "pipeline/producer.hh"
 #include "sim/random.hh"
@@ -89,6 +92,14 @@ struct AdapterCost
                    ? 1.0 - adapter_ops_per_s / direct_ops_per_s
                    : 0.0;
     }
+};
+
+/** Feature-cache decorator cost/benefit on the replay path. */
+struct CacheCost
+{
+    double raw_ops_per_s = 0;    //!< undecorated blocking gathers
+    double cached_ops_per_s = 0; //!< through the LRU feature cache
+    double hit_frac = 0;         //!< line hit rate the stream reached
 };
 
 /**
@@ -155,6 +166,64 @@ benchStorageAdapter(const BenchConfig &cfg)
             t = store.readGather(t, addrs, 8);
         cost.adapter_ops_per_s =
             static_cast<double>(gathers.size()) / (now_s() - t0);
+    }
+    return cost;
+}
+
+/**
+ * Wall-clock gathers per second with and without the feature-cache
+ * decorator, on a skewed (70% hot-set) stream where the cache has
+ * real reuse: what the decorator costs per request when cold and what
+ * the hit bypass buys once warm.
+ */
+CacheCost
+benchFeatureCache(const BenchConfig &cfg)
+{
+    host::HostConfig host;
+    host.scratchpad_bytes = sim::MiB(4);
+    ssd::SsdConfig ssd_cfg;
+    ssd_cfg.page_buffer_bytes = sim::MiB(8);
+
+    const std::uint64_t span = sim::MiB(512);
+    const std::uint64_t hot_span = sim::MiB(16);
+    std::vector<std::vector<std::uint64_t>> gathers(cfg.storage_gathers);
+    sim::Rng rng(0xfeca);
+    for (auto &addrs : gathers) {
+        addrs.resize(12);
+        bool hot = rng.nextBounded(100) < 70;
+        std::uint64_t node_base =
+            rng.nextBounded(hot ? hot_span : span);
+        for (auto &a : addrs)
+            a = node_base + rng.nextBounded(sim::KiB(64));
+    }
+
+    CacheCost cost;
+    {
+        ssd::SsdDevice ssd(ssd_cfg);
+        host::DirectIoEdgeStore store(host, ssd);
+        sim::Tick t = 0;
+        double t0 = now_s();
+        for (const auto &addrs : gathers)
+            t = store.readGather(t, addrs, 8);
+        cost.raw_ops_per_s =
+            static_cast<double>(gathers.size()) / (now_s() - t0);
+    }
+    {
+        ssd::SsdDevice ssd(ssd_cfg);
+        host::FeatureCacheParams params;
+        params.policy = host::FeatureCachePolicy::Lru;
+        params.line_bytes = sim::KiB(4);
+        params.capacity_bytes = sim::MiB(32);
+        host::FeatureCacheStore store(
+            std::make_unique<host::DirectIoEdgeStore>(host, ssd),
+            params);
+        sim::Tick t = 0;
+        double t0 = now_s();
+        for (const auto &addrs : gathers)
+            t = store.readGather(t, addrs, 8);
+        cost.cached_ops_per_s =
+            static_cast<double>(gathers.size()) / (now_s() - t0);
+        cost.hit_frac = store.hitRate();
     }
     return cost;
 }
@@ -308,7 +377,8 @@ benchPipeline(const graph::CsrGraph &g, const BenchConfig &cfg)
 void
 writeJson(std::ostream &os, const BenchConfig &cfg, const Pair &sampler,
           const Pair &mm, const Pair &mm_tn, const Pair &mm_nt,
-          const Pair &pipeline, const AdapterCost &adapter)
+          const Pair &pipeline, const AdapterCost &adapter,
+          const CacheCost &cache)
 {
     auto obj = [&os](const char *name, const Pair &p, const char *unit,
                      bool last = false) {
@@ -341,7 +411,11 @@ writeJson(std::ostream &os, const BenchConfig &cfg, const Pair &sampler,
     os << "    \"storage_adapter\": {\"direct_ops_per_s\": "
        << adapter.direct_ops_per_s << ", \"adapter_ops_per_s\": "
        << adapter.adapter_ops_per_s << ", \"overhead_frac\": "
-       << adapter.overheadFrac() << ", \"unit\": \"gathers/s\"}\n";
+       << adapter.overheadFrac() << ", \"unit\": \"gathers/s\"},\n";
+    os << "    \"feature_cache\": {\"raw_ops_per_s\": "
+       << cache.raw_ops_per_s << ", \"cached_ops_per_s\": "
+       << cache.cached_ops_per_s << ", \"hit_frac\": "
+       << cache.hit_frac << ", \"unit\": \"gathers/s\"}\n";
     os << "  },\n"
        << "  \"acceptance\": {\n"
        << "    \"sampler_speedup_target\": 3.0,\n"
@@ -434,6 +508,10 @@ main(int argc, char **argv)
               << cfg.storage_gathers << " gathers)...\n";
     AdapterCost adapter = benchStorageAdapter(cfg);
 
+    std::cout << "perf_hotpath: feature-cache decorator ("
+              << cfg.storage_gathers << " gathers)...\n";
+    CacheCost cache = benchFeatureCache(cfg);
+
     auto report = [](const char *name, const Pair &p, const char *unit) {
         std::cout << "  " << name << ": naive " << p.naive << " " << unit
                   << ", fast " << p.fast << " " << unit << "  ("
@@ -449,13 +527,18 @@ main(int argc, char **argv)
               << " gathers/s, adapter " << adapter.adapter_ops_per_s
               << " gathers/s  (overhead "
               << adapter.overheadFrac() * 100.0 << "%)\n";
+    std::cout << "  cache     : raw " << cache.raw_ops_per_s
+              << " gathers/s, cached " << cache.cached_ops_per_s
+              << " gathers/s  (hit rate " << cache.hit_frac * 100.0
+              << "%)\n";
 
     std::ofstream json(out_path);
     if (!json) {
         std::cerr << "perf_hotpath: cannot open " << out_path << "\n";
         return 1;
     }
-    writeJson(json, cfg, sampler, mm, mm_tn, mm_nt, pipeline, adapter);
+    writeJson(json, cfg, sampler, mm, mm_tn, mm_nt, pipeline, adapter,
+              cache);
     std::cout << "perf_hotpath: wrote " << out_path << "\n";
 
     const bool pass =

@@ -21,6 +21,8 @@
  *                      families)
  *   --serving-out <path> write BENCH_serving.json here (serving-kind
  *                      families, e.g. --family serving-load)
+ *   --cache-out <path> write BENCH_cachepolicy.json here (the
+ *                      cache-policy families, both kinds)
  *   --stats-json <path> write BENCH-schema per-backend stats here
  *   --smoke            CI sizes: in-memory datasets, few batches and
  *                      requests
@@ -51,8 +53,8 @@ usage()
     std::cerr << "usage: design_space [dataset] [--workers <n>] "
                  "[--family <name>]... [--design <id>]... "
                  "[--out <path>] [--serving-out <path>] "
-                 "[--stats-json <path>] [--smoke] "
-                 "[--stats] [--list] [--backends]\n";
+                 "[--cache-out <path>] [--stats-json <path>] "
+                 "[--smoke] [--stats] [--list] [--backends]\n";
     return 2;
 }
 
@@ -127,7 +129,8 @@ main(int argc, char **argv)
 {
     unsigned workers = 1;
     bool smoke = false, stats = false;
-    std::string out_path, serving_out_path, stats_json_path;
+    std::string out_path, serving_out_path, cache_out_path;
+    std::string stats_json_path;
     std::vector<std::string> families;
     std::vector<std::string> designs;
     const graph::DatasetId *dataset = nullptr;
@@ -149,6 +152,8 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else if (arg == "--serving-out" && i + 1 < argc) {
             serving_out_path = argv[++i];
+        } else if (arg == "--cache-out" && i + 1 < argc) {
+            cache_out_path = argv[++i];
         } else if (arg == "--stats-json" && i + 1 < argc) {
             stats_json_path = argv[++i];
         } else if (arg == "--smoke") {
@@ -214,11 +219,15 @@ main(int argc, char **argv)
                 std::cout << cell.stats;
     }
 
-    // Serving-kind families get their own schema (latency metrics);
-    // everything else shares the classic design-space document.
-    std::vector<core::ScenarioRun> serving_runs, sweep_runs;
+    // Families tagged for the cache-policy artifact (both kinds) go
+    // to their own document; other serving-kind families get the
+    // serving schema (latency metrics); everything else shares the
+    // classic design-space document.
+    std::vector<core::ScenarioRun> cache_runs, serving_runs, sweep_runs;
     for (auto &run : runs) {
-        if (run.scenario.kind == core::ExperimentKind::Serving)
+        if (run.scenario.artifact == "cache-policy")
+            cache_runs.push_back(std::move(run));
+        else if (run.scenario.kind == core::ExperimentKind::Serving)
             serving_runs.push_back(std::move(run));
         else
             sweep_runs.push_back(std::move(run));
@@ -243,6 +252,20 @@ main(int argc, char **argv)
             SS_FATAL("cannot open ", serving_out_path);
         core::writeServingJson(json, serving_runs);
         std::cout << "design_space: wrote " << serving_out_path << "\n";
+    }
+    if (!cache_runs.empty() && cache_out_path.empty())
+        SS_WARN("cache-policy families ran but --cache-out was not "
+                "given; their cells are not in any artifact");
+    if (!cache_out_path.empty()) {
+        if (cache_runs.empty())
+            SS_FATAL("--cache-out needs the cache-policy families "
+                     "(e.g. --family cache-policy "
+                     "--family cache-policy-throughput)");
+        std::ofstream json(cache_out_path);
+        if (!json)
+            SS_FATAL("cannot open ", cache_out_path);
+        core::writeDesignSpaceJson(json, cache_runs, "cache_policy");
+        std::cout << "design_space: wrote " << cache_out_path << "\n";
     }
     if (!stats_json_path.empty()) {
         std::ofstream json(stats_json_path);

@@ -11,6 +11,7 @@
 #include "backend.hh"
 
 #include "core/report.hh"
+#include "host/feature_cache.hh"
 #include "host/io_path.hh"
 #include "isp/fpga_csd.hh"
 #include "isp/isp_engine.hh"
@@ -22,14 +23,20 @@ namespace smartsage::core
 namespace
 {
 
-/** Host-CPU sampling over an EdgeStore, with an optional SSD below. */
+/**
+ * Host-CPU sampling over an EdgeStore, with an optional SSD below.
+ * The store is decorated with the feature cache when the `cache.*`
+ * knobs enable one; `inner_` keeps the undecorated store for the
+ * subclasses' typed counter access.
+ */
 class CpuStoreInstance : public BackendInstance
 {
   public:
     CpuStoreInstance(const BackendBuildContext &ctx,
                      std::unique_ptr<ssd::SsdDevice> ssd,
                      std::unique_ptr<host::EdgeStore> store)
-        : ssd_(std::move(ssd)), store_(std::move(store)),
+        : ssd_(std::move(ssd)), inner_(store.get()),
+          store_(host::wrapWithFeatureCache(std::move(store), ctx)),
           producer_(ctx.workload.graph, ctx.sampler, *store_,
                     ctx.config.host, ctx.config.layout)
     {
@@ -53,6 +60,7 @@ class CpuStoreInstance : public BackendInstance
 
   protected:
     std::unique_ptr<ssd::SsdDevice> ssd_;
+    host::EdgeStore *inner_; //!< undecorated store (typed stats)
     std::unique_ptr<host::EdgeStore> store_;
     pipeline::CpuProducer producer_;
 };
@@ -67,7 +75,7 @@ class DramInstance : public CpuStoreInstance
     void
     addStats(const StatSink &add) const override
     {
-        auto *dram = static_cast<host::DramEdgeStore *>(store_.get());
+        auto *dram = static_cast<host::DramEdgeStore *>(inner_);
         add("host.llc.miss_rate", dram->llc().missRate(),
             "LLC miss rate over edge reads");
     }
@@ -101,7 +109,7 @@ class MmapInstance : public CpuStoreInstance
     std::string
     notes() const override
     {
-        auto *mm = static_cast<host::MmapEdgeStore *>(store_.get());
+        auto *mm = static_cast<host::MmapEdgeStore *>(inner_);
         return "page cache " + fmtPct(mm->pageCacheHitRate()) +
                ", faults " + std::to_string(mm->pageFaults());
     }
@@ -110,7 +118,7 @@ class MmapInstance : public CpuStoreInstance
     addStats(const StatSink &add) const override
     {
         CpuStoreInstance::addStats(add);
-        auto *mm = static_cast<host::MmapEdgeStore *>(store_.get());
+        auto *mm = static_cast<host::MmapEdgeStore *>(inner_);
         add("host.page_cache.hit_rate", mm->pageCacheHitRate(),
             "OS page cache hit rate");
         add("host.page_faults", static_cast<double>(mm->pageFaults()),
@@ -138,7 +146,7 @@ class DirectIoInstance : public CpuStoreInstance
     std::string
     notes() const override
     {
-        auto *dio = static_cast<host::DirectIoEdgeStore *>(store_.get());
+        auto *dio = static_cast<host::DirectIoEdgeStore *>(inner_);
         return "scratchpad " + fmtPct(dio->scratchpadHitRate()) +
                ", submits " + std::to_string(dio->submits());
     }
@@ -147,7 +155,7 @@ class DirectIoInstance : public CpuStoreInstance
     addStats(const StatSink &add) const override
     {
         CpuStoreInstance::addStats(add);
-        auto *dio = static_cast<host::DirectIoEdgeStore *>(store_.get());
+        auto *dio = static_cast<host::DirectIoEdgeStore *>(inner_);
         add("host.scratchpad.hit_rate", dio->scratchpadHitRate(),
             "user scratchpad hit rate");
         add("host.direct_io.submits",
@@ -256,18 +264,21 @@ paper(DesignPoint dp, std::string summary, BackendCaps c,
 const BackendRegistrar reg_dram{paper(
     DesignPoint::DramOracle,
     "infinite-DRAM in-memory oracle: edge list behind the host LLC",
-    caps(false, false, EdgeStoreKind::Dram, {"host."}), buildDram)};
+    caps(false, false, EdgeStoreKind::Dram, {"host.", "cache."}),
+    buildDram)};
 
 const BackendRegistrar reg_mmap{paper(
     DesignPoint::SsdMmap,
     "baseline SSD: mmap'd edge file through the OS page cache",
-    caps(true, false, EdgeStoreKind::Mmap, {"host.", "ssd."}),
+    caps(true, false, EdgeStoreKind::Mmap,
+         {"host.", "ssd.", "cache."}),
     buildMmap)};
 
 const BackendRegistrar reg_dio{paper(
     DesignPoint::SmartSageSw,
     "SmartSAGE(SW): O_DIRECT runtime with a user scratchpad, no ISP",
-    caps(true, false, EdgeStoreKind::DirectIo, {"host.", "ssd."}),
+    caps(true, false, EdgeStoreKind::DirectIo,
+         {"host.", "ssd.", "cache."}),
     buildDirectIo)};
 
 const BackendRegistrar reg_hwsw{paper(
@@ -285,7 +296,8 @@ const BackendRegistrar reg_oracle{paper(
 const BackendRegistrar reg_pmem{paper(
     DesignPoint::Pmem,
     "Optane DC PMEM on the memory bus, byte-granular loads",
-    caps(false, false, EdgeStoreKind::Pmem, {"host."}), buildPmem)};
+    caps(false, false, EdgeStoreKind::Pmem, {"host.", "cache."}),
+    buildPmem)};
 
 const BackendRegistrar reg_fpga{paper(
     DesignPoint::FpgaCsd,

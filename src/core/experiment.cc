@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "backend.hh"
+#include "host/feature_cache.hh"
 #include "serving.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
@@ -73,6 +74,19 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
     system.backend().addMetrics(
         [&](const std::string &name, double value) { add(name, value); });
     result.notes = system.backend().notes();
+
+    // Feature-cache columns appear only when the decorator exists, so
+    // cache-disabled runs keep their pre-cache metric set and notes.
+    if (const host::FeatureCacheStore *cache = system.featureCache()) {
+        add("cache_hit_frac", cache->hitRate());
+        std::string note =
+            "cache " +
+            host::featureCachePolicyName(cache->params().policy) + " " +
+            fmtPct(cache->hitRate());
+        result.notes = result.notes.empty()
+                           ? note
+                           : result.notes + ", " + note;
+    }
     if (collect_stats) {
         std::ostringstream stats;
         system.dumpStats(stats);
@@ -336,11 +350,12 @@ writeServingJson(std::ostream &os, const std::vector<ScenarioRun> &runs)
 
 void
 writeDesignSpaceJson(std::ostream &os,
-                     const std::vector<ScenarioRun> &runs)
+                     const std::vector<ScenarioRun> &runs,
+                     const std::string &bench_name)
 {
     os.precision(10);
     os << "{\n"
-       << "  \"bench\": \"design_space\",\n"
+       << "  \"bench\": \"" << jsonEscape(bench_name) << "\",\n"
        << "  \"schema_version\": 1,\n"
        << "  \"config\": {\n"
        << "    \"families\": [";
@@ -363,8 +378,15 @@ writeDesignSpaceJson(std::ostream &os,
            << "      \"large_scale\": "
            << (s.large_scale ? "true" : "false") << ",\n"
            << "      \"num_batches\": " << s.num_batches << ",\n"
-           << "      \"seed\": " << s.seed << ",\n"
-           << "      \"cells\": [\n";
+           << "      \"seed\": " << s.seed << ",\n";
+        // Serving axes only for serving families, so non-serving
+        // documents (the default artifact) are byte-stable.
+        if (s.kind == ExperimentKind::Serving)
+            os << "      \"requests\": " << s.serve_requests << ",\n"
+               << "      \"fanout\": " << s.serve_fanout << ",\n"
+               << "      \"poisson\": "
+               << (s.serve_poisson ? "true" : "false") << ",\n";
+        os << "      \"cells\": [\n";
         for (std::size_t i = 0; i < run.cells.size(); ++i) {
             const CellResult &cell = run.cells[i];
             const ExperimentCell &c = cell.cell;
@@ -379,8 +401,11 @@ writeDesignSpaceJson(std::ostream &os,
                << ", \"batch_mix\": [";
             for (std::size_t m = 0; m < c.batch_mix.size(); ++m)
                 os << (m ? ", " : "") << c.batch_mix[m];
-            os << "], \"sim_workers\": " << c.sim_workers
-               << ", \"knobs\": {";
+            os << "], \"sim_workers\": " << c.sim_workers;
+            if (c.kind == ExperimentKind::Serving)
+                os << ", \"arrival_qps\": " << c.arrival_qps
+                   << ", \"queue_depth\": " << c.queue_depth;
+            os << ", \"knobs\": {";
             for (std::size_t k = 0; k < c.knobs.size(); ++k)
                 os << (k ? ", " : "") << '"' << jsonEscape(c.knobs[k].key)
                    << "\": " << c.knobs[k].value;

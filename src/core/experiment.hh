@@ -105,9 +105,15 @@ class ExperimentRunner
  * required top-level keys (bench, schema_version, config, results)
  * shared with BENCH_hotpath.json. Content is a pure function of the
  * runs, so the artifact is bit-identical at any runner worker count.
+ * Serving-kind runs gain their serving axes (requests/fanout/poisson
+ * per family, arrival_qps/queue_depth per cell), which lets documents
+ * mix kinds — BENCH_cachepolicy.json reuses this writer with
+ * @p bench_name "cache_policy" for the policy x capacity x backend
+ * family pair.
  */
 void writeDesignSpaceJson(std::ostream &os,
-                          const std::vector<ScenarioRun> &runs);
+                          const std::vector<ScenarioRun> &runs,
+                          const std::string &bench_name = "design_space");
 
 /**
  * Emit serving-kind runs as BENCH_serving.json (same schema envelope:

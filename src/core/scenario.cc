@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "backend.hh"
+#include "host/feature_cache.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -407,6 +408,70 @@ servingLoadScenario()
     return s;
 }
 
+/**
+ * The cache-policy override grid: a no-cache baseline plus every
+ * replacement policy at a small and a large capacity fraction. Shared
+ * by the serving- and throughput-kind cache families so both compare
+ * the same policy x capacity points.
+ */
+std::vector<std::vector<KnobSetting>>
+cachePolicyOverrides()
+{
+    const host::FeatureCachePolicy policies[] = {
+        host::FeatureCachePolicy::Lru,
+        host::FeatureCachePolicy::Clock,
+        host::FeatureCachePolicy::LfuLite,
+        host::FeatureCachePolicy::DegreePin,
+    };
+    std::vector<std::vector<KnobSetting>> overrides{{}};
+    for (double fraction : {0.1, 0.4})
+        for (host::FeatureCachePolicy policy : policies)
+            overrides.push_back(
+                {{"cache.policy", static_cast<double>(policy)},
+                 {"cache.capacity_fraction", fraction}});
+    return overrides;
+}
+
+Scenario
+cachePolicyServingScenario()
+{
+    // Registry-driven like serving-load: every backend with a host
+    // edge store, each behind the same policy x capacity cache grid on
+    // one fixed open-loop operating point, so hit-rate and tail
+    // latency separate by policy rather than by load.
+    Scenario s;
+    s.family = "cache-policy";
+    s.title = "Feature cache: policy x capacity x backend, open-loop "
+              "serving tails";
+    s.kind = ExperimentKind::Serving;
+    s.artifact = "cache-policy";
+    s.backends = servableBackendIds();
+    s.overrides = cachePolicyOverrides();
+    s.arrival_rates = {20000};
+    s.queue_depths = {16};
+    s.serve_requests = 768;
+    s.serve_fanout = 10;
+    return s;
+}
+
+Scenario
+cachePolicyThroughputScenario()
+{
+    // The same policy x capacity grid under the closed sampling
+    // pipeline: what the cache buys batch throughput.
+    Scenario s;
+    s.family = "cache-policy-throughput";
+    s.title = "Feature cache: policy x capacity x backend, sampling "
+              "throughput";
+    s.kind = ExperimentKind::SamplingOnly;
+    s.artifact = "cache-policy";
+    s.backends = servableBackendIds();
+    s.overrides = cachePolicyOverrides();
+    s.fanout_grid = {{10, 5}};
+    s.num_batches = 8;
+    return s;
+}
+
 Scenario
 backendSpaceScenario()
 {
@@ -455,6 +520,8 @@ extraScenarios()
     static const std::vector<Scenario> scenarios = {
         backendSpaceScenario(),
         servingLoadScenario(),
+        cachePolicyServingScenario(),
+        cachePolicyThroughputScenario(),
     };
     return scenarios;
 }

@@ -70,6 +70,13 @@ struct Scenario
     std::string family; //!< machine-readable id ("fanout-sweep")
     std::string title;  //!< table banner
     ExperimentKind kind = ExperimentKind::Pipeline;
+    /**
+     * Artifact document this family's results belong to. Empty routes
+     * by kind (serving families to BENCH_serving.json, everything
+     * else to BENCH_designspace.json); the cache-policy families set
+     * "cache-policy" so both kinds land in BENCH_cachepolicy.json.
+     */
+    std::string artifact;
 
     // ------- grid axes (each defaults to a single point) -------
     std::vector<graph::DatasetId> datasets{graph::DatasetId::Reddit};
@@ -182,7 +189,12 @@ const std::vector<Scenario> &builtinScenarios();
  *    out-of-core plugins;
  *  - "serving-load": open-loop request serving over every backend
  *    with a host-side edge store, arrival rate x queue depth grid,
- *    emitting BENCH_serving.json (writeServingJson).
+ *    emitting BENCH_serving.json (writeServingJson);
+ *  - "cache-policy" / "cache-policy-throughput": the feature-cache
+ *    policy x capacity grid (host/feature_cache.hh) over every
+ *    servable backend, under open-loop serving and under the closed
+ *    sampling pipeline respectively, emitting BENCH_cachepolicy.json
+ *    (design_space --cache-out).
  */
 const std::vector<Scenario> &extraScenarios();
 

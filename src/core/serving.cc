@@ -141,10 +141,13 @@ runServingLoad(GnnSystem &system, const ServingConfig &config)
 
     const sim::StorageChannel &channel = store->ioChannel();
     result.peak_outstanding = channel.peakOutstanding();
+    // Mean over the requests that actually queued: averaging the zero
+    // waits of straight-to-slot dispatches in would understate the
+    // admission wait a queued request experiences.
     result.mean_queue_wait_us =
-        channel.submitted()
+        channel.queuedCount()
             ? sim::toMicros(channel.totalQueueWait()) /
-                  static_cast<double>(channel.submitted())
+                  static_cast<double>(channel.queuedCount())
             : 0.0;
     return result;
 }

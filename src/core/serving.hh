@@ -56,7 +56,9 @@ struct ServingResult
     sim::Tick makespan = 0;     //!< first arrival to last completion
     double offered_qps = 0;     //!< configured arrival rate
     double achieved_qps = 0;    //!< completions over the makespan
-    double mean_queue_wait_us = 0; //!< host-I/O channel admission wait
+    /** Mean host-I/O channel admission wait over the requests that
+     *  actually queued (straight-to-slot dispatches are excluded). */
+    double mean_queue_wait_us = 0;
     std::uint64_t peak_outstanding = 0; //!< channel high-water mark
 
     double p50_us() const { return latency_us.percentile(50.0); }

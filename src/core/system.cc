@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "backend.hh"
+#include "host/feature_cache.hh"
 #include "pipeline/scheduler.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -165,6 +166,13 @@ GnnSystem::edgeStore()
     return backend_->edgeStore();
 }
 
+const host::FeatureCacheStore *
+GnnSystem::featureCache() const
+{
+    return dynamic_cast<const host::FeatureCacheStore *>(
+        backend_->edgeStore());
+}
+
 pipeline::PipelineResult
 GnnSystem::runPipeline()
 {
@@ -186,6 +194,29 @@ GnnSystem::statRows() const
     add("graph.edges", static_cast<double>(workload_.graph.numEdges()),
         "graph edges");
     backend_->addStats(add);
+    // The feature-cache decorator reports centrally so every backend's
+    // stats gain the cache rows without per-backend wiring. Absent
+    // when the cache is disabled, keeping the default stats documents
+    // identical to the pre-cache schema.
+    if (const host::FeatureCacheStore *cache = featureCache()) {
+        const host::FeatureCacheStats &cs = cache->stats();
+        add("host.feature_cache.policy",
+            static_cast<double>(cache->params().policy),
+            "replacement policy id (0=lru 1=clock 2=lfu-lite "
+            "3=degree-pin)");
+        add("host.feature_cache.capacity_lines",
+            static_cast<double>(cache->params().capacityLines()),
+            "cache capacity in lines");
+        add("host.feature_cache.hits", static_cast<double>(cs.hits),
+            "line touches found resident");
+        add("host.feature_cache.misses", static_cast<double>(cs.misses),
+            "line touches that went to storage");
+        add("host.feature_cache.evictions",
+            static_cast<double>(cs.evictions),
+            "victims replaced by fills");
+        add("host.feature_cache.hit_rate", cs.hitRate(),
+            "feature-cache line hit rate");
+    }
     return rows;
 }
 

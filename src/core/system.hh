@@ -40,6 +40,7 @@
 namespace smartsage::host
 {
 class EdgeStore;
+class FeatureCacheStore;
 }
 namespace smartsage::ssd
 {
@@ -227,6 +228,10 @@ class GnnSystem
     /** Convenience: the backend's host-side edge store; null for
      *  in-storage (ISP/FPGA) backends. */
     host::EdgeStore *edgeStore();
+
+    /** The feature-cache decorator when the `cache.*` knobs enabled
+     *  one over this backend's edge store; null otherwise. */
+    const host::FeatureCacheStore *featureCache() const;
 
     /** Rendering of a stats report. */
     enum class StatsFormat

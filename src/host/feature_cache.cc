@@ -1,0 +1,516 @@
+#include "feature_cache.hh"
+
+#include <algorithm>
+#include <list>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/backend.hh"
+#include "graph/csr.hh"
+#include "graph/layout.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace smartsage::host
+{
+
+const std::string &
+featureCachePolicyName(FeatureCachePolicy policy)
+{
+    static const std::string names[] = {"lru", "clock", "lfu-lite",
+                                        "degree-pin"};
+    return names[static_cast<int>(policy)];
+}
+
+FeatureCachePolicy
+featureCachePolicyFromKnob(double value)
+{
+    std::uint64_t id = core::requireIntegerKnob("cache.policy", value);
+    if (id > 3)
+        SS_FATAL("cache.policy must be one of 0=lru, 1=clock, "
+                 "2=lfu-lite, 3=degree-pin, got ",
+                 value);
+    return static_cast<FeatureCachePolicy>(id);
+}
+
+namespace
+{
+
+/** Exact LRU: splice-to-front list plus an id index. */
+class LruPolicy final : public CacheReplacementPolicy
+{
+  public:
+    explicit LruPolicy(std::uint64_t max_lines) : max_lines_(max_lines) {}
+
+    bool
+    access(std::uint64_t line) override
+    {
+        auto it = index_.find(line);
+        if (it == index_.end())
+            return false;
+        order_.splice(order_.begin(), order_, it->second);
+        return true;
+    }
+
+    bool
+    contains(std::uint64_t line) const override
+    {
+        return index_.count(line) != 0;
+    }
+
+    bool
+    fill(std::uint64_t line) override
+    {
+        if (max_lines_ == 0)
+            return false;
+        bool evicted = false;
+        if (order_.size() >= max_lines_) {
+            index_.erase(order_.back());
+            order_.pop_back();
+            evicted = true;
+        }
+        order_.push_front(line);
+        index_[line] = order_.begin();
+        return evicted;
+    }
+
+    std::uint64_t size() const override { return order_.size(); }
+
+    void
+    reset() override
+    {
+        order_.clear();
+        index_.clear();
+    }
+
+  private:
+    std::uint64_t max_lines_;
+    std::list<std::uint64_t> order_; //!< MRU first
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        index_;
+};
+
+/**
+ * CLOCK (second chance): fills take empty slots in arrival order; once
+ * full, the hand clears reference bits until it lands on an
+ * unreferenced victim and moves one past the replaced slot.
+ */
+class ClockPolicy final : public CacheReplacementPolicy
+{
+  public:
+    explicit ClockPolicy(std::uint64_t max_lines) : max_lines_(max_lines)
+    {
+    }
+
+    bool
+    access(std::uint64_t line) override
+    {
+        auto it = index_.find(line);
+        if (it == index_.end())
+            return false;
+        slots_[it->second].referenced = true;
+        return true;
+    }
+
+    bool
+    contains(std::uint64_t line) const override
+    {
+        return index_.count(line) != 0;
+    }
+
+    bool
+    fill(std::uint64_t line) override
+    {
+        if (max_lines_ == 0)
+            return false;
+        if (slots_.size() < max_lines_) {
+            index_[line] = slots_.size();
+            slots_.push_back({line, false});
+            return false;
+        }
+        while (slots_[hand_].referenced) {
+            slots_[hand_].referenced = false;
+            hand_ = (hand_ + 1) % slots_.size();
+        }
+        index_.erase(slots_[hand_].line);
+        slots_[hand_] = {line, false};
+        index_[line] = hand_;
+        hand_ = (hand_ + 1) % slots_.size();
+        return true;
+    }
+
+    std::uint64_t size() const override { return slots_.size(); }
+
+    void
+    reset() override
+    {
+        slots_.clear();
+        index_.clear();
+        hand_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t line;
+        bool referenced;
+    };
+
+    std::uint64_t max_lines_;
+    std::vector<Slot> slots_;
+    std::size_t hand_ = 0;
+    std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+/**
+ * LFU-lite: per-line frequency saturating at a small cap (so stale
+ * once-hot lines can age out of the victim race), victims picked by
+ * (frequency, fill stamp) — FIFO among equally-cold lines.
+ */
+class LfuLitePolicy final : public CacheReplacementPolicy
+{
+  public:
+    explicit LfuLitePolicy(std::uint64_t max_lines)
+        : max_lines_(max_lines)
+    {
+    }
+
+    bool
+    access(std::uint64_t line) override
+    {
+        auto it = entries_.find(line);
+        if (it == entries_.end())
+            return false;
+        Entry &e = it->second;
+        if (e.freq < kMaxFreq) {
+            queue_.erase({e.freq, e.stamp, line});
+            ++e.freq;
+            queue_.insert({e.freq, e.stamp, line});
+        }
+        return true;
+    }
+
+    bool
+    contains(std::uint64_t line) const override
+    {
+        return entries_.count(line) != 0;
+    }
+
+    bool
+    fill(std::uint64_t line) override
+    {
+        if (max_lines_ == 0)
+            return false;
+        bool evicted = false;
+        if (entries_.size() >= max_lines_) {
+            auto victim = queue_.begin();
+            entries_.erase(std::get<2>(*victim));
+            queue_.erase(victim);
+            evicted = true;
+        }
+        Entry e{1, ++stamp_};
+        entries_[line] = e;
+        queue_.insert({e.freq, e.stamp, line});
+        return evicted;
+    }
+
+    std::uint64_t size() const override { return entries_.size(); }
+
+    void
+    reset() override
+    {
+        entries_.clear();
+        queue_.clear();
+        stamp_ = 0;
+    }
+
+  private:
+    static constexpr std::uint32_t kMaxFreq = 15;
+
+    struct Entry
+    {
+        std::uint32_t freq;
+        std::uint64_t stamp;
+    };
+
+    std::uint64_t max_lines_;
+    std::uint64_t stamp_ = 0;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    /** Victim order: coldest (freq, stamp) first. */
+    std::set<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>>
+        queue_;
+};
+
+/** Static pin set: membership decided at build time, never replaced. */
+class DegreePinPolicy final : public CacheReplacementPolicy
+{
+  public:
+    explicit DegreePinPolicy(const std::vector<std::uint64_t> &pinned)
+        : pinned_(pinned.begin(), pinned.end())
+    {
+    }
+
+    bool
+    access(std::uint64_t line) override
+    {
+        return pinned_.count(line) != 0;
+    }
+
+    bool
+    contains(std::uint64_t line) const override
+    {
+        return pinned_.count(line) != 0;
+    }
+
+    bool
+    fill(std::uint64_t line) override
+    {
+        (void)line; // misses stay misses: the pin set is the cache
+        return false;
+    }
+
+    std::uint64_t size() const override { return pinned_.size(); }
+
+    void reset() override {} // construction-time state survives reset
+
+  private:
+    std::unordered_set<std::uint64_t> pinned_;
+};
+
+} // namespace
+
+std::unique_ptr<CacheReplacementPolicy>
+makeCacheReplacementPolicy(const FeatureCacheParams &params)
+{
+    switch (params.policy) {
+    case FeatureCachePolicy::Lru:
+        return std::make_unique<LruPolicy>(params.capacityLines());
+    case FeatureCachePolicy::Clock:
+        return std::make_unique<ClockPolicy>(params.capacityLines());
+    case FeatureCachePolicy::LfuLite:
+        return std::make_unique<LfuLitePolicy>(params.capacityLines());
+    case FeatureCachePolicy::DegreePin:
+        return std::make_unique<DegreePinPolicy>(params.pinned_lines);
+    }
+    SS_FATAL("unknown feature-cache policy id ",
+             static_cast<int>(params.policy));
+}
+
+std::vector<std::uint64_t>
+degreePinnedLines(const graph::CsrGraph &graph,
+                  const graph::EdgeLayout &layout,
+                  std::uint64_t line_bytes, std::uint64_t max_lines)
+{
+    std::vector<std::uint64_t> out;
+    if (max_lines == 0)
+        return out;
+
+    auto n = static_cast<graph::LocalNodeId>(graph.numNodes());
+    std::vector<graph::LocalNodeId> nodes(n);
+    std::iota(nodes.begin(), nodes.end(), graph::LocalNodeId(0));
+    std::sort(nodes.begin(), nodes.end(),
+              [&graph](graph::LocalNodeId a, graph::LocalNodeId b) {
+                  std::uint64_t da = graph.degree(a);
+                  std::uint64_t db = graph.degree(b);
+                  return da != db ? da > db : a < b;
+              });
+
+    std::unordered_set<std::uint64_t> taken;
+    out.reserve(max_lines);
+    for (graph::LocalNodeId node : nodes) {
+        std::uint64_t degree = graph.degree(node);
+        if (degree == 0)
+            break; // degrees descend: the rest are isolated nodes
+        sim::EdgeIndex row = graph.edgeOffset(node);
+        std::uint64_t first = layout.addrOf(row) / line_bytes;
+        std::uint64_t last = (layout.addrOf(row + degree - 1) +
+                              layout.entry_bytes - 1) /
+                             line_bytes;
+        for (std::uint64_t line = first; line <= last; ++line) {
+            if (!taken.insert(line).second)
+                continue;
+            out.push_back(line);
+            if (out.size() >= max_lines)
+                return out;
+        }
+    }
+    return out;
+}
+
+FeatureCacheStore::FeatureCacheStore(std::unique_ptr<EdgeStore> inner,
+                                     FeatureCacheParams params)
+    : EdgeStore(1), inner_(std::move(inner)),
+      params_(std::move(params)),
+      policy_(makeCacheReplacementPolicy(params_))
+{
+    SS_ASSERT(inner_, "feature cache needs a store to decorate");
+    SS_ASSERT(params_.line_bytes > 0, "feature cache needs a line size");
+    name_ = inner_->name() + " + " +
+            featureCachePolicyName(params_.policy) + " cache";
+}
+
+void
+FeatureCacheStore::classifyRange(std::uint64_t addr, std::uint64_t bytes,
+                                 std::vector<std::uint64_t> &missing)
+{
+    std::uint64_t first = addr / params_.line_bytes;
+    std::uint64_t last =
+        (addr + (bytes ? bytes - 1 : 0)) / params_.line_bytes;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (policy_->access(line)) {
+            ++stats_.hits;
+        } else {
+            ++stats_.misses;
+            missing.push_back(line);
+        }
+    }
+}
+
+void
+FeatureCacheStore::fillLines(const std::vector<std::uint64_t> &lines)
+{
+    for (std::uint64_t line : lines) {
+        // A concurrent request may have filled the line while this
+        // miss was in flight; fills are idempotent.
+        if (policy_->contains(line))
+            continue;
+        if (policy_->fill(line))
+            ++stats_.evictions;
+    }
+}
+
+void
+FeatureCacheStore::completeHit(sim::EventQueue &eq, sim::IoCompletion done)
+{
+    sim::Tick finish = eq.now() + params_.hit;
+    eq.schedule(finish, [done = std::move(done), finish] {
+        if (done)
+            done(finish);
+    });
+}
+
+void
+FeatureCacheStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                              std::uint64_t bytes, sim::IoCompletion done)
+{
+    std::vector<std::uint64_t> missing;
+    classifyRange(addr, bytes, missing);
+    if (missing.empty()) {
+        completeHit(eq, std::move(done));
+        return;
+    }
+    inner_->submitRead(
+        eq, addr, bytes,
+        [this, missing = std::move(missing),
+         done = std::move(done)](sim::Tick finish) {
+            fillLines(missing);
+            if (done)
+                done(finish);
+        });
+}
+
+void
+FeatureCacheStore::submitGather(sim::EventQueue &eq,
+                                const std::vector<std::uint64_t> &addrs,
+                                unsigned entry_bytes,
+                                sim::IoCompletion done)
+{
+    if (addrs.empty()) {
+        if (done)
+            done(eq.now());
+        return;
+    }
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t a : addrs)
+        classifyRange(a, entry_bytes, missing);
+    if (missing.empty()) {
+        completeHit(eq, std::move(done));
+        return;
+    }
+    // Entries of one gather may share lines; fill each line once.
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()),
+                  missing.end());
+    inner_->submitGather(
+        eq, addrs, entry_bytes,
+        [this, missing = std::move(missing),
+         done = std::move(done)](sim::Tick finish) {
+            fillLines(missing);
+            if (done)
+                done(finish);
+        });
+}
+
+sim::Tick
+FeatureCacheStore::serviceRead(sim::Tick start, std::uint64_t addr,
+                               std::uint64_t bytes)
+{
+    (void)start;
+    (void)addr;
+    (void)bytes;
+    SS_FATAL("FeatureCacheStore has no service timing of its own; "
+             "requests route through the decorated store");
+}
+
+void
+FeatureCacheStore::resetStore()
+{
+    inner_->reset();
+    policy_->reset();
+    stats_ = {};
+}
+
+std::unique_ptr<EdgeStore>
+wrapWithFeatureCache(std::unique_ptr<EdgeStore> store,
+                     const core::BackendBuildContext &ctx)
+{
+    const core::SystemConfig &config = ctx.config;
+    core::validateBackendKnobs(config, "cache.",
+                               {"cache.policy", "cache.capacity_fraction",
+                                "cache.line_kib", "cache.hit_ns"});
+
+    double fraction = config.knobOr("cache.capacity_fraction", 0.0);
+    if (!(fraction >= 0.0 && fraction <= 1.0))
+        SS_FATAL("cache.capacity_fraction must be within [0, 1], got ",
+                 fraction);
+    if (fraction == 0.0)
+        return store; // disabled: the store is untouched
+
+    FeatureCacheParams params;
+    params.policy =
+        featureCachePolicyFromKnob(config.knobOr("cache.policy", 0));
+
+    double line_kib = config.knobOr("cache.line_kib", 4);
+    if (!(line_kib >= 1 && line_kib <= 4096))
+        SS_FATAL("cache.line_kib must be within [1, 4096], got ",
+                 line_kib);
+    params.line_bytes =
+        sim::KiB(core::requireIntegerKnob("cache.line_kib", line_kib));
+
+    double hit_ns = config.knobOr("cache.hit_ns", 150);
+    if (!(hit_ns >= 0))
+        SS_FATAL("cache.hit_ns must be >= 0, got ", hit_ns);
+    params.hit = sim::ns(hit_ns);
+
+    // Capacity scales off the edge-list footprint like the page-cache
+    // and scratchpad budgets; once enabled it holds at least one line.
+    std::uint64_t edge_bytes = ctx.workload.edgeListBytes(config.layout);
+    auto want = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(edge_bytes));
+    params.capacity_bytes = std::max(want, params.line_bytes);
+
+    if (params.policy == FeatureCachePolicy::DegreePin)
+        params.pinned_lines = degreePinnedLines(
+            ctx.workload.graph, config.layout, params.line_bytes,
+            params.capacityLines());
+
+    return std::make_unique<FeatureCacheStore>(std::move(store),
+                                               std::move(params));
+}
+
+} // namespace smartsage::host

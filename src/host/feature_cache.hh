@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Policy-pluggable host-side feature cache over the async I/O path.
+ *
+ * Where neighbor-feature reads land in the memory/storage hierarchy is
+ * the paper's central tension; a host-DRAM feature/page cache in front
+ * of *any* edge store is the missing axis between the DRAM oracle and
+ * the device paths. `FeatureCacheStore` is a decorator over an owned
+ * inner `EdgeStore`: requests whose touched cache lines are all
+ * resident complete at a flat DRAM-tier latency *without entering the
+ * host I/O channel*; anything else flows through to the inner store
+ * unchanged and fills the missed lines when the completion fires.
+ * Because the decorator speaks the async submit/complete port
+ * (io_path.hh) and the blocking adapters drain through that same port,
+ * every registered storage backend — DRAM, mmap, direct-io, PMEM,
+ * sharded, tiered — gains the cache for free, in both the throughput
+ * sweeps and the open-loop serving harness.
+ *
+ * Replacement is pluggable (`CacheReplacementPolicy`): exact LRU,
+ * CLOCK (second chance), LFU-lite (saturating frequency, FIFO
+ * tiebreak), and a degree-aware static-pin policy that pins the
+ * edge-list lines of the highest-degree nodes (fed by CsrGraph degree,
+ * the Fig 13 skew) and never replaces — the Ginex-style static regime
+ * against the GNNLab-style dynamic ones.
+ *
+ * Configured through the backend-knob system: `cache.policy`,
+ * `cache.capacity_fraction`, `cache.line_kib`, `cache.hit_ns`. The
+ * default capacity fraction is 0, which builds no decorator at all, so
+ * existing design points are bit-identical with the cache disabled.
+ */
+
+#ifndef SMARTSAGE_HOST_FEATURE_CACHE_HH
+#define SMARTSAGE_HOST_FEATURE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io_path.hh"
+#include "sim/types.hh"
+
+namespace smartsage::graph
+{
+class CsrGraph;
+struct EdgeLayout;
+} // namespace smartsage::graph
+
+namespace smartsage::core
+{
+struct BackendBuildContext; // core/backend.hh
+} // namespace smartsage::core
+
+namespace smartsage::host
+{
+
+/** Replacement policy selector (the `cache.policy` knob values). */
+enum class FeatureCachePolicy
+{
+    Lru = 0,       //!< exact least-recently-used
+    Clock = 1,     //!< second-chance clock sweep
+    LfuLite = 2,   //!< saturating-frequency LFU, FIFO tiebreak
+    DegreePin = 3, //!< static pin of the highest-degree nodes' lines
+};
+
+/** Display name of a policy ("lru", "clock", "lfu-lite", "degree-pin"). */
+const std::string &featureCachePolicyName(FeatureCachePolicy policy);
+
+/** Decode the `cache.policy` knob; non-integral or out-of-range values
+ *  are fatal, listing the valid ids. */
+FeatureCachePolicy featureCachePolicyFromKnob(double value);
+
+/** Resolved cache shape of one FeatureCacheStore. */
+struct FeatureCacheParams
+{
+    FeatureCachePolicy policy = FeatureCachePolicy::Lru;
+    /** Total capacity; 0 builds a pass-through cache that never hits
+     *  (useful for pinning byte-identity in tests). */
+    std::uint64_t capacity_bytes = 0;
+    std::uint64_t line_bytes = sim::KiB(4); //!< fill/lookup granularity
+    sim::Tick hit = sim::ns(150);           //!< DRAM-tier hit latency
+    /** DegreePin only: the pinned line set, hottest nodes first. */
+    std::vector<std::uint64_t> pinned_lines;
+
+    /** Capacity in whole lines (0 when disabled). */
+    std::uint64_t capacityLines() const
+    {
+        return capacity_bytes / line_bytes;
+    }
+};
+
+/**
+ * Replacement decisions over 64-bit line ids. Residency bookkeeping
+ * and hit/miss/eviction counting live in the store; policies only
+ * answer "is it resident" and "what gets evicted".
+ */
+class CacheReplacementPolicy
+{
+  public:
+    virtual ~CacheReplacementPolicy() = default;
+
+    /** Touch @p line, updating recency/frequency state.
+     *  @return true when resident */
+    virtual bool access(std::uint64_t line) = 0;
+
+    /** Non-mutating residency probe (fill-time idempotence guard). */
+    virtual bool contains(std::uint64_t line) const = 0;
+
+    /**
+     * Install @p line after its miss completed, evicting a victim when
+     * full. @pre !contains(line) @return true when a victim was evicted
+     */
+    virtual bool fill(std::uint64_t line) = 0;
+
+    /** Resident line count. */
+    virtual std::uint64_t size() const = 0;
+
+    /** Drop all residency and recency state. */
+    virtual void reset() = 0;
+};
+
+/** Build the policy implementation for @p params. */
+std::unique_ptr<CacheReplacementPolicy>
+makeCacheReplacementPolicy(const FeatureCacheParams &params);
+
+/**
+ * The pinned-line set of the degree-aware static policy: walk nodes by
+ * descending degree (node id breaks ties) and pin the lines their
+ * edge-list rows span, until @p max_lines are taken. Deterministic for
+ * a fixed graph/layout/shape.
+ */
+std::vector<std::uint64_t>
+degreePinnedLines(const graph::CsrGraph &graph,
+                  const graph::EdgeLayout &layout,
+                  std::uint64_t line_bytes, std::uint64_t max_lines);
+
+/** Lifetime counters of one FeatureCacheStore (line granularity). */
+struct FeatureCacheStats
+{
+    std::uint64_t hits = 0;      //!< line touches found resident
+    std::uint64_t misses = 0;    //!< line touches that went to storage
+    std::uint64_t evictions = 0; //!< victims replaced by fills
+
+    double hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/** Capacity-bounded feature cache decorating any EdgeStore. */
+class FeatureCacheStore : public EdgeStore
+{
+  public:
+    /** @param inner the decorated store (owned); its name, channel,
+     *  and service timing carry every miss */
+    FeatureCacheStore(std::unique_ptr<EdgeStore> inner,
+                      FeatureCacheParams params);
+
+    const std::string &name() const override { return name_; }
+
+    /** All-lines-resident reads complete at `hit` ticks, bypassing the
+     *  host I/O channel; any miss forwards the request unchanged. */
+    void submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                    std::uint64_t bytes, sim::IoCompletion done) override;
+    void submitGather(sim::EventQueue &eq,
+                      const std::vector<std::uint64_t> &addrs,
+                      unsigned entry_bytes,
+                      sim::IoCompletion done) override;
+
+    /** Misses are the only channel users: expose the inner channel so
+     *  serving stats keep meaning "requests that hit storage". */
+    sim::StorageChannel &ioChannel() override
+    {
+        return inner_->ioChannel();
+    }
+    const sim::StorageChannel &ioChannel() const override
+    {
+        return inner_->ioChannel();
+    }
+
+    EdgeStore &inner() { return *inner_; }
+    const EdgeStore &inner() const { return *inner_; }
+
+    const FeatureCacheParams &params() const { return params_; }
+    const FeatureCacheStats &stats() const { return stats_; }
+    double hitRate() const { return stats_.hitRate(); }
+    /** Lines currently resident. */
+    std::uint64_t residentLines() const { return policy_->size(); }
+
+  protected:
+    /** Never reached: the decorator overrides the whole async port and
+     *  owns no service timing of its own. */
+    sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
+                          std::uint64_t bytes) override;
+
+    void resetStore() override;
+
+  private:
+    /**
+     * Classify the lines of [@p addr, @p addr + @p bytes) through the
+     * policy, appending deduplicated missing lines to @p missing.
+     * Counts one hit/miss per line touch.
+     */
+    void classifyRange(std::uint64_t addr, std::uint64_t bytes,
+                       std::vector<std::uint64_t> &missing);
+
+    /** Install @p lines after their miss completed (idempotent: lines
+     *  filled by a concurrent request are skipped). */
+    void fillLines(const std::vector<std::uint64_t> &lines);
+
+    /** Schedule @p done at eq.now() + hit (channel bypass). */
+    void completeHit(sim::EventQueue &eq, sim::IoCompletion done);
+
+    std::string name_;
+    std::unique_ptr<EdgeStore> inner_;
+    FeatureCacheParams params_;
+    std::unique_ptr<CacheReplacementPolicy> policy_;
+    FeatureCacheStats stats_;
+};
+
+/**
+ * Decorate @p store with a FeatureCacheStore when the build context's
+ * `cache.*` knobs enable one (`cache.capacity_fraction` > 0; capacity
+ * scales off the workload's edge-list footprint like every other cache
+ * budget). With the default fraction of 0 the store is returned
+ * untouched, so backends calling this wrapper stay bit-identical to
+ * their pre-cache behavior. Unknown or out-of-range `cache.*` knobs
+ * are fatal.
+ */
+std::unique_ptr<EdgeStore>
+wrapWithFeatureCache(std::unique_ptr<EdgeStore> store,
+                     const core::BackendBuildContext &ctx);
+
+} // namespace smartsage::host
+
+#endif // SMARTSAGE_HOST_FEATURE_CACHE_HH

@@ -51,9 +51,12 @@ class EdgeStore
     /**
      * Submit a read of @p bytes at file offset @p addr at eq.now().
      * @p done fires at the tick the data is usable by the CPU.
+     * Virtual so decorators (host/feature_cache.hh) can intercept the
+     * port; the blocking adapters below route through the virtual
+     * call, so a decorator covers both access styles at once.
      */
-    void submitRead(sim::EventQueue &eq, std::uint64_t addr,
-                    std::uint64_t bytes, sim::IoCompletion done);
+    virtual void submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                            std::uint64_t bytes, sim::IoCompletion done);
 
     /**
      * Submit a gather of one node's sampled entries (@p addrs byte
@@ -61,9 +64,9 @@ class EdgeStore
      * alive until completion. An empty gather completes immediately
      * without occupying a queue slot.
      */
-    void submitGather(sim::EventQueue &eq,
-                      const std::vector<std::uint64_t> &addrs,
-                      unsigned entry_bytes, sim::IoCompletion done);
+    virtual void submitGather(sim::EventQueue &eq,
+                              const std::vector<std::uint64_t> &addrs,
+                              unsigned entry_bytes, sim::IoCompletion done);
 
     // --------------------- blocking adapters ----------------------
 
@@ -86,9 +89,13 @@ class EdgeStore
     /** Fresh timelines, caches, and queue counters. */
     void reset();
 
-    /** The bounded host-I/O service queue (depth, wait stats). */
-    sim::StorageChannel &ioChannel() { return channel_; }
-    const sim::StorageChannel &ioChannel() const { return channel_; }
+    /** The bounded host-I/O service queue (depth, wait stats).
+     *  Decorators forward to the channel actually carrying requests. */
+    virtual sim::StorageChannel &ioChannel() { return channel_; }
+    virtual const sim::StorageChannel &ioChannel() const
+    {
+        return channel_;
+    }
 
   protected:
     /**

@@ -4,6 +4,7 @@
 
 #include "core/backend.hh"
 #include "core/report.hh"
+#include "feature_cache.hh"
 #include "sim/logging.hh"
 #include "ssd/ssd_device.hh"
 
@@ -121,57 +122,64 @@ paramsFrom(const core::SystemConfig &config)
 class TieredInstance : public core::BackendInstance
 {
   public:
-    explicit TieredInstance(const core::BackendBuildContext &ctx)
-        : ssd_(std::make_unique<ssd::SsdDevice>(ctx.config.ssd)),
-          store_(ctx.config.host, *ssd_, paramsFrom(ctx.config)),
-          producer_(ctx.workload.graph, ctx.sampler, store_,
+    TieredInstance(const core::BackendBuildContext &ctx,
+                   std::unique_ptr<ssd::SsdDevice> ssd,
+                   std::unique_ptr<TieredEdgeStore> store)
+        : ssd_(std::move(ssd)), tiered_(store.get()),
+          wrapped_(wrapWithFeatureCache(std::move(store), ctx)),
+          producer_(ctx.workload.graph, ctx.sampler, *wrapped_,
                     ctx.config.host, ctx.config.layout)
     {
     }
 
     pipeline::SubgraphProducer &producer() override { return producer_; }
     ssd::SsdDevice *ssd() override { return ssd_.get(); }
-    host::EdgeStore *edgeStore() override { return &store_; }
+    host::EdgeStore *edgeStore() override { return wrapped_.get(); }
 
     void
     addMetrics(const core::MetricSink &add) const override
     {
         core::addSsdMetrics(ssd_.get(), add);
-        add("hot_hit_frac", store_.hotHitRate());
+        add("hot_hit_frac", tiered_->hotHitRate());
     }
 
     std::string
     notes() const override
     {
-        return "hot " + core::fmtPct(store_.hotHitRate()) +
+        return "hot " + core::fmtPct(tiered_->hotHitRate()) +
                ", scratchpad " +
-               core::fmtPct(store_.scratchpadHitRate()) + ", submits " +
-               std::to_string(store_.submits());
+               core::fmtPct(tiered_->scratchpadHitRate()) +
+               ", submits " + std::to_string(tiered_->submits());
     }
 
     void
     addStats(const core::StatSink &add) const override
     {
         core::addSsdStats(ssd_.get(), add);
-        add("host.hot_cache.hit_rate", store_.hotHitRate(),
+        add("host.hot_cache.hit_rate", tiered_->hotHitRate(),
             "DRAM hot-tier hit rate");
-        add("host.scratchpad.hit_rate", store_.scratchpadHitRate(),
+        add("host.scratchpad.hit_rate", tiered_->scratchpadHitRate(),
             "user scratchpad hit rate");
         add("host.direct_io.submits",
-            static_cast<double>(store_.submits()),
+            static_cast<double>(tiered_->submits()),
             "O_DIRECT submissions");
     }
 
   private:
     std::unique_ptr<ssd::SsdDevice> ssd_;
-    TieredEdgeStore store_;
+    TieredEdgeStore *tiered_; //!< undecorated store (typed counters)
+    std::unique_ptr<host::EdgeStore> wrapped_;
     pipeline::CpuProducer producer_;
 };
 
 std::unique_ptr<core::BackendInstance>
 buildTiered(const core::BackendBuildContext &ctx)
 {
-    return std::make_unique<TieredInstance>(ctx);
+    auto ssd = std::make_unique<ssd::SsdDevice>(ctx.config.ssd);
+    auto store = std::make_unique<TieredEdgeStore>(
+        ctx.config.host, *ssd, paramsFrom(ctx.config));
+    return std::make_unique<TieredInstance>(ctx, std::move(ssd),
+                                            std::move(store));
 }
 
 const core::BackendRegistrar reg_tiered{
@@ -180,7 +188,7 @@ const core::BackendRegistrar reg_tiered{
         "host-DRAM hot cache in front of the direct-I/O SSD path, "
         "capacity set by page_cache_fraction",
         core::BackendCaps{true, false, core::EdgeStoreKind::Tiered,
-                          {"host.", "ssd.", "tiered."}},
+                          {"host.", "ssd.", "tiered.", "cache."}},
         buildTiered)};
 
 } // namespace

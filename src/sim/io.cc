@@ -44,20 +44,26 @@ StorageChannel::submitStaged(EventQueue &eq, StagedService service,
         peak_outstanding_, in_flight_ + pending_.size() + 1);
     Pending p{std::move(service), std::move(done), eq.now()};
     if (in_flight_ < depth_) {
-        dispatch(eq, std::move(p));
+        dispatch(eq, std::move(p), /*queued=*/false);
     } else {
         pending_.push_back(std::move(p));
     }
 }
 
 void
-StorageChannel::dispatch(EventQueue &eq, Pending p)
+StorageChannel::dispatch(EventQueue &eq, Pending p, bool queued)
 {
     ++in_flight_;
     Tick start = eq.now();
-    Tick wait = start - p.submit;
-    total_queue_wait_ += wait;
-    max_queue_wait_ = std::max(max_queue_wait_, wait);
+    // Wait stats cover only requests that actually sat in the pending
+    // queue; sync completions dispatched straight into a free slot
+    // would otherwise skew the mean queue wait toward zero.
+    if (queued) {
+        Tick wait = start - p.submit;
+        ++queued_;
+        total_queue_wait_ += wait;
+        max_queue_wait_ = std::max(max_queue_wait_, wait);
+    }
 
     // The staged service owns its own event scheduling; the channel
     // only hears back through this wrapper, which frees the slot and
@@ -82,7 +88,7 @@ StorageChannel::onComplete(EventQueue &eq, Tick finish)
     if (!pending_.empty() && in_flight_ < depth_) {
         Pending next = std::move(pending_.front());
         pending_.pop_front();
-        dispatch(eq, std::move(next));
+        dispatch(eq, std::move(next), /*queued=*/true);
     }
 }
 
@@ -94,6 +100,7 @@ StorageChannel::reset()
     submitted_ = 0;
     completed_ = 0;
     peak_outstanding_ = 0;
+    queued_ = 0;
     total_queue_wait_ = 0;
     max_queue_wait_ = 0;
 }

@@ -104,7 +104,14 @@ class StorageChannel
     std::uint64_t completed() const { return completed_; }
     /** High-water mark of in-service plus waiting requests. */
     std::uint64_t peakOutstanding() const { return peak_outstanding_; }
-    /** Total ticks requests spent waiting for a slot. */
+    /**
+     * Requests dispatched out of the pending queue. Queue-wait stats
+     * cover only these: a request dispatched straight into a free slot
+     * never queued, and counting its zero wait would drag the mean
+     * wait of the requests that did queue toward zero.
+     */
+    std::uint64_t queuedCount() const { return queued_; }
+    /** Total ticks queued requests spent waiting for a slot. */
     Tick totalQueueWait() const { return total_queue_wait_; }
     /** Largest single queue wait. */
     Tick maxQueueWait() const { return max_queue_wait_; }
@@ -123,7 +130,8 @@ class StorageChannel
         Tick submit;
     };
 
-    void dispatch(EventQueue &eq, Pending p);
+    /** @param queued whether @p p waited in the pending queue */
+    void dispatch(EventQueue &eq, Pending p, bool queued);
     void onComplete(EventQueue &eq, Tick finish);
 
     std::string name_;
@@ -134,6 +142,7 @@ class StorageChannel
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t peak_outstanding_ = 0;
+    std::uint64_t queued_ = 0;
     Tick total_queue_wait_ = 0;
     Tick max_queue_wait_ = 0;
 };

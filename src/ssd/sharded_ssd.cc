@@ -5,6 +5,7 @@
 
 #include "core/backend.hh"
 #include "core/report.hh"
+#include "host/feature_cache.hh"
 #include "sim/logging.hh"
 
 namespace smartsage::ssd
@@ -246,57 +247,67 @@ class MultiSsdInstance : public core::BackendInstance
 {
   public:
     explicit MultiSsdInstance(const core::BackendBuildContext &ctx)
-        : store_(ctx.config.host, ctx.config.ssd,
-                 paramsFrom(ctx.config)),
-          producer_(ctx.workload.graph, ctx.sampler, store_,
-                    ctx.config.host, ctx.config.layout)
+        : MultiSsdInstance(ctx,
+                           std::make_unique<ShardedEdgeStore>(
+                               ctx.config.host, ctx.config.ssd,
+                               paramsFrom(ctx.config)))
     {
     }
 
     pipeline::SubgraphProducer &producer() override { return producer_; }
-    host::EdgeStore *edgeStore() override { return &store_; }
+    host::EdgeStore *edgeStore() override { return wrapped_.get(); }
 
     void
     addMetrics(const core::MetricSink &add) const override
     {
-        add("ssd_buffer_hit_frac", store_.bufferHitRate());
+        add("ssd_buffer_hit_frac", sharded_->bufferHitRate());
         add("flash_pages_read",
-            static_cast<double>(store_.flashPagesRead()));
+            static_cast<double>(sharded_->flashPagesRead()));
     }
 
     std::string
     notes() const override
     {
-        return "shards " + std::to_string(store_.numShards()) +
+        return "shards " + std::to_string(sharded_->numShards()) +
                ", scratchpad " +
-               core::fmtPct(store_.scratchpadHitRate()) + ", submits " +
-               std::to_string(store_.submits());
+               core::fmtPct(sharded_->scratchpadHitRate()) + ", submits " +
+               std::to_string(sharded_->submits());
     }
 
     void
     addStats(const core::StatSink &add) const override
     {
-        add("ssd.shards", static_cast<double>(store_.numShards()),
+        add("ssd.shards", static_cast<double>(sharded_->numShards()),
             "devices in the striped array");
-        add("ssd.host_reads", static_cast<double>(store_.hostReads()),
+        add("ssd.host_reads", static_cast<double>(sharded_->hostReads()),
             "block read commands served, all shards");
         add("ssd.bytes_to_host",
-            static_cast<double>(store_.bytesToHost()),
+            static_cast<double>(sharded_->bytesToHost()),
             "bytes shipped over all PCIe links");
-        add("ssd.page_buffer.hit_rate", store_.bufferHitRate(),
+        add("ssd.page_buffer.hit_rate", sharded_->bufferHitRate(),
             "controller DRAM buffer hit rate, all shards");
         add("ssd.flash.pages_read",
-            static_cast<double>(store_.flashPagesRead()),
+            static_cast<double>(sharded_->flashPagesRead()),
             "NAND pages sensed, all shards");
-        add("host.scratchpad.hit_rate", store_.scratchpadHitRate(),
+        add("host.scratchpad.hit_rate", sharded_->scratchpadHitRate(),
             "user scratchpad hit rate");
         add("host.direct_io.submits",
-            static_cast<double>(store_.submits()),
+            static_cast<double>(sharded_->submits()),
             "O_DIRECT submissions");
     }
 
   private:
-    ShardedEdgeStore store_;
+    MultiSsdInstance(const core::BackendBuildContext &ctx,
+                     std::unique_ptr<ShardedEdgeStore> store)
+        : sharded_(store.get()),
+          wrapped_(host::wrapWithFeatureCache(std::move(store), ctx)),
+          producer_(ctx.workload.graph, ctx.sampler, *wrapped_,
+                    ctx.config.host, ctx.config.layout)
+    {
+    }
+
+    ShardedEdgeStore *sharded_; //!< undecorated store (typed counters)
+    std::unique_ptr<host::EdgeStore> wrapped_;
     pipeline::CpuProducer producer_;
 };
 
@@ -311,8 +322,9 @@ const core::BackendRegistrar reg_multi_ssd{
         "multi-ssd", "Multi-SSD",
         "RAID-0 page striping across N independent SSD timelines, "
         "direct-I/O host path",
-        core::BackendCaps{true, false, core::EdgeStoreKind::Sharded,
-                          {"host.", "ssd.", "multi-ssd."}},
+        core::BackendCaps{
+            true, false, core::EdgeStoreKind::Sharded,
+            {"host.", "ssd.", "multi-ssd.", "cache."}},
         buildMultiSsd)};
 
 } // namespace

@@ -1,0 +1,171 @@
+/** @file Feature-cache decorator integration (ctest label `cache`):
+ *  the cache composes over every servable backend through the knob
+ *  system, async submissions and the blocking adapters agree tick for
+ *  tick, capacity-zero configs build no decorator at all, and the
+ *  cache-policy scenario family is bit-reproducible at any runner
+ *  worker count. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/backend.hh"
+#include "core/experiment.hh"
+#include "core/scenario.hh"
+#include "core/serving.hh"
+#include "core/system.hh"
+#include "host/feature_cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace smartsage;
+using namespace smartsage::core;
+
+namespace
+{
+
+const Workload &
+smallWorkload()
+{
+    static Workload wl = Workload::make(graph::DatasetId::Amazon, false);
+    return wl;
+}
+
+SystemConfig
+cachedConfig(const std::string &backend, double policy,
+             double capacity_fraction)
+{
+    SystemConfig sc;
+    sc.backend = backend;
+    sc.fanouts = {6, 3};
+    sc.pipeline.batch_size = 64;
+    sc.backend_knobs["cache.policy"] = policy;
+    sc.backend_knobs["cache.capacity_fraction"] = capacity_fraction;
+    return sc;
+}
+
+/** A deterministic gather request stream over the edge-list span. */
+std::vector<std::vector<std::uint64_t>>
+gatherStream(const GnnSystem &system, std::size_t count)
+{
+    const graph::CsrGraph &g = system.workload().graph;
+    const graph::EdgeLayout &layout = system.config().layout;
+    sim::Rng rng(0x5eed);
+    std::vector<std::vector<std::uint64_t>> stream(count);
+    for (auto &addrs : stream) {
+        addrs.resize(6);
+        for (auto &a : addrs)
+            a = layout.addrOf(rng.nextBounded(g.numEdges()));
+    }
+    return stream;
+}
+
+} // namespace
+
+TEST(CacheDecorator, EveryServableBackendGainsTheCache)
+{
+    for (const std::string &id : servableBackendIds()) {
+        GnnSystem system(cachedConfig(id, /*lru*/ 0, 0.25),
+                         smallWorkload());
+        const host::FeatureCacheStore *cache = system.featureCache();
+        ASSERT_NE(cache, nullptr) << id;
+        EXPECT_GT(cache->params().capacityLines(), 0u) << id;
+
+        auto r = system.runSamplingOnly(2, 3);
+        EXPECT_EQ(r.batches, 3u) << id;
+        EXPECT_GT(cache->stats().hits + cache->stats().misses, 0u)
+            << id;
+    }
+}
+
+TEST(CacheDecorator, CapacityZeroBuildsNoDecorator)
+{
+    for (const std::string &id : servableBackendIds()) {
+        GnnSystem plain(cachedConfig(id, 0, 0.0), smallWorkload());
+        EXPECT_EQ(plain.featureCache(), nullptr) << id;
+    }
+}
+
+TEST(CacheDecorator, AsyncAndBlockingPathsAgreePerBackend)
+{
+    // Two identically configured systems per backend: one driven
+    // through the blocking adapters, one through raw async
+    // submissions (one request in flight, so no queueing). The cache
+    // decorates both, and the completion ticks must agree exactly.
+    for (const std::string &id : servableBackendIds()) {
+        GnnSystem blocking_sys(cachedConfig(id, /*clock*/ 1, 0.2),
+                               smallWorkload());
+        GnnSystem async_sys(cachedConfig(id, /*clock*/ 1, 0.2),
+                            smallWorkload());
+        host::EdgeStore *blocking = blocking_sys.edgeStore();
+        host::EdgeStore *async = async_sys.edgeStore();
+        ASSERT_NE(blocking, nullptr) << id;
+
+        auto stream = gatherStream(blocking_sys, 64);
+        sim::EventQueue eq;
+        sim::Tick t_blocking = 0, t_async = 0;
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            t_blocking = blocking->readGather(t_blocking, stream[i], 8);
+
+            sim::Tick finish = 0;
+            eq.schedule(t_async, [&, i] {
+                async->submitGather(eq, stream[i], 8,
+                                    [&finish](sim::Tick f) {
+                                        finish = f;
+                                    });
+            });
+            eq.run();
+            t_async = finish;
+            ASSERT_EQ(t_blocking, t_async) << id << " gather " << i;
+        }
+    }
+}
+
+TEST(CacheDecorator, ServingRunsThroughTheCache)
+{
+    // The serving harness submits through edgeStore(): with a cache in
+    // front, warm requests hit and the channel carries only misses.
+    GnnSystem system(cachedConfig("ssd-mmap", /*lru*/ 0, 0.5),
+                     smallWorkload());
+    ServingConfig sc;
+    sc.arrival_qps = 20000;
+    sc.num_requests = 256;
+    ServingResult r = runServingLoad(system, sc);
+    EXPECT_EQ(r.requests, 256u);
+
+    const host::FeatureCacheStore *cache = system.featureCache();
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GT(cache->stats().hits, 0u);
+    EXPECT_LT(cache->ioChannel().submitted(), 256u);
+}
+
+TEST(CacheDecorator, CachePolicyFamilyIsWorkerCountInvariant)
+{
+    // The cache-policy artifact must be a pure function of the
+    // scenario, not of runner scheduling: identical JSON at any
+    // --workers count.
+    const Scenario *family = findScenario("cache-policy-throughput");
+    ASSERT_NE(family, nullptr);
+    Scenario s = smokeVariant(*family);
+    s.backends = {"ssd-mmap", "tiered-hybrid"};
+    s.overrides = {{},
+                   {{"cache.policy", 0},
+                    {"cache.capacity_fraction", 0.25}},
+                   {{"cache.policy", 3},
+                    {"cache.capacity_fraction", 0.25}}};
+
+    auto renderAt = [&](unsigned workers) {
+        RunnerOptions options;
+        options.workers = workers;
+        ExperimentRunner runner(options);
+        std::vector<ScenarioRun> runs{runner.run(s)};
+        std::ostringstream json;
+        writeDesignSpaceJson(json, runs, "cache_policy");
+        return json.str();
+    };
+    std::string one = renderAt(1);
+    std::string three = renderAt(3);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, three);
+}

@@ -1,0 +1,213 @@
+/** @file Feature-cache unit tests (ctest label `cache`): replacement
+ *  policy goldens on scripted access traces (LRU/CLOCK eviction order,
+ *  LFU-lite frequency ordering, degree-pin set construction), the
+ *  decorator's hit-bypass timing, and capacity-zero passthrough
+ *  byte-identity against the raw store. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "graph/layout.hh"
+#include "host/feature_cache.hh"
+#include "host/io_path.hh"
+#include "sim/random.hh"
+
+using namespace smartsage;
+using namespace smartsage::host;
+
+namespace
+{
+
+/** A policy instance with @p lines capacity at 1-byte lines. */
+std::unique_ptr<CacheReplacementPolicy>
+makePolicy(FeatureCachePolicy policy, std::uint64_t lines)
+{
+    FeatureCacheParams params;
+    params.policy = policy;
+    params.line_bytes = 1;
+    params.capacity_bytes = lines;
+    return makeCacheReplacementPolicy(params);
+}
+
+} // namespace
+
+TEST(CachePolicyGolden, LruEvictsLeastRecentlyTouched)
+{
+    auto lru = makePolicy(FeatureCachePolicy::Lru, 3);
+
+    // Misses fill in order; capacity 3 holds {A=1, B=2, C=3}.
+    for (std::uint64_t line : {1, 2, 3}) {
+        EXPECT_FALSE(lru->access(line));
+        EXPECT_FALSE(lru->fill(line)); // no victim while filling up
+    }
+    EXPECT_EQ(lru->size(), 3u);
+
+    // Touch A: recency order is now A, C, B (MRU first).
+    EXPECT_TRUE(lru->access(1));
+
+    // Filling D evicts the LRU line B — not the first-filled A.
+    EXPECT_FALSE(lru->access(4));
+    EXPECT_TRUE(lru->fill(4));
+    EXPECT_FALSE(lru->contains(2));
+    EXPECT_TRUE(lru->contains(1));
+    EXPECT_TRUE(lru->contains(3));
+    EXPECT_TRUE(lru->contains(4));
+
+    // Next victim is C (untouched since fill).
+    EXPECT_TRUE(lru->fill(5));
+    EXPECT_FALSE(lru->contains(3));
+
+    lru->reset();
+    EXPECT_EQ(lru->size(), 0u);
+    EXPECT_FALSE(lru->access(1));
+}
+
+TEST(CachePolicyGolden, ClockGivesReferencedLinesASecondChance)
+{
+    auto clock = makePolicy(FeatureCachePolicy::Clock, 3);
+
+    for (std::uint64_t line : {1, 2, 3})
+        EXPECT_FALSE(clock->fill(line));
+
+    // Reference A; the sweep must clear A's bit, pass it over, and
+    // evict the unreferenced B instead.
+    EXPECT_TRUE(clock->access(1));
+    EXPECT_TRUE(clock->fill(4));
+    EXPECT_FALSE(clock->contains(2));
+    EXPECT_TRUE(clock->contains(1));
+    EXPECT_TRUE(clock->contains(3));
+    EXPECT_TRUE(clock->contains(4));
+
+    // Reference C and D; the next sweep clears them from the hand
+    // onward and comes back around to evict A (bit spent above).
+    EXPECT_TRUE(clock->access(3));
+    EXPECT_TRUE(clock->access(4));
+    EXPECT_TRUE(clock->fill(5));
+    EXPECT_FALSE(clock->contains(1));
+    EXPECT_TRUE(clock->contains(3));
+    EXPECT_TRUE(clock->contains(4));
+    EXPECT_TRUE(clock->contains(5));
+}
+
+TEST(CachePolicyGolden, LfuLiteEvictsColdestWithFifoTiebreak)
+{
+    auto lfu = makePolicy(FeatureCachePolicy::LfuLite, 2);
+
+    EXPECT_FALSE(lfu->fill(1)); // A: freq 1
+    EXPECT_FALSE(lfu->fill(2)); // B: freq 1
+    EXPECT_TRUE(lfu->access(1)); // A: freq 2
+
+    // C's fill evicts B: lowest frequency loses.
+    EXPECT_TRUE(lfu->fill(3));
+    EXPECT_FALSE(lfu->contains(2));
+    EXPECT_TRUE(lfu->contains(1));
+
+    // Tie at freq 2: the earlier-filled A loses (FIFO tiebreak).
+    EXPECT_TRUE(lfu->access(3));
+    EXPECT_TRUE(lfu->fill(4));
+    EXPECT_FALSE(lfu->contains(1));
+    EXPECT_TRUE(lfu->contains(3));
+    EXPECT_TRUE(lfu->contains(4));
+}
+
+TEST(CachePolicyGolden, DegreePinPinsHottestNodesAndNeverFills)
+{
+    // Degrees per node: 0 -> 3, 1 -> 1, 2 -> 5, 3 -> 2 (11 edges).
+    graph::CsrGraph g({0, 3, 4, 9, 11},
+                      {1, 2, 3, 0, 0, 1, 3, 3, 3, 0, 2});
+    graph::EdgeLayout layout; // 8 B entries at base 0
+
+    // 16 B lines = 2 entries per line. Node 2's row spans entries
+    // [4, 9) -> bytes [32, 72) -> lines 2, 3, 4; node 0 spans lines
+    // 0, 1; node 3 (degree 2) starts at entry 9 -> lines 4 (already
+    // taken), 5.
+    auto lines = degreePinnedLines(g, layout, 16, 5);
+    EXPECT_EQ(lines, (std::vector<std::uint64_t>{2, 3, 4, 0, 1}));
+
+    // One more line reaches into node 3's row without re-pinning the
+    // shared line 4.
+    auto wider = degreePinnedLines(g, layout, 16, 6);
+    EXPECT_EQ(wider, (std::vector<std::uint64_t>{2, 3, 4, 0, 1, 5}));
+
+    FeatureCacheParams params;
+    params.policy = FeatureCachePolicy::DegreePin;
+    params.line_bytes = 16;
+    params.capacity_bytes = 5 * 16;
+    params.pinned_lines = lines;
+    auto pin = makeCacheReplacementPolicy(params);
+    EXPECT_TRUE(pin->access(2));
+    EXPECT_FALSE(pin->access(5));
+    EXPECT_FALSE(pin->fill(5)); // static set: misses stay misses
+    EXPECT_FALSE(pin->contains(5));
+    EXPECT_EQ(pin->size(), 5u);
+}
+
+TEST(FeatureCacheStore, HitsBypassTheHostIoChannel)
+{
+    HostConfig host;
+    FeatureCacheParams params;
+    params.policy = FeatureCachePolicy::Lru;
+    params.line_bytes = sim::KiB(4);
+    params.capacity_bytes = sim::MiB(1);
+    params.hit = sim::ns(150);
+    FeatureCacheStore store(std::make_unique<DramEdgeStore>(host),
+                            params);
+
+    std::vector<std::uint64_t> addrs{0, 64, 4096 + 128};
+
+    // Cold gather: the miss flows through the inner store's channel
+    // and fills lines 0 and 1 on completion.
+    sim::Tick cold = store.readGather(0, addrs, 8);
+    EXPECT_GT(cold, 0u);
+    EXPECT_EQ(store.ioChannel().submitted(), 1u);
+    EXPECT_EQ(store.stats().misses, 3u); // line touches, not requests
+    EXPECT_EQ(store.residentLines(), 2u);
+
+    // Warm gather: completes at exactly hit_ns past arrival and never
+    // enters the channel.
+    sim::Tick warm = store.readGather(cold, addrs, 8);
+    EXPECT_EQ(warm, cold + sim::ns(150));
+    EXPECT_EQ(store.ioChannel().submitted(), 1u);
+    EXPECT_EQ(store.stats().hits, 3u);
+
+    store.reset();
+    EXPECT_EQ(store.stats().hits + store.stats().misses, 0u);
+    EXPECT_EQ(store.residentLines(), 0u);
+    EXPECT_EQ(store.ioChannel().submitted(), 0u);
+}
+
+TEST(FeatureCacheStore, CapacityZeroIsTickIdenticalToTheRawStore)
+{
+    // A zero-capacity cache can never hit, so every request forwards
+    // unchanged: the decorated tick stream must be byte-identical to
+    // the raw store's on an identical pseudo-random gather stream.
+    HostConfig host;
+    host.scratchpad_bytes = sim::MiB(1); // small: real hit/miss mix
+    ssd::SsdConfig ssd_cfg;
+
+    ssd::SsdDevice raw_ssd(ssd_cfg);
+    DirectIoEdgeStore raw(host, raw_ssd);
+
+    ssd::SsdDevice wrapped_ssd(ssd_cfg);
+    FeatureCacheParams params;
+    params.capacity_bytes = 0;
+    FeatureCacheStore wrapped(
+        std::make_unique<DirectIoEdgeStore>(host, wrapped_ssd), params);
+
+    sim::Rng rng(0xcafe);
+    sim::Tick t_raw = 0, t_wrapped = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::vector<std::uint64_t> addrs(8);
+        std::uint64_t base = rng.nextBounded(sim::MiB(64));
+        for (auto &a : addrs)
+            a = base + rng.nextBounded(sim::KiB(32));
+        t_raw = raw.readGather(t_raw, addrs, 8);
+        t_wrapped = wrapped.readGather(t_wrapped, addrs, 8);
+        ASSERT_EQ(t_raw, t_wrapped) << "gather " << i;
+    }
+    EXPECT_EQ(wrapped.stats().hits, 0u);
+    EXPECT_EQ(wrapped.residentLines(), 0u);
+}

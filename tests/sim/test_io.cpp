@@ -82,6 +82,49 @@ TEST(StorageChannel, DepthBoundsConcurrentService)
     EXPECT_EQ(ch.peakOutstanding(), 3u);
 }
 
+TEST(StorageChannel, QueueWaitStatsCoverOnlyQueuedRequests)
+{
+    // Two back-to-back single-request submissions never queue: the
+    // wait stats must stay empty rather than recording zero waits,
+    // which would silently drag the mean queue wait toward zero.
+    EventQueue eq;
+    StorageChannel ch("ch", 1);
+    Server server("srv");
+    auto service = [&server](Tick start) {
+        return server.request(start, 100).finish;
+    };
+
+    eq.schedule(0, [&] { ch.submit(eq, service, {}); });
+    eq.schedule(500, [&] { ch.submit(eq, service, {}); });
+    eq.run();
+    EXPECT_EQ(ch.submitted(), 2u);
+    EXPECT_EQ(ch.queuedCount(), 0u);
+    EXPECT_EQ(ch.totalQueueWait(), 0u);
+
+    // Three same-tick submissions into the depth-1 channel: the first
+    // dispatches straight into the free slot, the other two queue for
+    // 100 and 200 ticks. The corrected mean over *queued* requests is
+    // 150; the pre-fix mean over all submissions would read 100.
+    eq.reset();
+    ch.reset();
+    server.reset();
+    eq.schedule(0, [&] {
+        for (int i = 0; i < 3; ++i)
+            ch.submit(eq, service, {});
+    });
+    eq.run();
+    EXPECT_EQ(ch.submitted(), 3u);
+    EXPECT_EQ(ch.queuedCount(), 2u);
+    EXPECT_EQ(ch.totalQueueWait(), 300u);
+    EXPECT_EQ(ch.maxQueueWait(), 200u);
+    EXPECT_EQ(static_cast<double>(ch.totalQueueWait()) /
+                  static_cast<double>(ch.queuedCount()),
+              150.0);
+
+    ch.reset();
+    EXPECT_EQ(ch.queuedCount(), 0u);
+}
+
 TEST(StorageChannel, PendingRequestsDispatchInFifoOrder)
 {
     EventQueue eq;
