@@ -35,7 +35,7 @@ import sys
 # regression. Everything else in a cell's metrics block is
 # informational: counters and occupancy fractions move legitimately
 # whenever a feature (e.g. a new cache policy) changes traffic.
-HIGHER_IS_BETTER = {"batches_per_s", "achieved_qps"}
+HIGHER_IS_BETTER = {"batches_per_s", "achieved_qps", "goodput_qps"}
 LOWER_IS_BETTER = {
     "avg_sample_ms",
     "p50_us",
@@ -43,6 +43,10 @@ LOWER_IS_BETTER = {
     "p99_us",
     "max_us",
     "mean_us",
+    # shed_frac gates the fault-space family: recovery getting worse
+    # means more offered requests went unanswered at the same fault
+    # rate and retry policy.
+    "shed_frac",
     # queue_wait_us is deliberately absent: it is a diagnostic of the
     # admission queue, not a smoke headline, and its definition may be
     # corrected (as in the only-queued-requests fix) without the

@@ -23,6 +23,9 @@
  *                      families, e.g. --family serving-load)
  *   --cache-out <path> write BENCH_cachepolicy.json here (the
  *                      cache-policy families, both kinds)
+ *   --faults-out <path> write BENCH_faults.json here (the fault-space
+ *                      family: fault rate x retry policy recovery
+ *                      metrics)
  *   --stats-json <path> write BENCH-schema per-backend stats here
  *   --smoke            CI sizes: in-memory datasets, few batches and
  *                      requests
@@ -53,7 +56,8 @@ usage()
     std::cerr << "usage: design_space [dataset] [--workers <n>] "
                  "[--family <name>]... [--design <id>]... "
                  "[--out <path>] [--serving-out <path>] "
-                 "[--cache-out <path>] [--stats-json <path>] "
+                 "[--cache-out <path>] [--faults-out <path>] "
+                 "[--stats-json <path>] "
                  "[--smoke] [--stats] [--list] [--backends]\n";
     return 2;
 }
@@ -130,6 +134,7 @@ main(int argc, char **argv)
     unsigned workers = 1;
     bool smoke = false, stats = false;
     std::string out_path, serving_out_path, cache_out_path;
+    std::string faults_out_path;
     std::string stats_json_path;
     std::vector<std::string> families;
     std::vector<std::string> designs;
@@ -154,6 +159,8 @@ main(int argc, char **argv)
             serving_out_path = argv[++i];
         } else if (arg == "--cache-out" && i + 1 < argc) {
             cache_out_path = argv[++i];
+        } else if (arg == "--faults-out" && i + 1 < argc) {
+            faults_out_path = argv[++i];
         } else if (arg == "--stats-json" && i + 1 < argc) {
             stats_json_path = argv[++i];
         } else if (arg == "--smoke") {
@@ -219,14 +226,17 @@ main(int argc, char **argv)
                 std::cout << cell.stats;
     }
 
-    // Families tagged for the cache-policy artifact (both kinds) go
-    // to their own document; other serving-kind families get the
+    // Families tagged for the cache-policy or faults artifact go to
+    // their own documents; other serving-kind families get the
     // serving schema (latency metrics); everything else shares the
     // classic design-space document.
-    std::vector<core::ScenarioRun> cache_runs, serving_runs, sweep_runs;
+    std::vector<core::ScenarioRun> cache_runs, fault_runs,
+        serving_runs, sweep_runs;
     for (auto &run : runs) {
         if (run.scenario.artifact == "cache-policy")
             cache_runs.push_back(std::move(run));
+        else if (run.scenario.artifact == "faults")
+            fault_runs.push_back(std::move(run));
         else if (run.scenario.kind == core::ExperimentKind::Serving)
             serving_runs.push_back(std::move(run));
         else
@@ -266,6 +276,19 @@ main(int argc, char **argv)
             SS_FATAL("cannot open ", cache_out_path);
         core::writeDesignSpaceJson(json, cache_runs, "cache_policy");
         std::cout << "design_space: wrote " << cache_out_path << "\n";
+    }
+    if (!fault_runs.empty() && faults_out_path.empty())
+        SS_WARN("fault-space family ran but --faults-out was not "
+                "given; its cells are not in any artifact");
+    if (!faults_out_path.empty()) {
+        if (fault_runs.empty())
+            SS_FATAL("--faults-out needs the fault-space family "
+                     "(e.g. --family fault-space)");
+        std::ofstream json(faults_out_path);
+        if (!json)
+            SS_FATAL("cannot open ", faults_out_path);
+        core::writeDesignSpaceJson(json, fault_runs, "fault_space");
+        std::cout << "design_space: wrote " << faults_out_path << "\n";
     }
     if (!stats_json_path.empty()) {
         std::ofstream json(stats_json_path);

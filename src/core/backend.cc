@@ -142,6 +142,11 @@ addSsdStats(ssd::SsdDevice *ssd, const StatSink &add)
     add("ssd.flash.pages_read",
         static_cast<double>(ssd->flashArray().pagesRead()),
         "NAND pages sensed");
+    // Gated so fault-free stats documents keep their pre-fault rows.
+    if (ssd->config().flash.fault.injectsEcc())
+        add("ssd.flash.ecc_retries",
+            static_cast<double>(ssd->eccRetries()),
+            "pages re-sensed after an ECC failure");
     add("ssd.cores.busy_us", sim::toMicros(ssd->cores().busyTime()),
         "embedded core busy time");
 }

@@ -67,6 +67,21 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
         add("queue_wait_us", r.mean_queue_wait_us);
         add("peak_outstanding",
             static_cast<double>(r.peak_outstanding));
+        // Recovery columns appear only when the cell can actually
+        // shed (faults injected or a deadline set), so fault-free
+        // serving artifacts keep their pre-fault metric set.
+        if (cell.config.fault.enabled() ||
+            cell.config.retry.wantsDeadline()) {
+            add("goodput_qps", r.goodput_qps);
+            add("shed_frac", r.shedFraction());
+            add("shed_timeout",
+                static_cast<double>(r.shed_timeout));
+            add("shed_error", static_cast<double>(r.shed_error));
+            add("io_retries", static_cast<double>(r.io_retries));
+            add("io_timeouts", static_cast<double>(r.io_timeouts));
+            add("io_abandoned",
+                static_cast<double>(r.io_abandoned));
+        }
     }
 
     // Backend-specific counters come through the uniform instance

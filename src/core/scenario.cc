@@ -96,6 +96,10 @@ applyKnob(SystemConfig &config, const KnobSetting &knob)
         return isp::applyKnob(config.fpga, key, value);
     if (strip("host."))
         return host::applyKnob(config.host, key, value);
+    if (strip("fault."))
+        return sim::applyKnob(config.fault, key, value);
+    if (strip("retry."))
+        return sim::applyKnob(config.retry, key, value);
 
     // Top-level SystemConfig knobs.
     if (key == "page_cache_fraction")
@@ -472,6 +476,60 @@ cachePolicyThroughputScenario()
     return s;
 }
 
+/**
+ * The fault-space override grid: a fault-free baseline plus three
+ * fault intensities, each with retries off (max_attempts 1) and on
+ * (max_attempts 4). One knob scales every fault source together —
+ * transient host read errors and ECC re-reads at the full rate,
+ * shard outages at half, slowdowns at a fifth — so a single axis
+ * sweeps "how broken is the storage". Every point carries the same
+ * deadline, keeping the emitted metric set uniform across the family
+ * (the recovery columns appear whenever a deadline is configured).
+ */
+std::vector<std::vector<KnobSetting>>
+faultSpaceOverrides()
+{
+    std::vector<std::vector<KnobSetting>> overrides;
+    for (double rate : {0.0, 0.02, 0.1, 0.25}) {
+        for (double attempts : {1.0, 4.0}) {
+            std::vector<KnobSetting> point = {
+                {"fault.read_error_rate", rate},
+                {"fault.ecc_rate", rate},
+                {"fault.shard_outage_rate", rate * 0.5},
+                {"fault.slow_rate", rate * 0.2},
+                {"retry.max_attempts", attempts},
+                {"retry.backoff_base_us", 50},
+                {"retry.timeout_us", 100000},
+            };
+            overrides.push_back(std::move(point));
+        }
+    }
+    return overrides;
+}
+
+Scenario
+faultSpaceScenario()
+{
+    // Registry-driven like serving-load: every backend with a host
+    // edge store on one fixed open-loop operating point, swept over
+    // fault intensity x retry policy. The product is the recovery
+    // surface: goodput vs offered load, shed fraction, retry counts,
+    // and the latency tail under faults.
+    Scenario s;
+    s.family = "fault-space";
+    s.title = "Fault space: fault rate x retry policy x backend, "
+              "open-loop serving";
+    s.kind = ExperimentKind::Serving;
+    s.artifact = "faults";
+    s.backends = servableBackendIds();
+    s.overrides = faultSpaceOverrides();
+    s.arrival_rates = {10000};
+    s.queue_depths = {16};
+    s.serve_requests = 512;
+    s.serve_fanout = 10;
+    return s;
+}
+
 Scenario
 backendSpaceScenario()
 {
@@ -522,6 +580,7 @@ extraScenarios()
         servingLoadScenario(),
         cachePolicyServingScenario(),
         cachePolicyThroughputScenario(),
+        faultSpaceScenario(),
     };
     return scenarios;
 }

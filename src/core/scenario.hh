@@ -74,7 +74,8 @@ struct Scenario
      * Artifact document this family's results belong to. Empty routes
      * by kind (serving families to BENCH_serving.json, everything
      * else to BENCH_designspace.json); the cache-policy families set
-     * "cache-policy" so both kinds land in BENCH_cachepolicy.json.
+     * "cache-policy" so both kinds land in BENCH_cachepolicy.json,
+     * and the fault-space family sets "faults" (BENCH_faults.json).
      */
     std::string artifact;
 
@@ -194,7 +195,11 @@ const std::vector<Scenario> &builtinScenarios();
  *    policy x capacity grid (host/feature_cache.hh) over every
  *    servable backend, under open-loop serving and under the closed
  *    sampling pipeline respectively, emitting BENCH_cachepolicy.json
- *    (design_space --cache-out).
+ *    (design_space --cache-out);
+ *  - "fault-space": fault rate x retry policy over every servable
+ *    backend under open-loop serving, emitting recovery metrics
+ *    (goodput, shed fraction, retry counters) into BENCH_faults.json
+ *    (design_space --faults-out).
  */
 const std::vector<Scenario> &extraScenarios();
 

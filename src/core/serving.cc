@@ -120,9 +120,20 @@ runServingLoad(GnnSystem &system, const ServingConfig &config)
             store->submitGather(
                 eq, req.addrs, entry_bytes,
                 [&result, &last_completion,
-                 arrival = req.arrival](sim::Tick finish) {
-                    result.latency_us.record(
-                        sim::toMicros(finish - arrival));
+                 arrival = req.arrival](sim::Tick finish,
+                                        sim::IoStatus status) {
+                    // Only answered requests enter the latency
+                    // histogram — shed requests have no meaningful
+                    // service latency, just a separate count.
+                    if (status == sim::IoStatus::Ok) {
+                        ++result.completed_ok;
+                        result.latency_us.record(
+                            sim::toMicros(finish - arrival));
+                    } else if (status == sim::IoStatus::Timeout) {
+                        ++result.shed_timeout;
+                    } else {
+                        ++result.shed_error;
+                    }
                     last_completion =
                         std::max(last_completion, finish);
                 });
@@ -130,12 +141,19 @@ runServingLoad(GnnSystem &system, const ServingConfig &config)
     }
     eq.run();
 
-    SS_ASSERT(result.latency_us.count() == requests.size(),
+    SS_ASSERT(result.completed_ok + result.shed_timeout +
+                      result.shed_error ==
+                  requests.size(),
               "serving run dropped requests");
     result.makespan = last_completion - requests.front().arrival;
     result.achieved_qps =
         result.makespan
             ? static_cast<double>(result.requests) /
+                  sim::toSeconds(result.makespan)
+            : 0.0;
+    result.goodput_qps =
+        result.makespan
+            ? static_cast<double>(result.completed_ok) /
                   sim::toSeconds(result.makespan)
             : 0.0;
 
@@ -149,6 +167,9 @@ runServingLoad(GnnSystem &system, const ServingConfig &config)
             ? sim::toMicros(channel.totalQueueWait()) /
                   static_cast<double>(channel.queuedCount())
             : 0.0;
+    result.io_retries = channel.retries();
+    result.io_timeouts = channel.timeouts();
+    result.io_abandoned = channel.abandoned();
     return result;
 }
 

@@ -61,6 +61,27 @@ struct ServingResult
     double mean_queue_wait_us = 0;
     std::uint64_t peak_outstanding = 0; //!< channel high-water mark
 
+    // ---- recovery / degradation (all zero in fault-free runs) ----
+    std::uint64_t completed_ok = 0;   //!< requests that returned data
+    std::uint64_t shed_error = 0;     //!< shed: retry budget exhausted
+    std::uint64_t shed_timeout = 0;   //!< shed: deadline missed
+    double goodput_qps = 0;           //!< Ok completions over makespan
+    std::uint64_t io_retries = 0;     //!< channel retry count
+    std::uint64_t io_timeouts = 0;    //!< channel timeout count
+    std::uint64_t io_abandoned = 0;   //!< channel abandon count
+
+    /** Fraction of the offered requests shed (not answered with data).
+     *  Only Ok completions enter the latency histogram, so the
+     *  percentiles below always describe goodput. */
+    double
+    shedFraction() const
+    {
+        std::uint64_t shed = shed_error + shed_timeout;
+        return requests ? static_cast<double>(shed) /
+                              static_cast<double>(requests)
+                        : 0.0;
+    }
+
     double p50_us() const { return latency_us.percentile(50.0); }
     double p95_us() const { return latency_us.percentile(95.0); }
     double p99_us() const { return latency_us.percentile(99.0); }

@@ -69,6 +69,9 @@ SystemConfig::validate() const
     // file for ablations (the "page-buffer" family sweeps up to 1.5x).
     checkFraction("ssd_buffer_fraction", ssd_buffer_fraction, 2.0);
 
+    sim::validate(fault);
+    sim::validate(retry);
+
     if (use_saint) {
         if (saint_walk_length == 0)
             SS_FATAL("SystemConfig: saint_walk_length must be >= 1 "
@@ -126,6 +129,15 @@ GnnSystem::GnnSystem(const SystemConfig &config, const Workload &workload)
         scaledCache(config_.ssd_buffer_fraction, edge_bytes,
                     config_.ssd.flash.page_bytes,
                     config_.ssd.page_buffer_ways);
+
+    // Propagate the system-wide fault schedule into the subsystem
+    // configs the backends build from: the host I/O path (transient
+    // errors, slowdowns, retry policy) and the flash array (ECC).
+    // Sharded backends copy config_.host/config_.ssd per shard, so
+    // they inherit the plan with no wiring of their own.
+    config_.host.fault = config_.fault;
+    config_.host.retry = config_.retry;
+    config_.ssd.flash.fault = config_.fault;
 
     // Substrate composition is entirely the backend's business.
     const StorageBackend &backend =
@@ -216,6 +228,24 @@ GnnSystem::statRows() const
             "victims replaced by fills");
         add("host.feature_cache.hit_rate", cs.hitRate(),
             "feature-cache line hit rate");
+        if (config_.fault.enabled()) {
+            add("host.feature_cache.failed_fills",
+                static_cast<double>(cs.failed_fills),
+                "miss lines never installed (read failed)");
+        }
+    }
+    // Recovery counters appear only when a fault source or deadline is
+    // configured, keeping default stats documents schema-identical.
+    if (config_.fault.enabled() || config_.retry.wantsDeadline()) {
+        if (const host::EdgeStore *store = backend_->edgeStore()) {
+            const sim::StorageChannel &ch = store->ioChannel();
+            add("host.io.retries", static_cast<double>(ch.retries()),
+                "service attempts re-run after a transient failure");
+            add("host.io.timeouts", static_cast<double>(ch.timeouts()),
+                "requests that missed their deadline");
+            add("host.io.abandoned", static_cast<double>(ch.abandoned()),
+                "requests dropped with the attempt budget exhausted");
+        }
     }
     return rows;
 }

@@ -90,6 +90,15 @@ struct SystemConfig
      */
     std::map<std::string, double> backend_knobs;
 
+    /**
+     * System-wide fault schedule (`fault.*` knobs) and retry/timeout
+     * policy (`retry.*`). GnnSystem propagates them into the host I/O
+     * path and the flash array before the backend builds, so every
+     * registered backend composes them for free. Defaults are inert.
+     */
+    sim::FaultPlan fault;
+    sim::RetryPolicy retry;
+
     /** GraphSAGE fanouts; ignored when use_saint is set. */
     std::vector<unsigned> fanouts = {25, 10};
     bool use_saint = false;
@@ -125,8 +134,10 @@ struct SystemConfig
     /**
      * Fatal (with a clear message) on impossible settings: cache
      * fractions outside [0, 1] (ssd_buffer_fraction: [0, 2]), empty or
-     * zero fanouts, a zero SAINT walk length. Called by GnnSystem at
-     * construction, before any cache is sized.
+     * zero fanouts, a zero SAINT walk length, fault rates outside
+     * [0, 1], a zero retry attempt budget, a backoff ceiling below the
+     * base, or a timeout shorter than the minimum service tick. Called
+     * by GnnSystem at construction, before any cache is sized.
      */
     void validate() const;
 };

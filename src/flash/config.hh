@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace smartsage::flash
@@ -35,6 +36,13 @@ struct FlashConfig
      * workload drives the port concurrently.
      */
     unsigned channel_queue_depth = 8;
+
+    /**
+     * Fault schedule consulted for ECC-retry injection (ecc_rate /
+     * ecc_retry); inert by default. Propagated from the system-level
+     * plan by GnnSystem, not an applyKnob key of this struct.
+     */
+    sim::FaultPlan fault;
 
     unsigned totalDies() const { return channels * dies_per_channel; }
 

@@ -19,6 +19,8 @@ FlashArray::FlashArray(const FlashConfig &config) : config_(config)
         channel_queues_.emplace_back("chq" + std::to_string(i),
                                      config.channel_queue_depth);
     }
+    if (config.fault.injectsEcc())
+        ecc_ = std::make_unique<sim::FaultInjector>(config.fault, "flash");
 }
 
 sim::Tick
@@ -32,6 +34,15 @@ FlashArray::readPage(const PageAddress &addr, sim::Tick arrival)
     // tR occupies the die; the ONFI transfer then occupies the channel.
     auto sensed = dies_[dieIndex(addr)].request(arrival,
                                                 config_.read_latency);
+    // An ECC failure re-senses with a longer, more careful read: extra
+    // die occupancy once, then the transfer proceeds normally — the
+    // retried sense always succeeds (a real drive escalates read-retry
+    // voltage levels until it does).
+    if (ecc_ && ecc_->drawEccRetry()) {
+        ++ecc_retries_;
+        sensed = dies_[dieIndex(addr)].request(sensed.finish,
+                                               config_.fault.ecc_retry);
+    }
     auto moved = channels_[addr.channel].request(
         sensed.finish, config_.pageTransferTime());
     ++pages_read_;
@@ -91,7 +102,10 @@ FlashArray::reset()
         c.reset();
     for (auto &q : channel_queues_)
         q.reset();
+    if (ecc_)
+        ecc_->reset();
     pages_read_ = 0;
+    ecc_retries_ = 0;
 }
 
 } // namespace smartsage::flash

@@ -10,9 +10,11 @@
 #define SMARTSAGE_FLASH_FLASH_ARRAY_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "config.hh"
+#include "sim/fault.hh"
 #include "sim/io.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
@@ -50,6 +52,9 @@ class FlashArray
     /** Pages read so far. */
     std::uint64_t pagesRead() const { return pages_read_; }
 
+    /** Page senses that needed an ECC re-read (injected faults). */
+    std::uint64_t eccRetries() const { return ecc_retries_; }
+
     /** Aggregate die utilization over [0, horizon]. */
     double dieUtilization(sim::Tick horizon) const;
 
@@ -64,7 +69,9 @@ class FlashArray
     std::vector<sim::Server> dies_;     //!< channels * dies_per_channel
     std::vector<sim::Server> channels_; //!< one per channel
     std::vector<sim::StorageChannel> channel_queues_; //!< async port
+    std::unique_ptr<sim::FaultInjector> ecc_; //!< null when inert
     std::uint64_t pages_read_ = 0;
+    std::uint64_t ecc_retries_ = 0;
 
     unsigned
     dieIndex(const PageAddress &addr) const

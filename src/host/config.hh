@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace smartsage::host
@@ -77,6 +78,12 @@ struct HostConfig
     // --- GPU link ---
     double host_gpu_gbps = 12.0; //!< effective PCIe gen3 x16 to the GPU
     sim::Tick host_gpu_latency = sim::us(10);
+
+    // --- Fault injection / recovery (defaults inert) ---
+    /** Host-I/O fault schedule; every rate defaults to zero. */
+    sim::FaultPlan fault;
+    /** Retry/timeout policy for the host I/O channel. */
+    sim::RetryPolicy retry;
 };
 
 /**

@@ -390,7 +390,7 @@ FeatureCacheStore::completeHit(sim::EventQueue &eq, sim::IoCompletion done)
     sim::Tick finish = eq.now() + params_.hit;
     eq.schedule(finish, [done = std::move(done), finish] {
         if (done)
-            done(finish);
+            done(finish, sim::IoStatus::Ok);
     });
 }
 
@@ -407,10 +407,15 @@ FeatureCacheStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
     inner_->submitRead(
         eq, addr, bytes,
         [this, missing = std::move(missing),
-         done = std::move(done)](sim::Tick finish) {
-            fillLines(missing);
+         done = std::move(done)](sim::Tick finish, sim::IoStatus status) {
+            // A failed read delivered no data: caching its lines would
+            // serve garbage to every later hit.
+            if (status == sim::IoStatus::Ok)
+                fillLines(missing);
+            else
+                stats_.failed_fills += missing.size();
             if (done)
-                done(finish);
+                done(finish, status);
         });
 }
 
@@ -422,7 +427,7 @@ FeatureCacheStore::submitGather(sim::EventQueue &eq,
 {
     if (addrs.empty()) {
         if (done)
-            done(eq.now());
+            done(eq.now(), sim::IoStatus::Ok);
         return;
     }
     std::vector<std::uint64_t> missing;
@@ -439,10 +444,13 @@ FeatureCacheStore::submitGather(sim::EventQueue &eq,
     inner_->submitGather(
         eq, addrs, entry_bytes,
         [this, missing = std::move(missing),
-         done = std::move(done)](sim::Tick finish) {
-            fillLines(missing);
+         done = std::move(done)](sim::Tick finish, sim::IoStatus status) {
+            if (status == sim::IoStatus::Ok)
+                fillLines(missing);
+            else
+                stats_.failed_fills += missing.size();
             if (done)
-                done(finish);
+                done(finish, status);
         });
 }
 

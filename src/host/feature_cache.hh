@@ -140,6 +140,8 @@ struct FeatureCacheStats
     std::uint64_t hits = 0;      //!< line touches found resident
     std::uint64_t misses = 0;    //!< line touches that went to storage
     std::uint64_t evictions = 0; //!< victims replaced by fills
+    /** Miss lines whose read failed; never installed (no garbage). */
+    std::uint64_t failed_fills = 0;
 
     double hitRate() const
     {

@@ -7,19 +7,37 @@
 namespace smartsage::host
 {
 
-EdgeStore::EdgeStore(unsigned queue_depth)
+EdgeStore::EdgeStore(unsigned queue_depth, const sim::FaultPlan &fault,
+                     const sim::RetryPolicy &retry)
     : channel_("host-io", queue_depth)
 {
+    channel_.setRetryPolicy(retry);
+    if (fault.injectsHostFaults())
+        injector_ = std::make_unique<sim::FaultInjector>(fault, "host-io");
+}
+
+sim::IoOutcome
+EdgeStore::injectFaults(sim::Tick start, sim::Tick finish)
+{
+    if (!injector_)
+        return {finish, sim::IoStatus::Ok};
+    finish = injector_->slowed(start, finish);
+    if (injector_->drawReadError())
+        return {finish, sim::IoStatus::TransientError};
+    return {finish, sim::IoStatus::Ok};
 }
 
 void
 EdgeStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
                       std::uint64_t bytes, sim::IoCompletion done)
 {
-    channel_.submit(
+    // A retried attempt re-runs the full service: cache state mutated
+    // by the failed attempt stays mutated, exactly as a real runtime
+    // re-issuing a command would find it.
+    channel_.submitFallible(
         eq,
-        [this, addr, bytes](sim::Tick start) {
-            return serviceRead(start, addr, bytes);
+        [this, addr, bytes](sim::Tick start, unsigned) {
+            return injectFaults(start, serviceRead(start, addr, bytes));
         },
         std::move(done));
 }
@@ -31,13 +49,14 @@ EdgeStore::submitGather(sim::EventQueue &eq,
 {
     if (addrs.empty()) {
         if (done)
-            done(eq.now());
+            done(eq.now(), sim::IoStatus::Ok);
         return;
     }
-    channel_.submit(
+    channel_.submitFallible(
         eq,
-        [this, &addrs, entry_bytes](sim::Tick start) {
-            return serviceGather(start, addrs, entry_bytes);
+        [this, &addrs, entry_bytes](sim::Tick start, unsigned) {
+            return injectFaults(start,
+                                serviceGather(start, addrs, entry_bytes));
         },
         std::move(done));
 }
@@ -50,7 +69,8 @@ EdgeStore::read(sim::Tick arrival, std::uint64_t addr,
         drain_eq_, arrival,
         [&](sim::EventQueue &eq, sim::IoCompletion done) {
             submitRead(eq, addr, bytes, std::move(done));
-        });
+        },
+        name(), ioChannel().submitted());
 }
 
 sim::Tick
@@ -62,7 +82,8 @@ EdgeStore::readGather(sim::Tick arrival,
         drain_eq_, arrival,
         [&](sim::EventQueue &eq, sim::IoCompletion done) {
             submitGather(eq, addrs, entry_bytes, std::move(done));
-        });
+        },
+        name(), ioChannel().submitted());
 }
 
 sim::Tick
@@ -81,11 +102,14 @@ EdgeStore::reset()
 {
     channel_.reset();
     drain_eq_.reset();
+    if (injector_)
+        injector_->reset();
     resetStore();
 }
 
 DramEdgeStore::DramEdgeStore(const HostConfig &config)
-    : EdgeStore(config.io_queue_depth), llc_(config)
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+      llc_(config)
 {
 }
 
@@ -104,7 +128,8 @@ DramEdgeStore::resetStore()
 
 MmapEdgeStore::MmapEdgeStore(const HostConfig &config,
                              ssd::SsdDevice &ssd)
-    : EdgeStore(config.io_queue_depth), config_(config), ssd_(ssd),
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+      config_(config), ssd_(ssd),
       cache_(config.page_cache_bytes, config.os_page_bytes,
              config.page_cache_ways)
 {
@@ -145,7 +170,8 @@ MmapEdgeStore::resetStore()
 
 DirectIoEdgeStore::DirectIoEdgeStore(const HostConfig &config,
                                      ssd::SsdDevice &ssd)
-    : EdgeStore(config.io_queue_depth), config_(config), ssd_(ssd),
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+      config_(config), ssd_(ssd),
       cache_(config.scratchpad_bytes, config.os_page_bytes,
              config.scratchpad_ways)
 {
@@ -234,7 +260,8 @@ DirectIoEdgeStore::resetStore()
 }
 
 PmemEdgeStore::PmemEdgeStore(const HostConfig &config)
-    : EdgeStore(config.io_queue_depth), config_(config)
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+      config_(config)
 {
 }
 

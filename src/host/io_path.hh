@@ -41,9 +41,17 @@ namespace smartsage::host
 class EdgeStore
 {
   public:
-    /** @param queue_depth host I/O path queue bound (NVMe SQ slots the
-     *  runtime exposes to the application; HostConfig::io_queue_depth) */
-    explicit EdgeStore(unsigned queue_depth);
+    /**
+     * @param queue_depth host I/O path queue bound (NVMe SQ slots the
+     *        runtime exposes to the application;
+     *        HostConfig::io_queue_depth)
+     * @param fault host-I/O fault schedule; an all-zero plan builds no
+     *        injector, leaving the request path untouched
+     * @param retry retry/timeout policy installed on the channel
+     */
+    explicit EdgeStore(unsigned queue_depth,
+                       const sim::FaultPlan &fault = {},
+                       const sim::RetryPolicy &retry = {});
     virtual ~EdgeStore() = default;
 
     // ------------------------- async port -------------------------
@@ -122,8 +130,16 @@ class EdgeStore
     virtual void resetStore() = 0;
 
   private:
+    /**
+     * Apply the fault schedule to one service attempt: possibly
+     * stretch [start, finish], possibly fail it transiently. With no
+     * injector this is the identity outcome.
+     */
+    sim::IoOutcome injectFaults(sim::Tick start, sim::Tick finish);
+
     sim::StorageChannel channel_;
     sim::EventQueue drain_eq_; //!< blocking-adapter drain queue
+    std::unique_ptr<sim::FaultInjector> injector_; //!< null when inert
 };
 
 /** Oracle: the whole edge list resides in host DRAM behind the LLC. */

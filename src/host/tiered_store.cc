@@ -23,15 +23,31 @@ hotCapacity(const HostConfig &config, const TieredStoreParams &params)
     return std::max(config.page_cache_bytes, floor_bytes);
 }
 
+/**
+ * The inner direct-I/O store is driven through its *blocking* adapters
+ * from inside the tiered service, so host faults must fire once, at
+ * the outer channel — an inner abandon would be fatal with nowhere to
+ * retry. Strip the fault plan and retry policy off the cold tier.
+ */
+HostConfig
+coldConfig(const HostConfig &config)
+{
+    HostConfig cold = config;
+    cold.fault = sim::FaultPlan{};
+    cold.retry = sim::RetryPolicy{};
+    return cold;
+}
+
 } // namespace
 
 TieredEdgeStore::TieredEdgeStore(const HostConfig &config,
                                  ssd::SsdDevice &ssd,
                                  const TieredStoreParams &params)
-    : EdgeStore(config.io_queue_depth), params_(params),
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+      params_(params),
       hot_(hotCapacity(config, params), params.hot_line_bytes,
            config.page_cache_ways),
-      cold_(config, ssd)
+      cold_(coldConfig(config), ssd)
 {
 }
 

@@ -38,7 +38,8 @@ IspEngine::runGroup(const NodeWork *work, std::size_t count,
         drain_eq_, arrival,
         [&](sim::EventQueue &eq, sim::IoCompletion done) {
             submitGroup(eq, work, count, result, std::move(done));
-        });
+        },
+        cmd_queue_.name(), cmd_queue_.submitted());
 }
 
 void

@@ -1,0 +1,195 @@
+#include "fault.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+namespace
+{
+
+/** FNV-1a over the component name: a stable stream id per component. */
+std::uint64_t
+componentStream(std::string_view component)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : component) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bool
+isRate(double v)
+{
+    // Written to also reject NaN.
+    return v >= 0.0 && v <= 1.0;
+}
+
+} // namespace
+
+bool
+applyKnob(FaultPlan &plan, std::string_view key, double value)
+{
+    if (key == "seed")
+        plan.seed = static_cast<std::uint64_t>(value);
+    else if (key == "read_error_rate")
+        plan.read_error_rate = value;
+    else if (key == "slow_rate")
+        plan.slow_rate = value;
+    else if (key == "slow_multiplier")
+        plan.slow_multiplier = value;
+    else if (key == "ecc_rate")
+        plan.ecc_rate = value;
+    else if (key == "ecc_retry_us")
+        plan.ecc_retry = us(value);
+    else if (key == "shard_outage_rate")
+        plan.shard_outage_rate = value;
+    else if (key == "outage_period_ms")
+        plan.outage_period = ms(value);
+    else if (key == "degraded_penalty")
+        plan.degraded_penalty = value;
+    else
+        return false;
+    return true;
+}
+
+bool
+applyKnob(RetryPolicy &policy, std::string_view key, double value)
+{
+    if (key == "max_attempts")
+        policy.max_attempts = static_cast<unsigned>(value);
+    else if (key == "backoff_base_us")
+        policy.backoff_base = us(value);
+    else if (key == "backoff_cap_us")
+        policy.backoff_cap = us(value);
+    else if (key == "jitter")
+        policy.jitter = value;
+    else if (key == "timeout_us")
+        policy.timeout = us(value);
+    else
+        return false;
+    return true;
+}
+
+void
+validate(const FaultPlan &plan)
+{
+    if (!isRate(plan.read_error_rate))
+        SS_FATAL("FaultPlan: fault.read_error_rate must be within "
+                 "[0, 1], got ",
+                 plan.read_error_rate);
+    if (!isRate(plan.slow_rate))
+        SS_FATAL("FaultPlan: fault.slow_rate must be within [0, 1], "
+                 "got ",
+                 plan.slow_rate);
+    if (!(plan.slow_multiplier >= 1.0))
+        SS_FATAL("FaultPlan: fault.slow_multiplier must be >= 1 (a "
+                 "slow attempt cannot finish early), got ",
+                 plan.slow_multiplier);
+    if (!isRate(plan.ecc_rate))
+        SS_FATAL("FaultPlan: fault.ecc_rate must be within [0, 1], "
+                 "got ",
+                 plan.ecc_rate);
+    if (!(plan.shard_outage_rate >= 0.0 && plan.shard_outage_rate < 1.0))
+        SS_FATAL("FaultPlan: fault.shard_outage_rate must be within "
+                 "[0, 1) — a permanently down shard is not a fault, "
+                 "it is a smaller array; got ",
+                 plan.shard_outage_rate);
+    if (plan.injectsOutages() && plan.outage_period == 0)
+        SS_FATAL("FaultPlan: fault.outage_period_ms must be positive "
+                 "when shard outages are enabled");
+    if (!(plan.degraded_penalty >= 1.0))
+        SS_FATAL("FaultPlan: fault.degraded_penalty must be >= 1 (a "
+                 "degraded read cannot beat a healthy one), got ",
+                 plan.degraded_penalty);
+}
+
+void
+validate(const RetryPolicy &policy)
+{
+    if (policy.max_attempts < 1)
+        SS_FATAL("RetryPolicy: retry.max_attempts must be >= 1 "
+                 "(1 means no retries), got ",
+                 policy.max_attempts);
+    if (policy.backoff_cap < policy.backoff_base)
+        SS_FATAL("RetryPolicy: retry.backoff_cap_us (",
+                 toMicros(policy.backoff_cap),
+                 " us) must not be below retry.backoff_base_us (",
+                 toMicros(policy.backoff_base), " us)");
+    if (!(policy.jitter >= 0.0))
+        SS_FATAL("RetryPolicy: retry.jitter must be >= 0, got ",
+                 policy.jitter);
+    if (policy.timeout != 0 && policy.timeout < minServiceTick)
+        SS_FATAL("RetryPolicy: retry.timeout_us must be at least the "
+                 "minimum service tick (",
+                 toMicros(minServiceTick), " us) or 0 to disable, got ",
+                 toMicros(policy.timeout), " us");
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan,
+                             std::string_view component)
+    : plan_(plan),
+      initial_(Rng(plan.seed).fork(componentStream(component))),
+      rng_(initial_)
+{
+}
+
+bool
+FaultInjector::drawReadError()
+{
+    // Draw only when the fault can fire: a zero-rate plan consumes no
+    // stream, keeping fault-free runs draw-for-draw identical.
+    if (plan_.read_error_rate <= 0.0)
+        return false;
+    return rng_.nextBool(plan_.read_error_rate);
+}
+
+Tick
+FaultInjector::slowed(Tick start, Tick finish)
+{
+    if (plan_.slow_rate <= 0.0 || !rng_.nextBool(plan_.slow_rate))
+        return finish;
+    double span = static_cast<double>(finish - start);
+    return start + static_cast<Tick>(span * plan_.slow_multiplier);
+}
+
+bool
+FaultInjector::drawEccRetry()
+{
+    if (plan_.ecc_rate <= 0.0)
+        return false;
+    return rng_.nextBool(plan_.ecc_rate);
+}
+
+void
+FaultInjector::reset()
+{
+    rng_ = initial_;
+}
+
+OutageSchedule::OutageSchedule(const FaultPlan &plan, unsigned shards)
+    : period_(plan.outage_period),
+      down_ticks_(static_cast<Tick>(plan.shard_outage_rate *
+                                    static_cast<double>(plan.outage_period)))
+{
+    SS_ASSERT(period_ > 0, "outage schedule needs a positive period");
+    Rng master = Rng(plan.seed).fork(componentStream("shard-outage"));
+    phase_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        phase_.push_back(master.fork(i).nextBounded(period_));
+}
+
+bool
+OutageSchedule::down(unsigned shard, Tick tick) const
+{
+    SS_ASSERT(shard < phase_.size(), "outage query for shard ", shard,
+              " of ", phase_.size());
+    return (tick % period_ + period_ - phase_[shard]) % period_ <
+           down_ticks_;
+}
+
+} // namespace smartsage::sim

@@ -8,11 +8,32 @@
 namespace smartsage::sim
 {
 
+const char *
+ioStatusName(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::Ok:
+        return "ok";
+      case IoStatus::TransientError:
+        return "transient-error";
+      case IoStatus::Timeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
 StorageChannel::StorageChannel(std::string name, unsigned depth)
     : name_(std::move(name)), depth_(depth)
 {
     SS_ASSERT(depth >= 1, "channel '", name_,
               "' needs a queue depth of at least 1");
+}
+
+void
+StorageChannel::setRetryPolicy(const RetryPolicy &policy)
+{
+    validate(policy);
+    retry_ = policy;
 }
 
 void
@@ -29,10 +50,104 @@ StorageChannel::submit(EventQueue &eq, Service service, IoCompletion done)
             SS_ASSERT(finish >= start, "service finished at ", finish,
                       " before it started at ", start);
             q.schedule(finish, [complete = std::move(complete), finish] {
-                complete(finish);
+                complete(finish, IoStatus::Ok);
             });
         },
         std::move(done));
+}
+
+void
+StorageChannel::submitFallible(EventQueue &eq, FallibleService service,
+                               IoCompletion done)
+{
+    // Fork the jitter stream by submission index *before* submitStaged
+    // bumps the counter; forking never advances the master, so the
+    // stream a request sees depends only on its arrival order.
+    auto state = std::make_shared<RetryState>(RetryState{
+        std::move(service),
+        retry_.wantsDeadline() ? eq.now() + retry_.timeout : 0,
+        jitter_master_.fork(submitted_)});
+    submitStaged(
+        eq,
+        [this, state](EventQueue &q, Tick start, IoCompletion complete) {
+            runAttempt(q, start, 1, state, std::move(complete));
+        },
+        std::move(done));
+}
+
+Tick
+StorageChannel::backoffBefore(unsigned next_attempt, Rng &rng) const
+{
+    // Attempt 2 waits backoff_base, each further attempt doubles it up
+    // to the cap (shift saturates well past any sane attempt budget).
+    unsigned shift = next_attempt - 2;
+    Tick backoff = retry_.backoff_cap;
+    if (shift < 63) {
+        Tick grown = retry_.backoff_base << shift;
+        if (grown >> shift == retry_.backoff_base)
+            backoff = std::min(retry_.backoff_cap, grown);
+    }
+    // Zero jitter makes no draw, so jitter-free goldens consume no
+    // stream and stay exact.
+    if (retry_.jitter > 0.0) {
+        backoff += static_cast<Tick>(static_cast<double>(backoff) *
+                                     retry_.jitter * rng.nextDouble());
+    }
+    return backoff;
+}
+
+void
+StorageChannel::runAttempt(EventQueue &eq, Tick start, unsigned attempt,
+                           const std::shared_ptr<RetryState> &state,
+                           IoCompletion complete)
+{
+    auto deliver = [&eq](Tick at, IoStatus status, IoCompletion c) {
+        eq.schedule(at, [c = std::move(c), at, status] { c(at, status); });
+    };
+
+    // The deadline can pass while the request waits for a slot or sits
+    // in backoff; time it out without burning another service attempt.
+    if (state->deadline != 0 && start > state->deadline) {
+        ++timeouts_;
+        deliver(start, IoStatus::Timeout, std::move(complete));
+        return;
+    }
+
+    IoOutcome out = state->service(start, attempt);
+    SS_ASSERT(out.finish >= start, "attempt ", attempt, " on channel '",
+              name_, "' finished at ", out.finish,
+              " before it started at ", start);
+
+    if (out.status == IoStatus::Ok) {
+        if (state->deadline != 0 && out.finish > state->deadline) {
+            ++timeouts_;
+            deliver(out.finish, IoStatus::Timeout, std::move(complete));
+        } else {
+            deliver(out.finish, IoStatus::Ok, std::move(complete));
+        }
+        return;
+    }
+
+    if (attempt >= retry_.max_attempts) {
+        ++abandoned_;
+        deliver(out.finish, out.status, std::move(complete));
+        return;
+    }
+
+    // Budget remains: back off, then re-run the service. The check
+    // above keeps exhausted requests from drawing jitter they will
+    // never use.
+    Tick next = out.finish + backoffBefore(attempt + 1, state->rng);
+    if (state->deadline != 0 && next > state->deadline) {
+        ++timeouts_;
+        deliver(out.finish, IoStatus::Timeout, std::move(complete));
+        return;
+    }
+    ++retries_;
+    eq.schedule(next, [this, &eq, next, attempt, state,
+                       complete = std::move(complete)]() mutable {
+        runAttempt(eq, next, attempt + 1, state, std::move(complete));
+    });
 }
 
 void
@@ -70,10 +185,11 @@ StorageChannel::dispatch(EventQueue &eq, Pending p, bool queued)
     // pulls the next pending request forward at the completion tick.
     auto service = std::move(p.service);
     service(eq, start,
-            [this, &eq, done = std::move(p.done)](Tick finish) {
+            [this, &eq, done = std::move(p.done)](Tick finish,
+                                                  IoStatus status) {
                 onComplete(eq, finish);
                 if (done)
-                    done(finish);
+                    done(finish, status);
             });
 }
 
@@ -103,25 +219,38 @@ StorageChannel::reset()
     queued_ = 0;
     total_queue_wait_ = 0;
     max_queue_wait_ = 0;
+    retries_ = 0;
+    timeouts_ = 0;
+    abandoned_ = 0;
 }
 
 Tick
 drainOne(EventQueue &eq, Tick arrival,
-         const std::function<void(EventQueue &, IoCompletion)> &submit)
+         const std::function<void(EventQueue &, IoCompletion)> &submit,
+         std::string_view component, std::uint64_t request_id)
 {
     SS_ASSERT(eq.pending() == 0,
               "blocking adapter needs an empty event queue");
     eq.reset();
     Tick result = 0;
+    IoStatus status = IoStatus::Ok;
     bool completed = false;
     eq.schedule(arrival, [&] {
-        submit(eq, [&](Tick finish) {
+        submit(eq, [&](Tick finish, IoStatus s) {
             result = finish;
+            status = s;
             completed = true;
         });
     });
     eq.run();
     SS_ASSERT(completed, "blocking adapter drained without a completion");
+    if (status != IoStatus::Ok) {
+        // A blocking caller would read whatever is in its buffer; die
+        // loudly instead of returning stale bytes.
+        SS_FATAL("blocking read on '", component, "' failed with status ",
+                 ioStatusName(status), " (request ", request_id,
+                 "): recovery requires the async submit path");
+    }
     return result;
 }
 

@@ -25,16 +25,42 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "event_queue.hh"
+#include "fault.hh"
+#include "random.hh"
 #include "types.hh"
 
 namespace smartsage::sim
 {
 
+/**
+ * How a request ended. Ok requests carry valid data; TransientError
+ * means every service attempt failed (retries exhausted); Timeout
+ * means the request missed its end-to-end deadline.
+ */
+enum class IoStatus : std::uint8_t
+{
+    Ok = 0,
+    TransientError,
+    Timeout,
+};
+
+/** Human-readable status name (stats rows, fatal messages). */
+const char *ioStatusName(IoStatus status);
+
 /** Completion callback: invoked at the request's finish tick. */
-using IoCompletion = std::function<void(Tick finish)>;
+using IoCompletion = std::function<void(Tick finish, IoStatus status)>;
+
+/** Result of one fallible service attempt. */
+struct IoOutcome
+{
+    Tick finish = 0;
+    IoStatus status = IoStatus::Ok;
+};
 
 /** One in-flight storage request (serving-mode bookkeeping). */
 struct IoRequest
@@ -70,13 +96,25 @@ class StorageChannel
   public:
     /** Service process returning the finish tick for a dispatch. */
     using Service = std::function<Tick(Tick start)>;
-    /** Staged service: complete(finish) must be called exactly once,
-     *  at a tick >= start, from an event on the same queue. */
+    /** Staged service: complete(finish, status) must be called exactly
+     *  once, at a tick >= start, from an event on the same queue. */
     using StagedService =
         std::function<void(EventQueue &eq, Tick start, IoCompletion complete)>;
+    /**
+     * Fallible service attempt: runs the service-time math for attempt
+     * number @p attempt (1-based) starting at @p start and reports the
+     * finish tick plus whether the attempt succeeded. The channel's
+     * RetryPolicy decides what a non-Ok outcome turns into.
+     */
+    using FallibleService =
+        std::function<IoOutcome(Tick start, unsigned attempt)>;
 
     /** @param depth maximum requests in service at once (>= 1) */
     StorageChannel(std::string name, unsigned depth);
+
+    /** Install the retry/timeout policy for fallible submissions. */
+    void setRetryPolicy(const RetryPolicy &policy);
+    const RetryPolicy &retryPolicy() const { return retry_; }
 
     /** Submit a synchronous-service request at eq.now(). */
     void submit(EventQueue &eq, Service service, IoCompletion done);
@@ -84,6 +122,17 @@ class StorageChannel
     /** Submit a staged (self-scheduling) request at eq.now(). */
     void submitStaged(EventQueue &eq, StagedService service,
                       IoCompletion done);
+
+    /**
+     * Submit a request whose service attempts may fail. The channel
+     * re-runs the service with exponential backoff (jitter from a
+     * per-request RNG fork) until an attempt succeeds, the policy's
+     * attempt budget is exhausted (TransientError), or the end-to-end
+     * deadline passes (Timeout). The slot is held across retries — a
+     * retrying command still occupies its queue entry.
+     */
+    void submitFallible(EventQueue &eq, FallibleService service,
+                        IoCompletion done);
 
     /** No request in service and none pending. */
     bool
@@ -116,6 +165,14 @@ class StorageChannel
     /** Largest single queue wait. */
     Tick maxQueueWait() const { return max_queue_wait_; }
 
+    // ---- recovery counters (fallible submissions only) ----
+    /** Service attempts re-run after a transient failure. */
+    std::uint64_t retries() const { return retries_; }
+    /** Requests that missed their end-to-end deadline. */
+    std::uint64_t timeouts() const { return timeouts_; }
+    /** Requests abandoned with the attempt budget exhausted. */
+    std::uint64_t abandoned() const { return abandoned_; }
+
     const std::string &name() const { return name_; }
 
     /** Forget all history. @pre idle() — resetting with work in flight
@@ -130,14 +187,32 @@ class StorageChannel
         Tick submit;
     };
 
+    /** Mutable per-request retry bookkeeping. */
+    struct RetryState
+    {
+        FallibleService service;
+        Tick deadline; //!< absolute tick; 0 means none
+        Rng rng;       //!< per-request jitter stream
+    };
+
     /** @param queued whether @p p waited in the pending queue */
     void dispatch(EventQueue &eq, Pending p, bool queued);
     void onComplete(EventQueue &eq, Tick finish);
+
+    /** Run attempt @p attempt of a fallible request at @p start. */
+    void runAttempt(EventQueue &eq, Tick start, unsigned attempt,
+                    const std::shared_ptr<RetryState> &state,
+                    IoCompletion complete);
+
+    /** Backoff before attempt @p next_attempt (exponential, capped). */
+    Tick backoffBefore(unsigned next_attempt, Rng &rng) const;
 
     std::string name_;
     unsigned depth_;
     unsigned in_flight_ = 0;
     std::deque<Pending> pending_;
+    RetryPolicy retry_;
+    Rng jitter_master_{0x7e77151eedULL}; //!< forked per request
 
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
@@ -145,16 +220,24 @@ class StorageChannel
     std::uint64_t queued_ = 0;
     Tick total_queue_wait_ = 0;
     Tick max_queue_wait_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t abandoned_ = 0;
 };
 
 /**
  * Submit-and-drain helper implementing a blocking call on top of an
  * async submission: schedules @p submit at @p arrival on @p eq (reset
  * first), runs the queue dry, and returns the completion tick the
- * submission reported. @pre eq has no pending events
+ * submission reported. A blocking caller has nowhere to report a
+ * failed request, so a non-Ok completion is fatal — @p component and
+ * @p request_id identify the offender in the message.
+ * @pre eq has no pending events
  */
 Tick drainOne(EventQueue &eq, Tick arrival,
-              const std::function<void(EventQueue &, IoCompletion)> &submit);
+              const std::function<void(EventQueue &, IoCompletion)> &submit,
+              std::string_view component = "blocking adapter",
+              std::uint64_t request_id = 0);
 
 } // namespace smartsage::sim
 

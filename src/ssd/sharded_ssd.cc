@@ -31,8 +31,8 @@ shardConfig(const SsdConfig &base, unsigned shards)
 ShardedEdgeStore::ShardedEdgeStore(const host::HostConfig &config,
                                    const SsdConfig &ssd_config,
                                    const ShardedSsdParams &params)
-    : host::EdgeStore(config.io_queue_depth), config_(config),
-      params_(params),
+    : host::EdgeStore(config.io_queue_depth, config.fault, config.retry),
+      config_(config), params_(params),
       stripe_blocks_(params.stripe_bytes / config.os_page_bytes),
       cache_(config.scratchpad_bytes, config.os_page_bytes,
              config.scratchpad_ways)
@@ -44,6 +44,9 @@ ShardedEdgeStore::ShardedEdgeStore(const host::HostConfig &config,
     shards_.reserve(params_.shards);
     for (unsigned i = 0; i < params_.shards; ++i)
         shards_.push_back(std::make_unique<SsdDevice>(per_shard));
+    if (config.fault.injectsOutages())
+        outage_ = std::make_unique<sim::OutageSchedule>(config.fault,
+                                                        params_.shards);
 }
 
 unsigned
@@ -91,8 +94,34 @@ ShardedEdgeStore::issueMissing(sim::Tick submitted)
                    local + (j - i)) {
             ++j;
         }
-        sim::Tick landed = shards_[shard]->readBlocks(
+        // Degraded mode: a run aimed at a shard inside an outage
+        // window reroutes to the next healthy shard (reconstruction
+        // from redundancy) at a latency penalty, instead of failing
+        // the gather. With every shard down there is nothing to
+        // reconstruct from; the run services normally rather than
+        // deadlocking.
+        unsigned serve = shard;
+        bool degraded = false;
+        if (outage_ && outage_->down(shard, submitted)) {
+            for (unsigned k = 1; k < shards_.size(); ++k) {
+                unsigned cand = static_cast<unsigned>(
+                    (shard + k) % shards_.size());
+                if (!outage_->down(cand, submitted)) {
+                    serve = cand;
+                    degraded = true;
+                    break;
+                }
+            }
+        }
+        sim::Tick landed = shards_[serve]->readBlocks(
             submitted, local * bs, (j - i) * bs);
+        if (degraded) {
+            ++degraded_reads_;
+            landed = submitted +
+                     static_cast<sim::Tick>(
+                         static_cast<double>(landed - submitted) *
+                         config_.fault.degraded_penalty);
+        }
         done = std::max(done, landed);
         i = j;
     }
@@ -166,6 +195,7 @@ ShardedEdgeStore::resetStore()
 {
     cache_.reset();
     submits_ = 0;
+    degraded_reads_ = 0;
     for (auto &shard : shards_)
         shard->reset();
 }
@@ -209,6 +239,15 @@ ShardedEdgeStore::bytesToHost() const
     for (const auto &shard : shards_)
         bytes += shard->bytesToHost();
     return bytes;
+}
+
+std::uint64_t
+ShardedEdgeStore::eccRetries() const
+{
+    std::uint64_t retries = 0;
+    for (const auto &shard : shards_)
+        retries += shard->eccRetries();
+    return retries;
 }
 
 // ------------------------------------------------ backend registration
@@ -294,6 +333,18 @@ class MultiSsdInstance : public core::BackendInstance
         add("host.direct_io.submits",
             static_cast<double>(sharded_->submits()),
             "O_DIRECT submissions");
+        // Fault-model rows appear only when the matching fault source
+        // is configured, keeping default stat reports identical.
+        if (sharded_->outagesEnabled()) {
+            add("ssd.degraded_reads",
+                static_cast<double>(sharded_->degradedReads()),
+                "runs rerouted around a down shard");
+        }
+        if (sharded_->shard(0).config().flash.fault.injectsEcc()) {
+            add("ssd.flash.ecc_retries",
+                static_cast<double>(sharded_->eccRetries()),
+                "injected ECC re-reads, all shards");
+        }
     }
 
   private:

@@ -25,6 +25,7 @@
 
 #include "host/config.hh"
 #include "host/io_path.hh"
+#include "sim/fault.hh"
 #include "sim/set_assoc.hh"
 #include "ssd/ssd_device.hh"
 
@@ -72,6 +73,13 @@ class ShardedEdgeStore : public host::EdgeStore
     std::uint64_t hostReads() const;
     /** Bytes shipped over all PCIe links. */
     std::uint64_t bytesToHost() const;
+    /** Injected ECC re-reads, summed over every shard. */
+    std::uint64_t eccRetries() const;
+
+    /** Shard outage windows active in this configuration. */
+    bool outagesEnabled() const { return outage_ != nullptr; }
+    /** Runs rerouted around a down shard (degraded-mode reads). */
+    std::uint64_t degradedReads() const { return degraded_reads_; }
 
   protected:
     sim::Tick serviceRead(sim::Tick start, std::uint64_t addr,
@@ -93,6 +101,8 @@ class ShardedEdgeStore : public host::EdgeStore
     sim::SetAssocLru cache_; //!< user scratchpad, block-granular
     std::uint64_t submits_ = 0;
     std::vector<std::uint64_t> missing_; //!< gather scratch
+    std::unique_ptr<sim::OutageSchedule> outage_; //!< null when inert
+    std::uint64_t degraded_reads_ = 0;
 
     /** Shard owning global block @p block. */
     unsigned shardOf(std::uint64_t block) const;

@@ -68,7 +68,10 @@ SsdDevice::submitRead(sim::EventQueue &eq, std::uint64_t addr,
                         sim::Tick finish = dmaToHost(ready, xfer);
                         q.schedule(finish,
                                    [complete = std::move(complete),
-                                    finish] { complete(finish); });
+                                    finish] {
+                                       complete(finish,
+                                                sim::IoStatus::Ok);
+                                   });
                     });
             });
         },
@@ -83,7 +86,8 @@ SsdDevice::readBlocks(sim::Tick arrival, std::uint64_t addr,
         drain_eq_, arrival,
         [&](sim::EventQueue &eq, sim::IoCompletion done) {
             submitRead(eq, addr, bytes, std::move(done));
-        });
+        },
+        nvme_sq_.name(), nvme_sq_.submitted());
 }
 
 sim::Tick

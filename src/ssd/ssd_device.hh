@@ -80,6 +80,8 @@ class SsdDevice
 
     /** Host-visible block reads served. */
     std::uint64_t hostReads() const { return host_reads_; }
+    /** Injected ECC re-reads in the flash array. */
+    std::uint64_t eccRetries() const { return flash_.eccRetries(); }
     /** Bytes shipped to the host over PCIe. */
     std::uint64_t bytesToHost() const { return bytes_to_host_; }
 

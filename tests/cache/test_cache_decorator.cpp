@@ -111,7 +111,7 @@ TEST(CacheDecorator, AsyncAndBlockingPathsAgreePerBackend)
             sim::Tick finish = 0;
             eq.schedule(t_async, [&, i] {
                 async->submitGather(eq, stream[i], 8,
-                                    [&finish](sim::Tick f) {
+                                    [&finish](sim::Tick f, sim::IoStatus) {
                                         finish = f;
                                     });
             });

@@ -41,7 +41,7 @@ TEST(StorageChannel, ImmediateDispatchWhenIdle)
 
     Tick finish = 0;
     eq.schedule(50, [&] {
-        ch.submit(eq, svc.make(), [&](Tick f) { finish = f; });
+        ch.submit(eq, svc.make(), [&](Tick f, IoStatus) { finish = f; });
     });
     eq.run();
     EXPECT_EQ(finish, 150u);
@@ -67,7 +67,7 @@ TEST(StorageChannel, DepthBoundsConcurrentService)
                 [&pool](Tick start) {
                     return pool.request(start, 100).finish;
                 },
-                [&](Tick f) { finishes.push_back(f); });
+                [&](Tick f, IoStatus) { finishes.push_back(f); });
         }
     });
     eq.run();
@@ -139,7 +139,7 @@ TEST(StorageChannel, PendingRequestsDispatchInFifoOrder)
                 [&server](Tick start) {
                     return server.request(start, 10).finish;
                 },
-                [&order, i](Tick) { order.push_back(i); });
+                [&order, i](Tick, IoStatus) { order.push_back(i); });
         }
     });
     eq.run();
@@ -183,15 +183,15 @@ TEST(StorageChannel, StagedServiceHoldsTheSlotUntilCompletion)
         q.schedule(start + 30, [&q, complete = std::move(complete)] {
             Tick mid = q.now();
             q.schedule(mid + 20, [complete = std::move(complete), mid] {
-                complete(mid + 20);
+                complete(mid + 20, IoStatus::Ok);
             });
         });
     };
     eq.schedule(0, [&] {
         ch.submitStaged(eq, staged,
-                        [&](Tick f) { finishes.push_back(f); });
+                        [&](Tick f, IoStatus) { finishes.push_back(f); });
         ch.submitStaged(eq, staged,
-                        [&](Tick f) { finishes.push_back(f); });
+                        [&](Tick f, IoStatus) { finishes.push_back(f); });
     });
     eq.run();
     ASSERT_EQ(finishes.size(), 2u);
@@ -237,7 +237,7 @@ TEST(SsdAsync, BlockingAdapterMatchesSingleAsyncSubmission)
     Tick async = 0;
     eq.schedule(1000, [&] {
         async_dev.submitRead(eq, 4096, 8192,
-                             [&](Tick f) { async = f; });
+                             [&](Tick f, IoStatus) { async = f; });
     });
     eq.run();
     EXPECT_EQ(async, blocking);
@@ -264,7 +264,7 @@ TEST(SsdAsync, ConcurrentReadsOverlapInsideTheDevice)
     eq.schedule(0, [&] {
         for (int i = 0; i < 8; ++i) {
             async_dev.submitRead(eq, i * sim::KiB(64), 4096,
-                                 [&](Tick f) {
+                                 [&](Tick f, IoStatus) {
                                      last = std::max(last, f);
                                  });
         }
@@ -308,7 +308,7 @@ TEST(FlashAsync, ChannelQueueBoundsPageReads)
         // though its die is free.
         for (unsigned i = 0; i < 4; ++i) {
             flash.submitRead(eq, {0, i % 2, i},
-                             [&](Tick f) { finishes.push_back(f); });
+                             [&](Tick f, IoStatus) { finishes.push_back(f); });
         }
     });
     eq.run();
@@ -324,7 +324,7 @@ TEST(FlashAsync, ChannelQueueBoundsPageReads)
     Tick deep_last = 0;
     eq2.schedule(0, [&] {
         for (unsigned i = 0; i < 4; ++i) {
-            deep.submitRead(eq2, {0, i % 2, i}, [&](Tick f) {
+            deep.submitRead(eq2, {0, i % 2, i}, [&](Tick f, IoStatus) {
                 deep_last = std::max(deep_last, f);
             });
         }

@@ -292,7 +292,7 @@ TEST(Stores, AsyncSubmissionMatchesBlockingAdapter)
     sim::Tick t_async = 0;
     eq.schedule(777, [&] {
         async.submitGather(eq, addrs, 8,
-                           [&](sim::Tick f) { t_async = f; });
+                           [&](sim::Tick f, sim::IoStatus) { t_async = f; });
     });
     eq.run();
     EXPECT_EQ(t_async, t_blocking);
@@ -319,7 +319,7 @@ TEST(Stores, ConcurrentGathersQueueAtTheHostChannel)
     eq.schedule(0, [&] {
         for (const auto &addrs : gathers)
             store.submitGather(eq, addrs, 8,
-                               [&](sim::Tick) { ++completions; });
+                               [&](sim::Tick, sim::IoStatus) { ++completions; });
     });
     eq.run();
     EXPECT_EQ(completions, 16);
