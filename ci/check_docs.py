@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Documentation gate: lightweight markdown lint plus a dead
+relative-link check over the repo's human-facing docs.
+
+Checked files: README.md, DESIGN.md, and every *.md under docs/
+(defaults; pass explicit paths to override). The checks are
+dependency-free and deterministic:
+
+  * dead relative link -> FAIL: a [text](target) whose target is a
+    repo-relative path (not http(s)/mailto/#anchor) must exist on
+    disk, resolved against the referencing file's directory. Anchors
+    and "title" suffixes are stripped before the existence check.
+  * empty link target  -> FAIL: [text]() renders as a broken link.
+  * unbalanced code fence -> FAIL: an odd number of ``` fence lines
+    swallows the rest of the document when rendered.
+  * heading jump       -> warn only: a heading level that skips more
+    than one step (e.g. # straight to ###) usually means a section
+    was pasted from elsewhere; reported but not gating.
+
+Fenced code blocks are excluded from link scanning so shell snippets
+like `tar [options](...)` never false-positive.
+
+Usage:
+  python3 ci/check_docs.py [--root <repo>] [files...]
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]*)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_files(root):
+    files = []
+    for name in ("README.md", "DESIGN.md"):
+        path = os.path.join(root, name)
+        if os.path.exists(path):
+            files.append(path)
+    files.extend(sorted(glob.glob(
+        os.path.join(root, "docs", "**", "*.md"), recursive=True)))
+    return files
+
+
+def check_file(path, errors, warnings):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    in_fence = False
+    fence_lines = 0
+    prev_level = 0
+    for lineno, line in enumerate(lines, 1):
+        if FENCE_RE.match(line):
+            fence_lines += 1
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+
+        heading = HEADING_RE.match(line)
+        if heading:
+            level = len(heading.group(1))
+            if prev_level and level > prev_level + 1:
+                warnings.append(
+                    f"{path}:{lineno}: heading jumps from level "
+                    f"{prev_level} to {level}")
+            prev_level = level
+
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if not target:
+                errors.append(f"{path}:{lineno}: empty link target")
+                continue
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            # Repo-relative file link: strip any #anchor suffix and
+            # resolve against the referencing file's directory.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{path}:{lineno}: dead relative link "
+                    f"'{target}' (resolved: {resolved})")
+
+    if fence_lines % 2 != 0:
+        errors.append(f"{path}: unbalanced code fence "
+                      f"({fence_lines} fence lines)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("files", nargs="*",
+                        help="markdown files (default: README.md, "
+                             "DESIGN.md, docs/**/*.md)")
+    args = parser.parse_args()
+
+    files = args.files or default_files(args.root)
+    if not files:
+        sys.exit("check_docs: no markdown files found")
+
+    errors, warnings = [], []
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file not found")
+            continue
+        check_file(path, errors, warnings)
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for e in errors:
+        print(f"error: {e}")
+    print(f"check_docs: {len(files)} files, {len(errors)} errors, "
+          f"{len(warnings)} warnings")
+    if errors:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,9 +9,11 @@ compared file:
   * schema drift  -> FAIL: bench id or schema_version changed, a family
     or a cell disappeared, or a cell lost a metric the baseline had.
   * smoke-metric regression -> FAIL: a gated metric moved in the bad
-    direction by more than --threshold (relative). Throughput-like
-    metrics (batches_per_s, achieved_qps) must not drop; latency-like
-    metrics (*_us, *_ms) must not rise.
+    direction by more than --threshold (relative). Which metrics gate,
+    and which direction counts as a regression, is declared in ONE
+    table below (GATED_METRICS): "higher" metrics (throughput, goodput,
+    SLO attainment) must not drop, "lower" metrics (latency
+    percentiles, shed fraction) must not rise.
   * informational drift -> reported but not gating (counters, hit
     fractions, metrics added by new features).
 
@@ -31,26 +33,34 @@ import json
 import os
 import sys
 
-# Metrics the gate acts on, with the direction that counts as a
-# regression. Everything else in a cell's metrics block is
-# informational: counters and occupancy fractions move legitimately
-# whenever a feature (e.g. a new cache policy) changes traffic.
-HIGHER_IS_BETTER = {"batches_per_s", "achieved_qps", "goodput_qps"}
-LOWER_IS_BETTER = {
-    "avg_sample_ms",
-    "p50_us",
-    "p95_us",
-    "p99_us",
-    "max_us",
-    "mean_us",
-    # shed_frac gates the fault-space family: recovery getting worse
-    # means more offered requests went unanswered at the same fault
-    # rate and retry policy.
-    "shed_frac",
-    # queue_wait_us is deliberately absent: it is a diagnostic of the
-    # admission queue, not a smoke headline, and its definition may be
-    # corrected (as in the only-queued-requests fix) without the
-    # serving product itself regressing.
+# The one declarative table of gated metrics: metric name -> the
+# direction that is GOOD ("higher" must not drop, "lower" must not
+# rise). Every metric absent from this table is informational:
+# counters and occupancy fractions move legitimately whenever a
+# feature (e.g. a new cache policy) changes traffic.
+#
+# queue_wait_us is deliberately absent: it is a diagnostic of the
+# admission queue, not a smoke headline, and its definition may be
+# corrected (as in the only-queued-requests fix) without the serving
+# product itself regressing.
+GATED_METRICS = {
+    # Throughput-like: the product of the sweep harnesses.
+    "batches_per_s": "higher",
+    "achieved_qps": "higher",
+    # Recovery / multi-tenant headline metrics: goodput and SLO
+    # attainment dropping, or the shed fraction rising, means more
+    # offered requests went unanswered (or answered late) at the same
+    # configuration.
+    "goodput_qps": "higher",
+    "slo_attainment": "higher",
+    "shed_frac": "lower",
+    # Latency-like: serving-mode percentile headlines.
+    "avg_sample_ms": "lower",
+    "p50_us": "lower",
+    "p95_us": "lower",
+    "p99_us": "lower",
+    "max_us": "lower",
+    "mean_us": "lower",
 }
 
 # Baseline values this close to zero are noise-dominated; skip the
@@ -142,9 +152,10 @@ def compare_metrics(family, base_cell, cur_cell, threshold, report):
         if abs(base_value) < EPSILON:
             continue
         rel = (cur_value - base_value) / abs(base_value)
-        if metric in HIGHER_IS_BETTER:
+        direction = GATED_METRICS.get(metric)
+        if direction == "higher":
             bad = -rel
-        elif metric in LOWER_IS_BETTER:
+        elif direction == "lower":
             bad = rel
         else:
             if abs(rel) > threshold:
@@ -164,7 +175,7 @@ def render_summary(reports, threshold):
     lines = ["## Bench regression gate", ""]
     lines.append(
         f"Threshold: {threshold:.0%} on smoke metrics "
-        f"({', '.join(sorted(HIGHER_IS_BETTER | LOWER_IS_BETTER))})")
+        f"({', '.join(sorted(GATED_METRICS))})")
     lines.append("")
     lines.append("| artifact | cells | worst drift | status |")
     lines.append("|---|---|---|---|")

@@ -26,6 +26,11 @@
  *   --faults-out <path> write BENCH_faults.json here (the fault-space
  *                      family: fault rate x retry policy recovery
  *                      metrics)
+ *   --slo-out <path>   write BENCH_slo.json here (the slo-space
+ *                      family: multi-tenant SLO attainment x
+ *                      scheduling policy x arrival shape)
+ *   --knobs-doc <path> regenerate docs/KNOBS.md from the knob catalog
+ *                      (core/knobs.hh) and exit
  *   --stats-json <path> write BENCH-schema per-backend stats here
  *   --smoke            CI sizes: in-memory datasets, few batches and
  *                      requests
@@ -42,6 +47,7 @@
 
 #include "core/backend.hh"
 #include "core/experiment.hh"
+#include "core/knobs.hh"
 #include "core/scenario.hh"
 #include "sim/logging.hh"
 
@@ -57,6 +63,7 @@ usage()
                  "[--family <name>]... [--design <id>]... "
                  "[--out <path>] [--serving-out <path>] "
                  "[--cache-out <path>] [--faults-out <path>] "
+                 "[--slo-out <path>] [--knobs-doc <path>] "
                  "[--stats-json <path>] "
                  "[--smoke] [--stats] [--list] [--backends]\n";
     return 2;
@@ -134,7 +141,7 @@ main(int argc, char **argv)
     unsigned workers = 1;
     bool smoke = false, stats = false;
     std::string out_path, serving_out_path, cache_out_path;
-    std::string faults_out_path;
+    std::string faults_out_path, slo_out_path;
     std::string stats_json_path;
     std::vector<std::string> families;
     std::vector<std::string> designs;
@@ -161,6 +168,15 @@ main(int argc, char **argv)
             cache_out_path = argv[++i];
         } else if (arg == "--faults-out" && i + 1 < argc) {
             faults_out_path = argv[++i];
+        } else if (arg == "--slo-out" && i + 1 < argc) {
+            slo_out_path = argv[++i];
+        } else if (arg == "--knobs-doc" && i + 1 < argc) {
+            std::ofstream doc(argv[++i]);
+            if (!doc)
+                SS_FATAL("cannot open ", argv[i]);
+            core::writeKnobsDoc(doc);
+            std::cout << "design_space: wrote " << argv[i] << "\n";
+            return 0;
         } else if (arg == "--stats-json" && i + 1 < argc) {
             stats_json_path = argv[++i];
         } else if (arg == "--smoke") {
@@ -230,13 +246,15 @@ main(int argc, char **argv)
     // their own documents; other serving-kind families get the
     // serving schema (latency metrics); everything else shares the
     // classic design-space document.
-    std::vector<core::ScenarioRun> cache_runs, fault_runs,
+    std::vector<core::ScenarioRun> cache_runs, fault_runs, slo_runs,
         serving_runs, sweep_runs;
     for (auto &run : runs) {
         if (run.scenario.artifact == "cache-policy")
             cache_runs.push_back(std::move(run));
         else if (run.scenario.artifact == "faults")
             fault_runs.push_back(std::move(run));
+        else if (run.scenario.artifact == "slo")
+            slo_runs.push_back(std::move(run));
         else if (run.scenario.kind == core::ExperimentKind::Serving)
             serving_runs.push_back(std::move(run));
         else
@@ -289,6 +307,19 @@ main(int argc, char **argv)
             SS_FATAL("cannot open ", faults_out_path);
         core::writeDesignSpaceJson(json, fault_runs, "fault_space");
         std::cout << "design_space: wrote " << faults_out_path << "\n";
+    }
+    if (!slo_runs.empty() && slo_out_path.empty())
+        SS_WARN("slo-space family ran but --slo-out was not given; "
+                "its cells are not in any artifact");
+    if (!slo_out_path.empty()) {
+        if (slo_runs.empty())
+            SS_FATAL("--slo-out needs the slo-space family "
+                     "(e.g. --family slo-space)");
+        std::ofstream json(slo_out_path);
+        if (!json)
+            SS_FATAL("cannot open ", slo_out_path);
+        core::writeDesignSpaceJson(json, slo_runs, "slo_space");
+        std::cout << "design_space: wrote " << slo_out_path << "\n";
     }
     if (!stats_json_path.empty()) {
         std::ofstream json(stats_json_path);

@@ -57,6 +57,7 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
         sc.num_requests = cell.serve_requests;
         sc.fanout = cell.serve_fanout;
         sc.seed = cell.serve_seed;
+        sc.tenants = cell.config.tenants;
         ServingResult r = runServingLoad(system, sc);
         add("p50_us", r.p50_us());
         add("p95_us", r.p95_us());
@@ -70,8 +71,9 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
         // Recovery columns appear only when the cell can actually
         // shed (faults injected or a deadline set), so fault-free
         // serving artifacts keep their pre-fault metric set.
-        if (cell.config.fault.enabled() ||
-            cell.config.retry.wantsDeadline()) {
+        const bool recovery = cell.config.fault.enabled() ||
+                              cell.config.retry.wantsDeadline();
+        if (recovery) {
             add("goodput_qps", r.goodput_qps);
             add("shed_frac", r.shedFraction());
             add("shed_timeout",
@@ -81,6 +83,26 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
             add("io_timeouts", static_cast<double>(r.io_timeouts));
             add("io_abandoned",
                 static_cast<double>(r.io_abandoned));
+        }
+        // Multi-tenant columns appear only when tenant classes are
+        // configured, so single-stream serving artifacts keep their
+        // pre-tenant metric set.
+        if (!r.tenants.empty()) {
+            add("slo_attainment", r.sloAttainment());
+            if (!recovery) { // else already emitted above
+                add("goodput_qps", r.goodput_qps);
+                add("shed_frac", r.shedFraction());
+            }
+            add("shed_admission",
+                static_cast<double>(r.shed_admission));
+            for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+                const TenantServingResult &tr = r.tenants[t];
+                std::string prefix = "t" + std::to_string(t) + "_";
+                add(prefix + "slo_frac", tr.sloAttainment());
+                add(prefix + "p99_us",
+                    tr.latency_us.percentile(99.0));
+                add(prefix + "goodput_qps", tr.goodput_qps);
+            }
         }
     }
 

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The declarative knob catalog: one row per scenario-override key the
+ * applyKnob dispatch (core/scenario.cc) understands, grouped by
+ * namespace, with the type, default, validation range, and meaning of
+ * each knob.
+ *
+ * The catalog is the single source of truth for docs/KNOBS.md
+ * (`design_space --knobs-doc`, drift-gated in CI) and is itself kept
+ * honest by a round-trip test that pushes every cataloged key through
+ * applyKnob on a fresh SystemConfig — a knob that exists in code but
+ * not here fails the doc-coverage check, and a cataloged key the code
+ * no longer accepts fails the round trip.
+ */
+
+#ifndef SMARTSAGE_CORE_KNOBS_HH
+#define SMARTSAGE_CORE_KNOBS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smartsage::core
+{
+
+/** Documentation row of one scenario-override knob. */
+struct KnobDoc
+{
+    /** Key relative to the namespace prefix ("flash.channels"). The
+     *  placeholder "<i>" stands for a tenant index ("0.", "1.", ...)
+     *  and is replaced with "0" when the row is machine-checked. */
+    std::string key;
+    std::string type;  //!< "int", "double", "bool", or "enum"
+    std::string def;   //!< rendered default value
+    std::string range; //!< accepted values / validation constraint
+    std::string desc;  //!< one-line meaning
+    /** A representative valid value, used by the round-trip test. */
+    double sample = 0;
+};
+
+/** One knob namespace of the applyKnob dispatch. */
+struct KnobNamespaceDoc
+{
+    std::string prefix; //!< "ssd." etc.; "" for top-level keys
+    std::string title;
+    std::string owner; //!< source file interpreting the namespace
+    std::vector<KnobDoc> knobs;
+};
+
+/** The full catalog, in dispatch order (top-level last). */
+const std::vector<KnobNamespaceDoc> &knobCatalog();
+
+/**
+ * Render the catalog as docs/KNOBS.md: one table per namespace plus
+ * a section on the registry-claimed backend namespaces. Deterministic,
+ * so CI can regenerate and diff.
+ */
+void writeKnobsDoc(std::ostream &os);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_KNOBS_HH

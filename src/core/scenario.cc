@@ -100,6 +100,12 @@ applyKnob(SystemConfig &config, const KnobSetting &knob)
         return sim::applyKnob(config.fault, key, value);
     if (strip("retry."))
         return sim::applyKnob(config.retry, key, value);
+    if (strip("sched."))
+        return sim::applyKnob(config.sched, key, value);
+    if (strip("admit."))
+        return sim::applyKnob(config.admit, key, value);
+    if (strip("tenant."))
+        return core::applyKnob(config.tenants, key, value);
 
     // Top-level SystemConfig knobs.
     if (key == "page_cache_fraction")
@@ -530,6 +536,88 @@ faultSpaceScenario()
     return s;
 }
 
+/**
+ * The slo-space override grid. Every point shares the same two-tenant
+ * workload — an interactive class (low fanout, tight SLO, high
+ * priority) and a batch class (heavy fanout, no SLO) whose combined
+ * offered load oversubscribes the host I/O channel — and varies the
+ * scheduling discipline and the interactive stream's arrival shape:
+ *
+ *  - "fifo":      the untagged baseline; the batch flood queues ahead
+ *                 of interactive requests and the SLO collapses;
+ *  - "edf+admit": deadline-aware dispatch plus SLO-aware admission —
+ *                 the closed-loop answer the family exists to measure;
+ *  - "prio+bound": strict priority dispatch with a bounded queue, the
+ *                 simpler middle ground;
+ *  - shape variants (diurnal / bursty / flash-crowd) stress the
+ *                 admission estimator with a non-stationary batch
+ *                 flood, all under edf+admit;
+ *  - "closed":    the interactive class as a closed-loop client
+ *                 population pacing itself off completions.
+ */
+std::vector<std::vector<KnobSetting>>
+sloSpaceOverrides()
+{
+    // The shared two-tenant workload. The interactive class answers
+    // users (small gathers, 2 ms SLO); the batch class is a training
+    // frontend flooding the same channel with large gathers. Request
+    // budgets are explicit and proportional to the rates, so both
+    // streams span the same simulated window and the flood is
+    // sustained for the whole run rather than draining early.
+    const std::vector<KnobSetting> tenants = {
+        {"tenant.0.qps", 10000},   {"tenant.0.fanout", 4},
+        {"tenant.0.slo_us", 2000}, {"tenant.0.priority", 10},
+        {"tenant.0.requests", 64},
+        {"tenant.1.qps", 200000},  {"tenant.1.fanout", 16},
+        {"tenant.1.requests", 1280},
+    };
+    auto with = [&tenants](std::initializer_list<KnobSetting> extra) {
+        std::vector<KnobSetting> point = tenants;
+        point.insert(point.end(), extra.begin(), extra.end());
+        return point;
+    };
+    const KnobSetting edf{"sched.policy", 2};
+    const KnobSetting slo_admit{"admit.slo_aware", 1};
+    return {
+        with({}), // plain FIFO, no admission: the degraded baseline
+        with({edf, slo_admit}),
+        with({{"sched.policy", 1}, {"admit.max_queue", 64}}),
+        // Non-stationary batch floods, each under edf+admit.
+        with({{"tenant.1.shape", 2}, {"tenant.1.shape_mag", 3},
+              edf, slo_admit}),
+        with({{"tenant.1.shape", 3}, {"tenant.1.shape_mag", 4},
+              edf, slo_admit}),
+        with({{"tenant.1.shape", 4}, {"tenant.1.shape_mag", 6},
+              edf, slo_admit}),
+        // Interactive tenant as a closed-loop client population.
+        with({{"tenant.0.clients", 8}, {"tenant.0.think_us", 300},
+              edf, slo_admit}),
+    };
+}
+
+Scenario
+sloSpaceScenario()
+{
+    // Registry-driven like fault-space: every backend with a host edge
+    // store on one oversubscribed operating point, swept over the
+    // scheduling-discipline x arrival-shape grid above. The product is
+    // the SLO surface: per-tenant attainment, goodput, and shed
+    // fraction under contention (BENCH_slo.json).
+    Scenario s;
+    s.family = "slo-space";
+    s.title = "SLO space: multi-tenant serving x scheduling policy x "
+              "arrival shape";
+    s.kind = ExperimentKind::Serving;
+    s.artifact = "slo";
+    s.backends = servableBackendIds();
+    s.overrides = sloSpaceOverrides();
+    s.arrival_rates = {210000}; // nominal aggregate (tenants carry rates)
+    s.queue_depths = {8};
+    s.serve_requests = 512;
+    s.serve_fanout = 10;
+    return s;
+}
+
 Scenario
 backendSpaceScenario()
 {
@@ -581,6 +669,7 @@ extraScenarios()
         cachePolicyServingScenario(),
         cachePolicyThroughputScenario(),
         faultSpaceScenario(),
+        sloSpaceScenario(),
     };
     return scenarios;
 }

@@ -26,11 +26,12 @@ namespace smartsage::core
 /**
  * One named configuration override, e.g. {"ssd.flash.channels", 16}.
  * Keys are namespaced by the owning subsystem ("ssd.", "isp.",
- * "host.") or name a top-level SystemConfig knob; each subsystem
- * interprets its own keys (flash::applyKnob etc.). Keys in a
- * namespace a registered backend claims (BackendCaps::knob_namespaces,
- * e.g. "multi-ssd.") are routed into SystemConfig::backend_knobs for
- * that backend to interpret at build time.
+ * "host.", "fault.", "retry.", "sched.", "admit.", "tenant.") or name
+ * a top-level SystemConfig knob; each subsystem interprets its own
+ * keys (flash::applyKnob etc.). Keys in a namespace a registered
+ * backend claims (BackendCaps::knob_namespaces, e.g. "multi-ssd.")
+ * are routed into SystemConfig::backend_knobs for that backend to
+ * interpret at build time.
  */
 struct KnobSetting
 {
@@ -75,7 +76,8 @@ struct Scenario
      * by kind (serving families to BENCH_serving.json, everything
      * else to BENCH_designspace.json); the cache-policy families set
      * "cache-policy" so both kinds land in BENCH_cachepolicy.json,
-     * and the fault-space family sets "faults" (BENCH_faults.json).
+     * the fault-space family sets "faults" (BENCH_faults.json), and
+     * the slo-space family sets "slo" (BENCH_slo.json).
      */
     std::string artifact;
 
@@ -199,7 +201,12 @@ const std::vector<Scenario> &builtinScenarios();
  *  - "fault-space": fault rate x retry policy over every servable
  *    backend under open-loop serving, emitting recovery metrics
  *    (goodput, shed fraction, retry counters) into BENCH_faults.json
- *    (design_space --faults-out).
+ *    (design_space --faults-out);
+ *  - "slo-space": multi-tenant serving (core/tenant.hh) over every
+ *    servable backend — scheduling discipline x arrival shape under an
+ *    oversubscribed two-tenant workload — emitting per-tenant SLO
+ *    attainment and goodput into BENCH_slo.json
+ *    (design_space --slo-out).
  */
 const std::vector<Scenario> &extraScenarios();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "host/io_path.hh"
@@ -88,7 +89,279 @@ generateRequests(const GnnSystem &system, const ServingConfig &config)
     return requests;
 }
 
+/** Exponential draw with unit mean (inverse-CDF of the next double). */
+double
+expDraw(sim::Rng &rng)
+{
+    return -std::log1p(-rng.nextDouble());
+}
+
+/**
+ * Pre-generate one open-loop tenant's arrival ticks. The shaped
+ * streams modulate the instantaneous rate deterministically: the gap
+ * after an arrival at simulated time `clock` is divided by the shape's
+ * rate factor at that time, so bursts compress gaps and troughs
+ * stretch them. All draws come from @p rng (the tenant's private
+ * arrival fork), never from shared state.
+ */
+std::vector<sim::Tick>
+generateShapedArrivals(const TenantClass &tenant, std::size_t count,
+                       sim::Rng &rng)
+{
+    const double base_gap = 1e9 / tenant.arrival_qps;
+    const double period = static_cast<double>(tenant.shape_period);
+    double clock_ns = 0;
+
+    // Bursty (MMPP) state: exponential dwell times with mean `period`,
+    // toggling between the baseline and the burst rate.
+    bool burst = false;
+    double state_end = expDraw(rng) * period;
+
+    std::vector<sim::Tick> arrivals(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i > 0) {
+            double factor = 1.0;
+            switch (tenant.shape) {
+              case ArrivalShape::Fixed:
+              case ArrivalShape::Poisson:
+                break;
+              case ArrivalShape::Diurnal:
+                // Rate sweeps [qps/mag, qps*mag] once per period.
+                factor = std::pow(tenant.shape_mag,
+                                  std::sin(2.0 * M_PI * clock_ns /
+                                           period));
+                break;
+              case ArrivalShape::Bursty:
+                while (clock_ns >= state_end) {
+                    burst = !burst;
+                    state_end += expDraw(rng) * period;
+                }
+                factor = burst ? tenant.shape_mag : 1.0;
+                break;
+              case ArrivalShape::FlashCrowd:
+                // Deterministic replay: a crowd arrives at `period`
+                // and disperses half a period later.
+                factor = (clock_ns >= period &&
+                          clock_ns < period * 1.5)
+                             ? tenant.shape_mag
+                             : 1.0;
+                break;
+            }
+            double gap = tenant.shape == ArrivalShape::Fixed
+                             ? base_gap
+                             : expDraw(rng) * base_gap;
+            clock_ns += gap / factor;
+        }
+        arrivals[i] = static_cast<sim::Tick>(clock_ns);
+    }
+    return arrivals;
+}
+
+/** One pre-generated multi-tenant request. */
+struct TenantRequest
+{
+    std::vector<std::uint64_t> addrs;
+    sim::Tick think = 0; //!< closed loop: gap before this submission
+};
+
+/** Request budget of class @p t: its explicit count, or an even share
+ *  of the run budget (at least one request). */
+std::size_t
+tenantBudget(const TenantClass &tenant, std::size_t num_requests,
+             std::size_t num_tenants)
+{
+    if (tenant.requests > 0)
+        return tenant.requests;
+    return std::max<std::size_t>(1, num_requests / num_tenants);
+}
+
+/**
+ * The multi-tenant front end. Open-loop classes replay pre-generated
+ * shaped arrivals; closed-loop classes schedule request j + clients at
+ * the completion of request j plus an exponential think time. Every
+ * draw comes from forks keyed by (tenant, request), so the run is a
+ * pure function of (config, workload).
+ */
+ServingResult
+runTenantServingLoad(GnnSystem &system, const ServingConfig &config,
+                     host::EdgeStore *store)
+{
+    const graph::CsrGraph &graph = system.workload().graph;
+    const graph::EdgeLayout &layout = system.config().layout;
+    const unsigned entry_bytes = layout.entry_bytes;
+    const std::size_t num_tenants = config.tenants.size();
+    sim::Rng master(config.seed);
+
+    // ---- pre-generate every class's stream ----
+    std::vector<std::vector<TenantRequest>> streams(num_tenants);
+    std::vector<std::vector<sim::Tick>> open_arrivals(num_tenants);
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        const TenantClass &tenant = config.tenants[t];
+        std::size_t budget =
+            tenantBudget(tenant, config.num_requests, num_tenants);
+        // Nested fork discipline: stream 0 of the tenant fork paces
+        // arrivals, stream j + 1 is request j's private draws.
+        sim::Rng tenant_master = master.fork(0x7e0000 + t);
+        sim::Rng arrivals = tenant_master.fork(0);
+        if (!tenant.closedLoop())
+            open_arrivals[t] =
+                generateShapedArrivals(tenant, budget, arrivals);
+
+        streams[t].resize(budget);
+        for (std::size_t j = 0; j < budget; ++j) {
+            TenantRequest &req = streams[t][j];
+            sim::Rng rng = tenant_master.fork(j + 1);
+            // Draw order is fixed (think gap, then content) so the
+            // stream is identical no matter when requests dispatch.
+            if (tenant.closedLoop())
+                req.think = static_cast<sim::Tick>(
+                    expDraw(rng) * static_cast<double>(tenant.think));
+            graph::LocalNodeId node = pickServedNode(graph, rng);
+            std::uint64_t degree = graph.degree(node);
+            sim::EdgeIndex row = graph.edgeOffset(node);
+            req.addrs.reserve(tenant.fanout);
+            for (unsigned k = 0; k < tenant.fanout; ++k)
+                req.addrs.push_back(
+                    layout.addrOf(row + rng.nextBounded(degree)));
+        }
+    }
+
+    ServingResult result;
+    result.tenants.resize(num_tenants);
+    std::size_t total_requests = 0;
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        result.tenants[t].name = config.tenants[t].name;
+        result.tenants[t].slo = config.tenants[t].slo;
+        result.tenants[t].requests = streams[t].size();
+        total_requests += streams[t].size();
+    }
+    result.requests = total_requests;
+    result.offered_qps = config.arrival_qps;
+
+    sim::EventQueue eq;
+    sim::Tick first_submit = ~sim::Tick{0};
+    sim::Tick last_completion = 0;
+    std::uint64_t accounted = 0;
+
+    // Submits request j of class t at eq.now(); the completion updates
+    // the aggregate and per-class tallies, and for closed-loop classes
+    // chains the client's next request.
+    std::function<void(std::size_t, std::size_t)> submitRequest =
+        [&](std::size_t t, std::size_t j) {
+            const TenantClass &tenant = config.tenants[t];
+            const TenantRequest &req = streams[t][j];
+            sim::Tick arrival = eq.now();
+            first_submit = std::min(first_submit, arrival);
+            sim::DispatchTag tag{
+                tenant.priority,
+                tenant.slo ? arrival + tenant.slo : sim::Tick{0}};
+            store->submitGather(
+                eq, req.addrs, entry_bytes,
+                [&, t, j, arrival](sim::Tick finish,
+                                   sim::IoStatus status) {
+                    const TenantClass &cls = config.tenants[t];
+                    TenantServingResult &tr = result.tenants[t];
+                    ++accounted;
+                    if (status == sim::IoStatus::Ok) {
+                        sim::Tick latency = finish - arrival;
+                        ++result.completed_ok;
+                        ++tr.completed_ok;
+                        if (cls.slo == 0 || latency <= cls.slo)
+                            ++tr.slo_met;
+                        double us = sim::toMicros(latency);
+                        result.latency_us.record(us);
+                        tr.latency_us.record(us);
+                    } else {
+                        ++tr.shed;
+                        if (status == sim::IoStatus::Timeout)
+                            ++result.shed_timeout;
+                        else if (status == sim::IoStatus::Shed)
+                            ++result.shed_admission;
+                        else
+                            ++result.shed_error;
+                    }
+                    last_completion =
+                        std::max(last_completion, finish);
+                    // Closed loop: the same client asks again after
+                    // thinking about the answer (answered or not).
+                    if (cls.closedLoop() &&
+                        j + cls.clients < streams[t].size()) {
+                        std::size_t next = j + cls.clients;
+                        eq.schedule(finish + streams[t][next].think,
+                                    [&, t, next] {
+                                        submitRequest(t, next);
+                                    });
+                    }
+                },
+                tag);
+        };
+
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        const TenantClass &tenant = config.tenants[t];
+        if (tenant.closedLoop()) {
+            // First wave: one request per client, staggered by each
+            // request's own think draw so clients do not arrive in
+            // lockstep at tick zero.
+            std::size_t wave =
+                std::min<std::size_t>(tenant.clients, streams[t].size());
+            for (std::size_t j = 0; j < wave; ++j)
+                eq.schedule(streams[t][j].think,
+                            [&, t, j] { submitRequest(t, j); });
+        } else {
+            for (std::size_t j = 0; j < streams[t].size(); ++j)
+                eq.schedule(open_arrivals[t][j],
+                            [&, t, j] { submitRequest(t, j); });
+        }
+    }
+    eq.run();
+
+    SS_ASSERT(accounted == total_requests,
+              "multi-tenant serving run dropped requests (",
+              accounted, " of ", total_requests, " accounted)");
+    result.makespan = last_completion - first_submit;
+    double seconds = sim::toSeconds(result.makespan);
+    result.achieved_qps =
+        seconds > 0 ? static_cast<double>(result.requests) / seconds
+                    : 0.0;
+    result.goodput_qps =
+        seconds > 0 ? static_cast<double>(result.completed_ok) / seconds
+                    : 0.0;
+    for (TenantServingResult &tr : result.tenants)
+        tr.goodput_qps =
+            seconds > 0
+                ? static_cast<double>(tr.completed_ok) / seconds
+                : 0.0;
+
+    const sim::StorageChannel &channel = store->ioChannel();
+    result.peak_outstanding = channel.peakOutstanding();
+    result.mean_queue_wait_us =
+        channel.queuedCount()
+            ? sim::toMicros(channel.totalQueueWait()) /
+                  static_cast<double>(channel.queuedCount())
+            : 0.0;
+    result.io_retries = channel.retries();
+    result.io_timeouts = channel.timeouts();
+    result.io_abandoned = channel.abandoned();
+    return result;
+}
+
 } // namespace
+
+double
+ServingResult::sloAttainment() const
+{
+    std::uint64_t offered = 0;
+    std::uint64_t met = 0;
+    for (const TenantServingResult &tr : tenants) {
+        if (tr.slo == 0)
+            continue;
+        offered += tr.requests;
+        met += tr.slo_met;
+    }
+    return offered ? static_cast<double>(met) /
+                         static_cast<double>(offered)
+                   : 1.0;
+}
 
 ServingResult
 runServingLoad(GnnSystem &system, const ServingConfig &config)
@@ -104,6 +377,9 @@ runServingLoad(GnnSystem &system, const ServingConfig &config)
                  "evaluates the host request path (pick a backend "
                  "whose caps list an edge store)");
     store->reset();
+
+    if (!config.tenants.empty())
+        return runTenantServingLoad(system, config, store);
 
     std::vector<ServingRequest> requests =
         generateRequests(system, config);

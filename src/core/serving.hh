@@ -15,36 +15,83 @@
  * this mode from the throughput-oriented sweep harnesses: under load,
  * the tail is the product.
  *
+ * With tenant classes configured (core/tenant.hh) the harness becomes
+ * a multi-tenant front end: each class contributes either an open-loop
+ * stream at a shaped offered rate (Poisson/fixed/diurnal/bursty/
+ * flash-crowd) or a closed-loop client population pacing itself off
+ * completions plus think time, and every request carries its class's
+ * priority/deadline DispatchTag into the channel — which is what makes
+ * SLO-aware dispatch and admission shedding measurable per tenant.
+ *
  * The whole run is a single-threaded, fully deterministic simulation:
- * request i draws its node and entries from fork(i) of the seed, so
- * results are bit-reproducible at any runner --workers count.
+ * request i draws its node and entries from fork(i) of the seed (class
+ * t's request j from nested forks keyed by (t, j)), so results are
+ * bit-reproducible at any runner --workers count.
  */
 
 #ifndef SMARTSAGE_CORE_SERVING_HH
 #define SMARTSAGE_CORE_SERVING_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "system.hh"
+#include "tenant.hh"
 
 namespace smartsage::core
 {
 
-/** Parameters of one open-loop serving run. */
+/** Parameters of one serving run. */
 struct ServingConfig
 {
     /** Offered arrival rate, requests per second (open loop). */
     double arrival_qps = 20000;
     /** Poisson (exponential gaps) vs fixed-rate metronome arrivals. */
     bool poisson = true;
-    /** Requests in the run. */
+    /** Requests in the run (total across tenant classes). */
     std::size_t num_requests = 512;
-    /** Sampled neighbor entries gathered per request. */
+    /** Sampled neighbor entries gathered per request (single-stream
+     *  runs; tenant classes carry their own fanout). */
     unsigned fanout = 10;
     /** Master seed; request i uses fork(i). */
     std::uint64_t seed = 0xba7c;
+
+    /**
+     * Tenant classes. Empty runs the classic homogeneous open loop
+     * (byte-identical to the pre-tenant harness); otherwise each class
+     * contributes its own stream — open loop at its shaped rate or
+     * closed loop over its client population — and requests carry the
+     * class's priority/deadline DispatchTag into the host I/O channel.
+     * A class with `requests == 0` receives an even share of
+     * num_requests.
+     */
+    std::vector<TenantClass> tenants;
+};
+
+/** Per-tenant outcome of a multi-tenant serving run. */
+struct TenantServingResult
+{
+    std::string name;
+    sim::Tick slo = 0; //!< the class SLO (0 = none), for aggregation
+    std::uint64_t requests = 0;
+    std::uint64_t completed_ok = 0;
+    /** Ok completions within the class SLO (every Ok completion when
+     *  the class has no SLO). */
+    std::uint64_t slo_met = 0;
+    std::uint64_t shed = 0; //!< admission + timeout + error sheds
+    sim::LatencyHistogram latency_us;
+    double goodput_qps = 0; //!< Ok completions over the run makespan
+
+    /** Fraction of this class's requests answered within its SLO. */
+    double
+    sloAttainment() const
+    {
+        return requests ? static_cast<double>(slo_met) /
+                              static_cast<double>(requests)
+                        : 1.0;
+    }
 };
 
 /** Outcome of one serving run. */
@@ -65,10 +112,15 @@ struct ServingResult
     std::uint64_t completed_ok = 0;   //!< requests that returned data
     std::uint64_t shed_error = 0;     //!< shed: retry budget exhausted
     std::uint64_t shed_timeout = 0;   //!< shed: deadline missed
+    std::uint64_t shed_admission = 0; //!< shed: admission control
     double goodput_qps = 0;           //!< Ok completions over makespan
     std::uint64_t io_retries = 0;     //!< channel retry count
     std::uint64_t io_timeouts = 0;    //!< channel timeout count
     std::uint64_t io_abandoned = 0;   //!< channel abandon count
+
+    // ---- multi-tenant runs only (empty otherwise) ----
+    /** Per-class outcomes, in ServingConfig::tenants order. */
+    std::vector<TenantServingResult> tenants;
 
     /** Fraction of the offered requests shed (not answered with data).
      *  Only Ok completions enter the latency histogram, so the
@@ -76,11 +128,18 @@ struct ServingResult
     double
     shedFraction() const
     {
-        std::uint64_t shed = shed_error + shed_timeout;
+        std::uint64_t shed = shed_error + shed_timeout + shed_admission;
         return requests ? static_cast<double>(shed) /
                               static_cast<double>(requests)
                         : 0.0;
     }
+
+    /**
+     * Aggregate SLO attainment over the classes that carry an SLO
+     * (shed and late requests count as misses); 1.0 when no class has
+     * one, so the metric reads "nothing violated".
+     */
+    double sloAttainment() const;
 
     double p50_us() const { return latency_us.percentile(50.0); }
     double p95_us() const { return latency_us.percentile(95.0); }
@@ -89,10 +148,12 @@ struct ServingResult
 };
 
 /**
- * Run one open-loop serving experiment against @p system's edge store.
- * The store is reset() first; backends without a host-side edge store
- * (in-storage ISP/FPGA producers) are fatal — serving evaluates the
- * host request path.
+ * Run one serving experiment against @p system's edge store: the
+ * classic homogeneous open loop when config.tenants is empty, the
+ * multi-tenant front end (closed-loop clients, shaped arrivals,
+ * tagged dispatch) otherwise. The store is reset() first; backends
+ * without a host-side edge store (in-storage ISP/FPGA producers) are
+ * fatal — serving evaluates the host request path.
  */
 ServingResult runServingLoad(GnnSystem &system,
                              const ServingConfig &config);

@@ -71,6 +71,7 @@ SystemConfig::validate() const
 
     sim::validate(fault);
     sim::validate(retry);
+    core::validate(tenants);
 
     if (use_saint) {
         if (saint_walk_length == 0)
@@ -138,6 +139,11 @@ GnnSystem::GnnSystem(const SystemConfig &config, const Workload &workload)
     config_.host.fault = config_.fault;
     config_.host.retry = config_.retry;
     config_.ssd.flash.fault = config_.fault;
+    // Scheduling and admission ride the same propagation: the host
+    // I/O channel is built from config_.host, so every backend's edge
+    // store picks up the dispatch policy without wiring of its own.
+    config_.host.sched = config_.sched;
+    config_.host.admit = config_.admit;
 
     // Substrate composition is entirely the backend's business.
     const StorageBackend &backend =

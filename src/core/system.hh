@@ -36,6 +36,7 @@
 #include "isp/isp_engine.hh"
 #include "pipeline/trainer.hh"
 #include "ssd/config.hh"
+#include "tenant.hh"
 
 namespace smartsage::host
 {
@@ -98,6 +99,23 @@ struct SystemConfig
      */
     sim::FaultPlan fault;
     sim::RetryPolicy retry;
+
+    /**
+     * Host I/O channel dispatch policy (`sched.*`) and admission
+     * control (`admit.*`), propagated into the host config like the
+     * fault plan above. Defaults (Fifo, admission off) keep the
+     * request path byte-identical to a build without scheduling.
+     */
+    sim::SchedConfig sched;
+    sim::AdmissionControl admit;
+
+    /**
+     * Serving tenant classes (`tenant.*` knobs). Empty means the
+     * serving harness runs its classic single-stream open loop; any
+     * classes switch it to the multi-tenant front end (core/tenant.hh,
+     * runServingLoad). Ignored by non-serving experiment kinds.
+     */
+    std::vector<TenantClass> tenants;
 
     /** GraphSAGE fanouts; ignored when use_saint is set. */
     std::vector<unsigned> fanouts = {25, 10};

@@ -1,0 +1,131 @@
+#include "tenant.hh"
+
+#include <charconv>
+
+#include "sim/logging.hh"
+
+namespace smartsage::core
+{
+
+const char *
+arrivalShapeName(ArrivalShape shape)
+{
+    switch (shape) {
+      case ArrivalShape::Poisson:
+        return "poisson";
+      case ArrivalShape::Fixed:
+        return "fixed";
+      case ArrivalShape::Diurnal:
+        return "diurnal";
+      case ArrivalShape::Bursty:
+        return "bursty";
+      case ArrivalShape::FlashCrowd:
+        return "flash-crowd";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Parse the leading "<i>." of an indexed tenant key. @return false
+ *  when @p key does not start with an integer index */
+bool
+parseIndex(std::string_view &key, std::size_t &index)
+{
+    const char *begin = key.data();
+    const char *end = begin + key.size();
+    auto [ptr, ec] = std::from_chars(begin, end, index);
+    if (ec != std::errc{} || ptr == begin || ptr == end || *ptr != '.')
+        return false;
+    key.remove_prefix(static_cast<std::size_t>(ptr - begin) + 1);
+    return true;
+}
+
+} // namespace
+
+bool
+applyKnob(std::vector<TenantClass> &tenants, std::string_view key,
+          double value)
+{
+    if (key == "count") {
+        if (value < 0 || value != static_cast<std::size_t>(value))
+            SS_FATAL("tenant.count must be a non-negative integer, got ",
+                     value);
+        tenants.resize(static_cast<std::size_t>(value));
+        for (std::size_t i = 0; i < tenants.size(); ++i)
+            tenants[i].name = "t" + std::to_string(i);
+        return true;
+    }
+
+    std::size_t index = 0;
+    if (!parseIndex(key, index))
+        return false;
+    if (index >= tenants.size()) {
+        // Grow on demand so "tenant.0.qps" works without a preceding
+        // "tenant.count" (knob order stays forgiving).
+        std::size_t old = tenants.size();
+        tenants.resize(index + 1);
+        for (std::size_t i = old; i < tenants.size(); ++i)
+            tenants[i].name = "t" + std::to_string(i);
+    }
+    TenantClass &t = tenants[index];
+
+    if (key == "clients")
+        t.clients = static_cast<unsigned>(value);
+    else if (key == "think_us")
+        t.think = sim::us(value);
+    else if (key == "qps")
+        t.arrival_qps = value;
+    else if (key == "shape") {
+        if (value < 0 || value > 4 ||
+            value != static_cast<std::uint8_t>(value))
+            SS_FATAL("tenant.", index, ".shape must be 0 (poisson), 1 "
+                     "(fixed), 2 (diurnal), 3 (bursty), or 4 "
+                     "(flash-crowd), got ", value);
+        t.shape =
+            static_cast<ArrivalShape>(static_cast<std::uint8_t>(value));
+    } else if (key == "fanout")
+        t.fanout = static_cast<unsigned>(value);
+    else if (key == "slo_us")
+        t.slo = sim::us(value);
+    else if (key == "priority")
+        t.priority = static_cast<int>(value);
+    else if (key == "requests")
+        t.requests = static_cast<std::size_t>(value);
+    else if (key == "shape_period_us")
+        t.shape_period = sim::us(value);
+    else if (key == "shape_mag")
+        t.shape_mag = value;
+    else
+        return false;
+    return true;
+}
+
+void
+validate(const std::vector<TenantClass> &tenants)
+{
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantClass &t = tenants[i];
+        if (!t.closedLoop() && !(t.arrival_qps > 0))
+            SS_FATAL("tenant ", i, " ('", t.name, "'): open-loop "
+                     "classes need a positive arrival_qps, got ",
+                     t.arrival_qps);
+        if (t.fanout == 0)
+            SS_FATAL("tenant ", i, " ('", t.name,
+                     "'): fanout must be >= 1");
+        if (!(t.shape_mag >= 1.0))
+            SS_FATAL("tenant ", i, " ('", t.name, "'): shape_mag is a "
+                     "peak-to-baseline multiplier and must be >= 1, "
+                     "got ", t.shape_mag);
+        bool shaped = t.shape == ArrivalShape::Diurnal ||
+                      t.shape == ArrivalShape::Bursty ||
+                      t.shape == ArrivalShape::FlashCrowd;
+        if (shaped && t.shape_period == 0)
+            SS_FATAL("tenant ", i, " ('", t.name, "'): shape '",
+                     arrivalShapeName(t.shape),
+                     "' needs a positive shape_period");
+    }
+}
+
+} // namespace smartsage::core

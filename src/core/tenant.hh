@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Multi-tenant serving classes and arrival shapes.
+ *
+ * A TenantClass describes one arrival population sharing the serving
+ * front end: either an open-loop stream at a shaped offered rate, or a
+ * closed-loop population of clients that each wait for their previous
+ * answer plus a think time before asking again. Classes differ in
+ * fanout (request weight), latency SLO, and scheduler priority, which
+ * is what makes head-of-line blocking and SLO-aware dispatch
+ * observable: a batch tenant's heavy gathers compete with an
+ * interactive tenant's small ones on the same host I/O channel.
+ *
+ * Everything here is deterministic scenario input: tenants are
+ * configured through the `tenant.*` knob namespace (tenant.count plus
+ * indexed tenant.<i>.<field> keys), and every random draw the serving
+ * harness makes on a tenant's behalf comes from RNG forks keyed by
+ * (tenant index, request index) — so results are bit-identical at any
+ * experiment-runner worker count.
+ */
+
+#ifndef SMARTSAGE_CORE_TENANT_HH
+#define SMARTSAGE_CORE_TENANT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace smartsage::core
+{
+
+/**
+ * Arrival process of an open-loop tenant. Poisson and Fixed are the
+ * classic memoryless / metronome streams; the other three modulate
+ * the offered rate deterministically over simulated time:
+ *
+ *  - Diurnal: sinusoidal rate swing, qps * mag^sin(2*pi*t / period),
+ *    i.e. the rate sweeps between qps/mag and qps*mag once per period.
+ *  - Bursty: two-state Markov-modulated Poisson process; the burst
+ *    state offers qps * mag, state dwell times are exponential with
+ *    mean `period`, and state flips draw from the tenant's own
+ *    arrival stream (deterministic per seed).
+ *  - FlashCrowd: deterministic replay of a crowd spike — baseline qps
+ *    until t = period, then qps * mag for period/2, then baseline.
+ */
+enum class ArrivalShape : std::uint8_t
+{
+    Poisson = 0,
+    Fixed,
+    Diurnal,
+    Bursty,
+    FlashCrowd,
+};
+
+/** Human-readable shape name (tables, docs). */
+const char *arrivalShapeName(ArrivalShape shape);
+
+/** One arrival class sharing the serving front end. */
+struct TenantClass
+{
+    /** Display name; the knob layer assigns "t<index>". */
+    std::string name = "tenant";
+
+    /**
+     * Closed-loop client population. 0 means open loop (arrivals are
+     * generated at the offered rate regardless of completions); N > 0
+     * means N clients that each submit, wait for the answer, think,
+     * and submit again — so offered load self-throttles under
+     * saturation, like real user sessions.
+     */
+    unsigned clients = 0;
+    /** Mean think time between a client's answer and its next request
+     *  (closed loop only; exponential, per-request RNG fork). */
+    sim::Tick think = sim::us(500);
+
+    /** Offered arrival rate, requests/s (open loop only). */
+    double arrival_qps = 10000;
+    /** Arrival process (open loop only; closed loops pace themselves). */
+    ArrivalShape shape = ArrivalShape::Poisson;
+
+    /** Neighbor entries gathered per request (request weight). */
+    unsigned fanout = 10;
+    /** Per-request latency SLO; 0 means the class has no SLO. Carried
+     *  into the channel DispatchTag as an absolute deadline. */
+    sim::Tick slo = 0;
+    /** Channel dispatch priority (DispatchPolicy::Priority). */
+    int priority = 0;
+    /** Requests this class contributes to the run; 0 splits the cell's
+     *  request budget evenly across classes. */
+    std::size_t requests = 0;
+
+    /** Shape timescale: diurnal period, bursty mean state dwell, or
+     *  flash-crowd onset time. */
+    sim::Tick shape_period = sim::ms(5);
+    /** Shape magnitude (peak-to-baseline rate multiplier, >= 1). */
+    double shape_mag = 4.0;
+
+    /** This class paces itself off completions. */
+    bool closedLoop() const { return clients > 0; }
+};
+
+/**
+ * Apply one `tenant.`-namespace knob (namespace already stripped):
+ * `count` resizes the class list, `<i>.<field>` sets one field of
+ * class i (growing the list as needed, so knob order is forgiving).
+ * Fields: clients, think_us, qps, shape, fanout, slo_us, priority,
+ * requests, shape_period_us, shape_mag. Fatal on a malformed index or
+ * an out-of-range shape id. @return false if the key is unknown
+ */
+bool applyKnob(std::vector<TenantClass> &tenants, std::string_view key,
+               double value);
+
+/**
+ * Fatal (with a clear message) on impossible tenant settings: an
+ * open-loop class with a non-positive rate, a zero fanout, a shape
+ * magnitude below 1, or a zero shape period on a rate-modulated
+ * stream (Diurnal/Bursty/FlashCrowd).
+ */
+void validate(const std::vector<TenantClass> &tenants);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_TENANT_HH

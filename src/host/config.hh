@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "sim/fault.hh"
+#include "sim/io.hh"
 #include "sim/types.hh"
 
 namespace smartsage::host
@@ -84,6 +85,14 @@ struct HostConfig
     sim::FaultPlan fault;
     /** Retry/timeout policy for the host I/O channel. */
     sim::RetryPolicy retry;
+
+    // --- Request scheduling / admission (defaults inert) ---
+    /** Dispatch policy of the host I/O channel (`sched.*` knobs);
+     *  Fifo reproduces the historical arrival-order channel. */
+    sim::SchedConfig sched;
+    /** Admission control at the channel submit edge (`admit.*`);
+     *  all-off by default so nothing is ever shed. */
+    sim::AdmissionControl admit;
 };
 
 /**

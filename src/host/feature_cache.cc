@@ -396,7 +396,8 @@ FeatureCacheStore::completeHit(sim::EventQueue &eq, sim::IoCompletion done)
 
 void
 FeatureCacheStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
-                              std::uint64_t bytes, sim::IoCompletion done)
+                              std::uint64_t bytes, sim::IoCompletion done,
+                              const sim::DispatchTag &tag)
 {
     std::vector<std::uint64_t> missing;
     classifyRange(addr, bytes, missing);
@@ -416,14 +417,16 @@ FeatureCacheStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
                 stats_.failed_fills += missing.size();
             if (done)
                 done(finish, status);
-        });
+        },
+        tag);
 }
 
 void
 FeatureCacheStore::submitGather(sim::EventQueue &eq,
                                 const std::vector<std::uint64_t> &addrs,
                                 unsigned entry_bytes,
-                                sim::IoCompletion done)
+                                sim::IoCompletion done,
+                                const sim::DispatchTag &tag)
 {
     if (addrs.empty()) {
         if (done)
@@ -451,7 +454,8 @@ FeatureCacheStore::submitGather(sim::EventQueue &eq,
                 stats_.failed_fills += missing.size();
             if (done)
                 done(finish, status);
-        });
+        },
+        tag);
 }
 
 sim::Tick

@@ -162,13 +162,15 @@ class FeatureCacheStore : public EdgeStore
     const std::string &name() const override { return name_; }
 
     /** All-lines-resident reads complete at `hit` ticks, bypassing the
-     *  host I/O channel; any miss forwards the request unchanged. */
+     *  host I/O channel; any miss forwards the request (and its
+     *  dispatch tag) unchanged. */
     void submitRead(sim::EventQueue &eq, std::uint64_t addr,
-                    std::uint64_t bytes, sim::IoCompletion done) override;
+                    std::uint64_t bytes, sim::IoCompletion done,
+                    const sim::DispatchTag &tag = {}) override;
     void submitGather(sim::EventQueue &eq,
                       const std::vector<std::uint64_t> &addrs,
-                      unsigned entry_bytes,
-                      sim::IoCompletion done) override;
+                      unsigned entry_bytes, sim::IoCompletion done,
+                      const sim::DispatchTag &tag = {}) override;
 
     /** Misses are the only channel users: expose the inner channel so
      *  serving stats keep meaning "requests that hit storage". */

@@ -8,10 +8,14 @@ namespace smartsage::host
 {
 
 EdgeStore::EdgeStore(unsigned queue_depth, const sim::FaultPlan &fault,
-                     const sim::RetryPolicy &retry)
+                     const sim::RetryPolicy &retry,
+                     const sim::SchedConfig &sched,
+                     const sim::AdmissionControl &admit)
     : channel_("host-io", queue_depth)
 {
     channel_.setRetryPolicy(retry);
+    channel_.setDispatchPolicy(sched.policy);
+    channel_.setAdmission(admit);
     if (fault.injectsHostFaults())
         injector_ = std::make_unique<sim::FaultInjector>(fault, "host-io");
 }
@@ -29,7 +33,8 @@ EdgeStore::injectFaults(sim::Tick start, sim::Tick finish)
 
 void
 EdgeStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
-                      std::uint64_t bytes, sim::IoCompletion done)
+                      std::uint64_t bytes, sim::IoCompletion done,
+                      const sim::DispatchTag &tag)
 {
     // A retried attempt re-runs the full service: cache state mutated
     // by the failed attempt stays mutated, exactly as a real runtime
@@ -39,13 +44,14 @@ EdgeStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
         [this, addr, bytes](sim::Tick start, unsigned) {
             return injectFaults(start, serviceRead(start, addr, bytes));
         },
-        std::move(done));
+        std::move(done), tag);
 }
 
 void
 EdgeStore::submitGather(sim::EventQueue &eq,
                         const std::vector<std::uint64_t> &addrs,
-                        unsigned entry_bytes, sim::IoCompletion done)
+                        unsigned entry_bytes, sim::IoCompletion done,
+                        const sim::DispatchTag &tag)
 {
     if (addrs.empty()) {
         if (done)
@@ -58,7 +64,7 @@ EdgeStore::submitGather(sim::EventQueue &eq,
             return injectFaults(start,
                                 serviceGather(start, addrs, entry_bytes));
         },
-        std::move(done));
+        std::move(done), tag);
 }
 
 sim::Tick
@@ -108,7 +114,8 @@ EdgeStore::reset()
 }
 
 DramEdgeStore::DramEdgeStore(const HostConfig &config)
-    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry,
+                config.sched, config.admit),
       llc_(config)
 {
 }
@@ -128,7 +135,8 @@ DramEdgeStore::resetStore()
 
 MmapEdgeStore::MmapEdgeStore(const HostConfig &config,
                              ssd::SsdDevice &ssd)
-    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry,
+                config.sched, config.admit),
       config_(config), ssd_(ssd),
       cache_(config.page_cache_bytes, config.os_page_bytes,
              config.page_cache_ways)
@@ -170,7 +178,8 @@ MmapEdgeStore::resetStore()
 
 DirectIoEdgeStore::DirectIoEdgeStore(const HostConfig &config,
                                      ssd::SsdDevice &ssd)
-    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry,
+                config.sched, config.admit),
       config_(config), ssd_(ssd),
       cache_(config.scratchpad_bytes, config.os_page_bytes,
              config.scratchpad_ways)
@@ -260,7 +269,8 @@ DirectIoEdgeStore::resetStore()
 }
 
 PmemEdgeStore::PmemEdgeStore(const HostConfig &config)
-    : EdgeStore(config.io_queue_depth, config.fault, config.retry),
+    : EdgeStore(config.io_queue_depth, config.fault, config.retry,
+                config.sched, config.admit),
       config_(config)
 {
 }

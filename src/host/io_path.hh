@@ -48,10 +48,16 @@ class EdgeStore
      * @param fault host-I/O fault schedule; an all-zero plan builds no
      *        injector, leaving the request path untouched
      * @param retry retry/timeout policy installed on the channel
+     * @param sched dispatch-policy knob block; the Fifo default keeps
+     *        the historical arrival-order channel
+     * @param admit admission control; the all-off default never
+     *        evaluates the admission check
      */
     explicit EdgeStore(unsigned queue_depth,
                        const sim::FaultPlan &fault = {},
-                       const sim::RetryPolicy &retry = {});
+                       const sim::RetryPolicy &retry = {},
+                       const sim::SchedConfig &sched = {},
+                       const sim::AdmissionControl &admit = {});
     virtual ~EdgeStore() = default;
 
     // ------------------------- async port -------------------------
@@ -61,20 +67,24 @@ class EdgeStore
      * @p done fires at the tick the data is usable by the CPU.
      * Virtual so decorators (host/feature_cache.hh) can intercept the
      * port; the blocking adapters below route through the virtual
-     * call, so a decorator covers both access styles at once.
+     * call, so a decorator covers both access styles at once. @p tag
+     * carries the request's scheduling metadata (priority, deadline);
+     * the default tag reproduces the untagged channel exactly.
      */
     virtual void submitRead(sim::EventQueue &eq, std::uint64_t addr,
-                            std::uint64_t bytes, sim::IoCompletion done);
+                            std::uint64_t bytes, sim::IoCompletion done,
+                            const sim::DispatchTag &tag = {});
 
     /**
      * Submit a gather of one node's sampled entries (@p addrs byte
      * addresses, @p entry_bytes each) at eq.now(). @p addrs must stay
      * alive until completion. An empty gather completes immediately
-     * without occupying a queue slot.
+     * without occupying a queue slot (and is never shed).
      */
     virtual void submitGather(sim::EventQueue &eq,
                               const std::vector<std::uint64_t> &addrs,
-                              unsigned entry_bytes, sim::IoCompletion done);
+                              unsigned entry_bytes, sim::IoCompletion done,
+                              const sim::DispatchTag &tag = {});
 
     // --------------------- blocking adapters ----------------------
 

@@ -1,6 +1,7 @@
 #include "io.hh"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "logging.hh"
@@ -18,8 +19,53 @@ ioStatusName(IoStatus status)
         return "transient-error";
       case IoStatus::Timeout:
         return "timeout";
+      case IoStatus::Shed:
+        return "shed";
     }
     return "unknown";
+}
+
+const char *
+dispatchPolicyName(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::Fifo:
+        return "fifo";
+      case DispatchPolicy::Priority:
+        return "priority";
+      case DispatchPolicy::Deadline:
+        return "edf";
+    }
+    return "unknown";
+}
+
+bool
+applyKnob(SchedConfig &config, std::string_view key, double value)
+{
+    if (key == "policy") {
+        if (value != 0.0 && value != 1.0 && value != 2.0)
+            SS_FATAL("sched.policy must be 0 (fifo), 1 (priority), or "
+                     "2 (edf), got ", value);
+        config.policy = static_cast<DispatchPolicy>(
+            static_cast<std::uint8_t>(value));
+        return true;
+    }
+    return false;
+}
+
+bool
+applyKnob(AdmissionControl &admit, std::string_view key, double value)
+{
+    if (key == "max_queue") {
+        if (value < 0)
+            SS_FATAL("admit.max_queue must be >= 0, got ", value);
+        admit.max_queue = static_cast<std::size_t>(value);
+    } else if (key == "slo_aware") {
+        admit.slo_aware = value != 0;
+    } else {
+        return false;
+    }
+    return true;
 }
 
 StorageChannel::StorageChannel(std::string name, unsigned depth)
@@ -37,7 +83,8 @@ StorageChannel::setRetryPolicy(const RetryPolicy &policy)
 }
 
 void
-StorageChannel::submit(EventQueue &eq, Service service, IoCompletion done)
+StorageChannel::submit(EventQueue &eq, Service service, IoCompletion done,
+                       const DispatchTag &tag)
 {
     // Wrap the synchronous service as a one-event staged service: the
     // finish tick is known at dispatch; the slot is released (and the
@@ -53,12 +100,12 @@ StorageChannel::submit(EventQueue &eq, Service service, IoCompletion done)
                 complete(finish, IoStatus::Ok);
             });
         },
-        std::move(done));
+        std::move(done), tag);
 }
 
 void
 StorageChannel::submitFallible(EventQueue &eq, FallibleService service,
-                               IoCompletion done)
+                               IoCompletion done, const DispatchTag &tag)
 {
     // Fork the jitter stream by submission index *before* submitStaged
     // bumps the counter; forking never advances the master, so the
@@ -72,7 +119,7 @@ StorageChannel::submitFallible(EventQueue &eq, FallibleService service,
         [this, state](EventQueue &q, Tick start, IoCompletion complete) {
             runAttempt(q, start, 1, state, std::move(complete));
         },
-        std::move(done));
+        std::move(done), tag);
 }
 
 Tick
@@ -150,14 +197,65 @@ StorageChannel::runAttempt(EventQueue &eq, Tick start, unsigned attempt,
     });
 }
 
+bool
+StorageChannel::shouldShed(const EventQueue &eq,
+                           const DispatchTag &tag) const
+{
+    if (admit_.max_queue != 0 && pending_.size() >= admit_.max_queue)
+        return true;
+    if (admit_.slo_aware && tag.deadline != 0) {
+        if (eq.now() > tag.deadline)
+            return true;
+        if (completed_ == 0)
+            return false; // no service history to estimate from yet
+        // Deterministic completion estimate: the work ahead of this
+        // request drains in waves of `depth_` requests, each wave one
+        // mean service time long. Under Fifo the whole queue is ahead;
+        // under Priority/Deadline only the pending requests the
+        // dispatch comparator would pick first count, so a tagged
+        // request is not shed for a backlog it will jump past.
+        std::size_t ahead = pending_.size();
+        if (policy_ == DispatchPolicy::Priority) {
+            ahead = 0;
+            for (const Pending &p : pending_)
+                if (p.tag.priority >= tag.priority)
+                    ++ahead;
+        } else if (policy_ == DispatchPolicy::Deadline) {
+            ahead = 0;
+            for (const Pending &p : pending_)
+                if (p.tag.deadline != 0 && p.tag.deadline <= tag.deadline)
+                    ++ahead;
+        }
+        Tick mean_service = total_service_ / completed_;
+        Tick waves = static_cast<Tick>(ahead / depth_ + 1);
+        Tick estimated_finish =
+            eq.now() + mean_service * waves + mean_service;
+        return estimated_finish > tag.deadline;
+    }
+    return false;
+}
+
 void
 StorageChannel::submitStaged(EventQueue &eq, StagedService service,
-                             IoCompletion done)
+                             IoCompletion done, const DispatchTag &tag)
 {
     ++submitted_;
+    // Admission control runs only with every slot busy and a rule
+    // enabled, so the default (admission-off) submit path is untouched.
+    if (in_flight_ >= depth_ && admit_.enabled() && shouldShed(eq, tag)) {
+        ++shed_admission_;
+        Tick now = eq.now();
+        if (done) {
+            eq.schedule(now, [done = std::move(done), now] {
+                done(now, IoStatus::Shed);
+            });
+        }
+        return;
+    }
     peak_outstanding_ = std::max<std::uint64_t>(
         peak_outstanding_, in_flight_ + pending_.size() + 1);
-    Pending p{std::move(service), std::move(done), eq.now()};
+    Pending p{std::move(service), std::move(done), eq.now(), tag,
+              submitted_};
     if (in_flight_ < depth_) {
         dispatch(eq, std::move(p), /*queued=*/false);
     } else {
@@ -185,25 +283,59 @@ StorageChannel::dispatch(EventQueue &eq, Pending p, bool queued)
     // pulls the next pending request forward at the completion tick.
     auto service = std::move(p.service);
     service(eq, start,
-            [this, &eq, done = std::move(p.done)](Tick finish,
-                                                  IoStatus status) {
-                onComplete(eq, finish);
+            [this, &eq, start, done = std::move(p.done)](Tick finish,
+                                                         IoStatus status) {
+                onComplete(eq, finish, start);
                 if (done)
                     done(finish, status);
             });
 }
 
+std::size_t
+StorageChannel::pickNext() const
+{
+    // Effective deadline: 0 means "none", which must sort last under
+    // Deadline and break priority ties last under Priority.
+    auto effective = [](Tick deadline) {
+        return deadline == 0 ? ~Tick{0} : deadline;
+    };
+    // Strict "is a better pick": iterating front-to-back and replacing
+    // only on a strict win makes the earliest arrival (lowest seq) the
+    // final tie-break for free.
+    auto better = [&](const Pending &a, const Pending &b) {
+        if (policy_ == DispatchPolicy::Priority) {
+            if (a.tag.priority != b.tag.priority)
+                return a.tag.priority > b.tag.priority;
+            return effective(a.tag.deadline) < effective(b.tag.deadline);
+        }
+        if (effective(a.tag.deadline) != effective(b.tag.deadline))
+            return effective(a.tag.deadline) < effective(b.tag.deadline);
+        return a.tag.priority > b.tag.priority;
+    };
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending_.size(); ++i)
+        if (better(pending_[i], pending_[best]))
+            best = i;
+    return best;
+}
+
 void
-StorageChannel::onComplete(EventQueue &eq, Tick finish)
+StorageChannel::onComplete(EventQueue &eq, Tick finish, Tick start)
 {
     SS_ASSERT(in_flight_ > 0, "channel '", name_,
               "' completed with nothing in flight");
-    (void)finish;
     --in_flight_;
     ++completed_;
+    total_service_ += finish - start;
     if (!pending_.empty() && in_flight_ < depth_) {
-        Pending next = std::move(pending_.front());
-        pending_.pop_front();
+        // Fifo keeps the exact historical pop_front; the other
+        // policies select by tag (and degenerate to the same choice
+        // when every tag is default).
+        std::size_t idx =
+            policy_ == DispatchPolicy::Fifo ? 0 : pickNext();
+        Pending next = std::move(pending_[idx]);
+        pending_.erase(pending_.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
         dispatch(eq, std::move(next), /*queued=*/true);
     }
 }
@@ -222,6 +354,8 @@ StorageChannel::reset()
     retries_ = 0;
     timeouts_ = 0;
     abandoned_ = 0;
+    shed_admission_ = 0;
+    total_service_ = 0;
 }
 
 Tick

@@ -40,17 +40,99 @@ namespace smartsage::sim
 /**
  * How a request ended. Ok requests carry valid data; TransientError
  * means every service attempt failed (retries exhausted); Timeout
- * means the request missed its end-to-end deadline.
+ * means the request missed its end-to-end deadline; Shed means
+ * admission control rejected the request before it ever queued.
  */
 enum class IoStatus : std::uint8_t
 {
     Ok = 0,
     TransientError,
     Timeout,
+    Shed,
 };
 
 /** Human-readable status name (stats rows, fatal messages). */
 const char *ioStatusName(IoStatus status);
+
+/**
+ * Which pending request a StorageChannel pulls forward when a service
+ * slot frees. Fifo is the historical arrival-order behavior and the
+ * default; with every request carrying a default DispatchTag the other
+ * policies degenerate to Fifo's selection, so the policy knob alone
+ * never perturbs an untagged workload.
+ */
+enum class DispatchPolicy : std::uint8_t
+{
+    Fifo = 0,     //!< strict arrival order
+    Priority,     //!< highest priority; ties by deadline, then arrival
+    Deadline,     //!< earliest deadline first; ties by priority, then arrival
+};
+
+/** Human-readable policy name (docs, tables). */
+const char *dispatchPolicyName(DispatchPolicy policy);
+
+/**
+ * Per-request scheduling metadata carried through a channel's pending
+ * queue. The default tag (priority 0, no deadline) is what every
+ * legacy submission carries, so untagged traffic is indistinguishable
+ * from the pre-policy channel.
+ */
+struct DispatchTag
+{
+    /** Larger dispatches first under DispatchPolicy::Priority. */
+    int priority = 0;
+    /** Absolute completion deadline in ticks; 0 means none. Used by
+     *  DispatchPolicy::Deadline and by SLO-aware admission. */
+    Tick deadline = 0;
+};
+
+/** Scheduling policy knob block (`sched.*` namespace). */
+struct SchedConfig
+{
+    DispatchPolicy policy = DispatchPolicy::Fifo;
+};
+
+/**
+ * Admission control at a channel's submit edge (`admit.*` namespace).
+ * Both knobs default off, in which case the admission check is never
+ * evaluated and the submit path is byte-identical to the unguarded
+ * channel.
+ */
+struct AdmissionControl
+{
+    /** Pending-queue bound; a submission arriving with this many
+     *  requests already waiting is shed. 0 disables the bound. */
+    std::size_t max_queue = 0;
+    /**
+     * Shed deadline-carrying requests that cannot plausibly meet their
+     * deadline: the channel estimates this request's completion tick
+     * from the mean service time of completed requests and the current
+     * queue length, and shed when the estimate lands past the
+     * deadline. Purely deterministic (no RNG draw).
+     */
+    bool slo_aware = false;
+
+    /** Any admission rule active. */
+    bool
+    enabled() const
+    {
+        return max_queue != 0 || slo_aware;
+    }
+};
+
+/**
+ * Apply one `sched.`-namespace knob (namespace already stripped).
+ * Fatal on an out-of-range policy id. @return false if the key is
+ * unknown
+ */
+bool applyKnob(SchedConfig &config, std::string_view key, double value);
+
+/**
+ * Apply one `admit.`-namespace knob (namespace already stripped).
+ * @return false if the key is unknown
+ */
+bool applyKnob(AdmissionControl &admit, std::string_view key,
+               double value);
 
 /** Completion callback: invoked at the request's finish tick. */
 using IoCompletion = std::function<void(Tick finish, IoStatus status)>;
@@ -78,10 +160,14 @@ struct IoRequest
 };
 
 /**
- * A bounded FIFO service station.
+ * A bounded service station (FIFO by default).
  *
  * At most `depth` requests are in service at once; excess submissions
- * wait in arrival order. Service itself is expressed as a callback so
+ * wait in arrival order and are pulled forward by the channel's
+ * DispatchPolicy when a slot frees (Fifo reproduces strict arrival
+ * order; Priority and Deadline reorder by DispatchTag). An optional
+ * AdmissionControl sheds submissions at the submit edge before they
+ * queue. Service itself is expressed as a callback so
  * any existing timing math (busy-until servers, links, nested blocking
  * calls) can stand in as the station's service process:
  *
@@ -116,12 +202,24 @@ class StorageChannel
     void setRetryPolicy(const RetryPolicy &policy);
     const RetryPolicy &retryPolicy() const { return retry_; }
 
-    /** Submit a synchronous-service request at eq.now(). */
-    void submit(EventQueue &eq, Service service, IoCompletion done);
+    /** Select which pending request dispatches when a slot frees.
+     *  Fifo (the default) reproduces the historical arrival order. */
+    void setDispatchPolicy(DispatchPolicy policy) { policy_ = policy; }
+    DispatchPolicy dispatchPolicy() const { return policy_; }
+
+    /** Install admission control at the submit edge; the default
+     *  (all-off) control never evaluates the admission check. */
+    void setAdmission(const AdmissionControl &admit) { admit_ = admit; }
+    const AdmissionControl &admission() const { return admit_; }
+
+    /** Submit a synchronous-service request at eq.now(). @p tag
+     *  carries the scheduling metadata (default: untagged/FIFO). */
+    void submit(EventQueue &eq, Service service, IoCompletion done,
+                const DispatchTag &tag = {});
 
     /** Submit a staged (self-scheduling) request at eq.now(). */
     void submitStaged(EventQueue &eq, StagedService service,
-                      IoCompletion done);
+                      IoCompletion done, const DispatchTag &tag = {});
 
     /**
      * Submit a request whose service attempts may fail. The channel
@@ -129,10 +227,13 @@ class StorageChannel
      * per-request RNG fork) until an attempt succeeds, the policy's
      * attempt budget is exhausted (TransientError), or the end-to-end
      * deadline passes (Timeout). The slot is held across retries — a
-     * retrying command still occupies its queue entry.
+     * retrying command still occupies its queue entry. A deadline in
+     * @p tag steers Deadline dispatch and SLO-aware admission; it does
+     * not time the request out (that stays the RetryPolicy's business),
+     * so a late request is still answered and its latency recorded.
      */
     void submitFallible(EventQueue &eq, FallibleService service,
-                        IoCompletion done);
+                        IoCompletion done, const DispatchTag &tag = {});
 
     /** No request in service and none pending. */
     bool
@@ -172,6 +273,8 @@ class StorageChannel
     std::uint64_t timeouts() const { return timeouts_; }
     /** Requests abandoned with the attempt budget exhausted. */
     std::uint64_t abandoned() const { return abandoned_; }
+    /** Requests shed by admission control before queueing. */
+    std::uint64_t shedAdmission() const { return shed_admission_; }
 
     const std::string &name() const { return name_; }
 
@@ -185,6 +288,8 @@ class StorageChannel
         StagedService service;
         IoCompletion done;
         Tick submit;
+        DispatchTag tag;
+        std::uint64_t seq = 0; //!< arrival order (FIFO tie-break)
     };
 
     /** Mutable per-request retry bookkeeping. */
@@ -197,7 +302,16 @@ class StorageChannel
 
     /** @param queued whether @p p waited in the pending queue */
     void dispatch(EventQueue &eq, Pending p, bool queued);
-    void onComplete(EventQueue &eq, Tick finish);
+    /** @param start tick the completed request began service */
+    void onComplete(EventQueue &eq, Tick finish, Tick start);
+
+    /** Admission verdict for @p tag with every slot busy. Only called
+     *  when admission is enabled, so the default path never pays it. */
+    bool shouldShed(const EventQueue &eq, const DispatchTag &tag) const;
+
+    /** Index into pending_ of the request the policy dispatches next.
+     *  @pre !pending_.empty() */
+    std::size_t pickNext() const;
 
     /** Run attempt @p attempt of a fallible request at @p start. */
     void runAttempt(EventQueue &eq, Tick start, unsigned attempt,
@@ -212,6 +326,8 @@ class StorageChannel
     unsigned in_flight_ = 0;
     std::deque<Pending> pending_;
     RetryPolicy retry_;
+    DispatchPolicy policy_ = DispatchPolicy::Fifo;
+    AdmissionControl admit_;
     Rng jitter_master_{0x7e77151eedULL}; //!< forked per request
 
     std::uint64_t submitted_ = 0;
@@ -223,6 +339,8 @@ class StorageChannel
     std::uint64_t retries_ = 0;
     std::uint64_t timeouts_ = 0;
     std::uint64_t abandoned_ = 0;
+    std::uint64_t shed_admission_ = 0;
+    Tick total_service_ = 0; //!< sum of per-dispatch service intervals
 };
 
 /**

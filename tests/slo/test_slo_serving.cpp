@@ -1,0 +1,217 @@
+/** @file Multi-tenant SLO serving tests (ctest label `slo`): the
+ *  closed-loop/tagged serving front end (core/serving.hh +
+ *  core/tenant.hh) under an oversubscribed two-tenant mix, the
+ *  slo-space scenario family, and determinism of both. The operating
+ *  point mirrors the slo-space grid: an interactive tenant (small
+ *  fanout, 2 ms SLO, high priority) sharing a narrow host I/O channel
+ *  with a batch tenant offering ~20x the request volume at 4x the
+ *  request weight. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/backend.hh"
+#include "core/experiment.hh"
+#include "core/scenario.hh"
+#include "core/serving.hh"
+#include "core/system.hh"
+#include "core/tenant.hh"
+
+using namespace smartsage;
+using namespace smartsage::core;
+
+namespace
+{
+
+const Workload &
+smallWorkload()
+{
+    static Workload wl =
+        Workload::make(graph::DatasetId::Amazon, false);
+    return wl;
+}
+
+/** The slo-space two-tenant overload mix: interactive vs batch. */
+std::vector<TenantClass>
+mixedTenants()
+{
+    TenantClass interactive;
+    interactive.name = "interactive";
+    interactive.arrival_qps = 10000;
+    interactive.fanout = 4;
+    interactive.slo = sim::us(2000);
+    interactive.priority = 10;
+    interactive.requests = 64;
+
+    TenantClass batch;
+    batch.name = "batch";
+    batch.arrival_qps = 200000;
+    batch.fanout = 16;
+    batch.requests = 1280;
+    return {interactive, batch};
+}
+
+/** Overloadable system: flash-backed mmap path, narrow host queue. */
+SystemConfig
+sloSystem(bool slo_aware_edf)
+{
+    SystemConfig sc;
+    sc.backend = "ssd-mmap";
+    sc.fanouts = {6, 3};
+    sc.host.io_queue_depth = 8;
+    if (slo_aware_edf) {
+        sc.sched.policy = sim::DispatchPolicy::Deadline;
+        sc.admit.slo_aware = true;
+    }
+    return sc;
+}
+
+ServingConfig
+tenantConfig()
+{
+    ServingConfig cfg;
+    cfg.seed = 0x510a11;
+    cfg.tenants = mixedTenants();
+    return cfg;
+}
+
+ServingResult
+runMix(bool slo_aware_edf)
+{
+    GnnSystem system(sloSystem(slo_aware_edf), smallWorkload());
+    return runServingLoad(system, tenantConfig());
+}
+
+} // namespace
+
+TEST(SloServing, PerTenantAccountingCoversEveryRequest)
+{
+    ServingResult r = runMix(false);
+    ASSERT_EQ(r.tenants.size(), 2u);
+    EXPECT_EQ(r.tenants[0].name, "interactive");
+    EXPECT_EQ(r.tenants[0].requests, 64u);
+    EXPECT_EQ(r.tenants[1].name, "batch");
+    EXPECT_EQ(r.tenants[1].requests, 1280u);
+    EXPECT_EQ(r.requests, 1344u);
+
+    std::uint64_t accounted = r.completed_ok + r.shed_error +
+                              r.shed_timeout + r.shed_admission;
+    EXPECT_EQ(accounted, r.requests);
+    for (const TenantServingResult &t : r.tenants)
+        EXPECT_EQ(t.completed_ok + t.shed, t.requests) << t.name;
+    // The batch class has no SLO, so aggregate attainment is the
+    // interactive class's attainment exactly.
+    EXPECT_DOUBLE_EQ(r.sloAttainment(), r.tenants[0].sloAttainment());
+}
+
+TEST(SloServing, SloAwareDispatchSeparatesInteractiveFromBatch)
+{
+    // The acceptance shape: under FIFO the interactive tenant's small
+    // requests drown behind the batch flood and miss their 2 ms SLO;
+    // EDF dispatch plus SLO-aware admission on the same offered load
+    // lifts interactive attainment to >= 90%.
+    ServingResult fifo = runMix(false);
+    ServingResult edf = runMix(true);
+
+    double fifo_att = fifo.tenants[0].sloAttainment();
+    double edf_att = edf.tenants[0].sloAttainment();
+    EXPECT_LT(fifo_att, 0.6) << "FIFO should be markedly degraded";
+    EXPECT_GE(edf_att, 0.9);
+    EXPECT_GT(edf_att, fifo_att + 0.3);
+
+    // And the win is scheduling, not starvation: the batch tenant
+    // still completes the bulk of its requests under EDF.
+    EXPECT_GT(edf.tenants[1].completed_ok, edf.tenants[1].requests / 2);
+    // Interactive tail collapses once its deadlines steer dispatch.
+    EXPECT_LT(edf.tenants[0].latency_us.percentile(99.0),
+              fifo.tenants[0].latency_us.percentile(99.0));
+}
+
+TEST(SloServing, TenantRunsAreBitReproducible)
+{
+    ServingResult a = runMix(true);
+    ServingResult b = runMix(true);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.completed_ok, b.completed_ok);
+    EXPECT_EQ(a.shed_admission, b.shed_admission);
+    EXPECT_DOUBLE_EQ(a.latency_us.sum(), b.latency_us.sum());
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+        EXPECT_EQ(a.tenants[t].slo_met, b.tenants[t].slo_met);
+        EXPECT_EQ(a.tenants[t].shed, b.tenants[t].shed);
+        EXPECT_DOUBLE_EQ(a.tenants[t].goodput_qps,
+                         b.tenants[t].goodput_qps);
+    }
+}
+
+TEST(SloServing, ClosedLoopClientsSelfThrottle)
+{
+    // Turning the interactive class into a closed loop of 8 clients
+    // bounds its in-flight requests by the population: offered load
+    // self-throttles, so completions stay high even under the flood.
+    ServingConfig cfg = tenantConfig();
+    cfg.tenants[0].clients = 8;
+    cfg.tenants[0].think = sim::us(300);
+    GnnSystem system(sloSystem(true), smallWorkload());
+    ServingResult r = runServingLoad(system, cfg);
+    EXPECT_EQ(r.tenants[0].requests, 64u);
+    EXPECT_GT(r.tenants[0].completed_ok, 0u);
+    std::uint64_t accounted = r.completed_ok + r.shed_error +
+                              r.shed_timeout + r.shed_admission;
+    EXPECT_EQ(accounted, r.requests);
+}
+
+TEST(SloFamily, SloSpaceCoversServableBackendsAndDisciplines)
+{
+    const Scenario *s = findScenario("slo-space");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, ExperimentKind::Serving);
+    EXPECT_EQ(s->artifact, "slo");
+    EXPECT_EQ(s->backends, servableBackendIds());
+    // Grid: FIFO baseline, EDF, priority+bound, three arrival shapes,
+    // closed loop — at least seven discipline/shape points.
+    EXPECT_GE(s->overrides.size(), 7u);
+    // Every point configures the two-tenant mix.
+    for (const auto &knobs : s->overrides) {
+        bool has_tenant = false;
+        for (const KnobSetting &k : knobs)
+            has_tenant |= k.key.rfind("tenant.", 0) == 0;
+        EXPECT_TRUE(has_tenant);
+    }
+}
+
+TEST(SloFamily, RunnerCellsAreWorkerCountInvariant)
+{
+    Scenario smoke = smokeVariant(*findScenario("slo-space"));
+    // Trim to the FIFO-vs-EDF pair on the overloadable backend so the
+    // invariance check stays test-sized.
+    smoke.backends = {"ssd-mmap"};
+    smoke.overrides.resize(2);
+
+    RunnerOptions serial_opts;
+    serial_opts.workers = 1;
+    RunnerOptions parallel_opts;
+    parallel_opts.workers = 3;
+    ScenarioRun a = ExperimentRunner(serial_opts).run(smoke);
+    ScenarioRun b = ExperimentRunner(parallel_opts).run(smoke);
+
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    ASSERT_EQ(a.cells.size(), 2u);
+    bool saw_slo_metric = false;
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        ASSERT_EQ(a.cells[i].metrics.size(), b.cells[i].metrics.size());
+        for (std::size_t m = 0; m < a.cells[i].metrics.size(); ++m) {
+            EXPECT_EQ(a.cells[i].metrics[m].name,
+                      b.cells[i].metrics[m].name);
+            EXPECT_DOUBLE_EQ(a.cells[i].metrics[m].value,
+                             b.cells[i].metrics[m].value)
+                << a.cells[i].cell.label() << " / "
+                << a.cells[i].metrics[m].name;
+            saw_slo_metric |=
+                a.cells[i].metrics[m].name == "slo_attainment";
+        }
+    }
+    EXPECT_TRUE(saw_slo_metric);
+}
