@@ -54,6 +54,12 @@ GATED_METRICS = {
     "goodput_qps": "higher",
     "slo_attainment": "higher",
     "shed_frac": "lower",
+    # Checkpoint/restart headlines (recovery-space): modeled restart
+    # cost, batches lost to a crash, and the checkpoint write tax on
+    # the training makespan must not grow at the same configuration.
+    "recovery_time_us": "lower",
+    "lost_work_batches": "lower",
+    "ckpt_overhead_frac": "lower",
     # Latency-like: serving-mode percentile headlines.
     "avg_sample_ms": "lower",
     "p50_us": "lower",

@@ -29,6 +29,9 @@
  *   --slo-out <path>   write BENCH_slo.json here (the slo-space
  *                      family: multi-tenant SLO attainment x
  *                      scheduling policy x arrival shape)
+ *   --recovery-out <path> write BENCH_recovery.json here (the
+ *                      recovery-space family: checkpoint interval x
+ *                      backend crash-restart metrics)
  *   --knobs-doc <path> regenerate docs/KNOBS.md from the knob catalog
  *                      (core/knobs.hh) and exit
  *   --stats-json <path> write BENCH-schema per-backend stats here
@@ -63,7 +66,8 @@ usage()
                  "[--family <name>]... [--design <id>]... "
                  "[--out <path>] [--serving-out <path>] "
                  "[--cache-out <path>] [--faults-out <path>] "
-                 "[--slo-out <path>] [--knobs-doc <path>] "
+                 "[--slo-out <path>] [--recovery-out <path>] "
+                 "[--knobs-doc <path>] "
                  "[--stats-json <path>] "
                  "[--smoke] [--stats] [--list] [--backends]\n";
     return 2;
@@ -141,7 +145,7 @@ main(int argc, char **argv)
     unsigned workers = 1;
     bool smoke = false, stats = false;
     std::string out_path, serving_out_path, cache_out_path;
-    std::string faults_out_path, slo_out_path;
+    std::string faults_out_path, slo_out_path, recovery_out_path;
     std::string stats_json_path;
     std::vector<std::string> families;
     std::vector<std::string> designs;
@@ -170,6 +174,8 @@ main(int argc, char **argv)
             faults_out_path = argv[++i];
         } else if (arg == "--slo-out" && i + 1 < argc) {
             slo_out_path = argv[++i];
+        } else if (arg == "--recovery-out" && i + 1 < argc) {
+            recovery_out_path = argv[++i];
         } else if (arg == "--knobs-doc" && i + 1 < argc) {
             std::ofstream doc(argv[++i]);
             if (!doc)
@@ -247,7 +253,7 @@ main(int argc, char **argv)
     // serving schema (latency metrics); everything else shares the
     // classic design-space document.
     std::vector<core::ScenarioRun> cache_runs, fault_runs, slo_runs,
-        serving_runs, sweep_runs;
+        recovery_runs, serving_runs, sweep_runs;
     for (auto &run : runs) {
         if (run.scenario.artifact == "cache-policy")
             cache_runs.push_back(std::move(run));
@@ -255,6 +261,8 @@ main(int argc, char **argv)
             fault_runs.push_back(std::move(run));
         else if (run.scenario.artifact == "slo")
             slo_runs.push_back(std::move(run));
+        else if (run.scenario.artifact == "recovery")
+            recovery_runs.push_back(std::move(run));
         else if (run.scenario.kind == core::ExperimentKind::Serving)
             serving_runs.push_back(std::move(run));
         else
@@ -320,6 +328,21 @@ main(int argc, char **argv)
             SS_FATAL("cannot open ", slo_out_path);
         core::writeDesignSpaceJson(json, slo_runs, "slo_space");
         std::cout << "design_space: wrote " << slo_out_path << "\n";
+    }
+    if (!recovery_runs.empty() && recovery_out_path.empty())
+        SS_WARN("recovery-space family ran but --recovery-out was not "
+                "given; its cells are not in any artifact");
+    if (!recovery_out_path.empty()) {
+        if (recovery_runs.empty())
+            SS_FATAL("--recovery-out needs the recovery-space family "
+                     "(e.g. --family recovery-space)");
+        std::ofstream json(recovery_out_path);
+        if (!json)
+            SS_FATAL("cannot open ", recovery_out_path);
+        core::writeDesignSpaceJson(json, recovery_runs,
+                                   "recovery_space");
+        std::cout << "design_space: wrote " << recovery_out_path
+                  << "\n";
     }
     if (!stats_json_path.empty()) {
         std::ofstream json(stats_json_path);

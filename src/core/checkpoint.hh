@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Versioned, schema-stamped checkpoint store.
+ *
+ * A checkpoint is a Snapshot — named byte sections produced by the
+ * layers that own the state (gnn model tensors, pipeline cursor, RNG
+ * fork position, resident cache lines) — persisted as one manifest
+ * plus content-addressed payload chunks:
+ *
+ *   <dir>/chunks/<fnv1a64-hex>.bin   raw section bytes, split at
+ *                                    chunk_bytes boundaries
+ *   <dir>/manifest-<step>.ckpt      magic, format version, section
+ *                                    table (name, size, chunk list
+ *                                    with per-chunk CRC-32), trailing
+ *                                    manifest CRC-32
+ *
+ * Chunks are addressed by the FNV-1a hash of their content, so a chunk
+ * whose bytes did not change between checkpoints is written once and
+ * referenced by every manifest — incremental checkpoints only pay for
+ * dirty chunks. Loads verify the manifest CRC, the format version
+ * (future versions are rejected, older readers never misparse newer
+ * payloads), and every chunk CRC before reassembling sections.
+ * keep_last prunes old manifests and garbage-collects chunks no
+ * surviving manifest references. All failures surface as
+ * sim::SerializeError, never a crash.
+ *
+ * This header is deliberately byte-level only (no gnn/pipeline types);
+ * core/recovery.hh owns the glue that fills and applies Snapshots.
+ */
+
+#ifndef SMARTSAGE_CORE_CHECKPOINT_HH
+#define SMARTSAGE_CORE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/serialize.hh"
+#include "sim/types.hh"
+
+namespace smartsage::core
+{
+
+/** On-disk format version this build writes and the newest it reads. */
+constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/**
+ * Checkpoint policy knobs (`ckpt.*` namespace). interval_batches == 0
+ * disables checkpointing entirely; dir is a path, not a knob (knob
+ * values are doubles), and is filled in by the harness per cell.
+ */
+struct CheckpointConfig
+{
+    /** Checkpoint every N trained batches; 0 disables. */
+    std::uint64_t interval_batches = 0;
+    /** Manifest + chunk directory; set by CLI/harness, not a knob. */
+    std::string dir;
+    /** Snapshot resident feature-cache lines for warm restart. */
+    bool warm_cache = false;
+    /** Manifests retained after a save; older ones are pruned. */
+    std::uint64_t keep_last = 2;
+    /** Payload chunk size in KiB (content-address granularity). */
+    std::uint64_t chunk_kib = 256;
+    /** Modeled checkpoint write bandwidth, GB/s (overhead metric). */
+    double write_gbps = 2.0;
+    /** Modeled checkpoint read bandwidth, GB/s (recovery metric). */
+    double read_gbps = 3.5;
+
+    bool enabled() const { return interval_batches != 0 && !dir.empty(); }
+};
+
+/**
+ * Apply one `ckpt.`-namespace knob (namespace already stripped).
+ * @return false if the key is unknown
+ */
+bool applyKnob(CheckpointConfig &config, std::string_view key,
+               double value);
+
+/** Fatal on impossible checkpoint values (zero chunk size, ...). */
+void validate(const CheckpointConfig &config);
+
+/**
+ * One checkpoint's content: the training cursor plus named byte
+ * sections, each serialized by the layer that owns the state.
+ */
+struct Snapshot
+{
+    /** Batches completed when the snapshot was taken. */
+    std::uint64_t step = 0;
+    std::map<std::string, std::vector<std::uint8_t>> sections;
+};
+
+/** Monotonic counters over one manager's lifetime. */
+struct CheckpointStats
+{
+    std::uint64_t saves = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t chunks_written = 0;
+    std::uint64_t chunks_deduped = 0; //!< content already on disk
+    std::uint64_t bytes_written = 0;  //!< chunk payload actually written
+    std::uint64_t bytes_read = 0;     //!< chunk payload read by loads
+    std::uint64_t manifest_bytes = 0;
+};
+
+/**
+ * Chunk store + manifest reader/writer rooted at config.dir.
+ *
+ * Not thread-safe; the experiment runner gives each cell its own
+ * directory and manager.
+ */
+class CheckpointManager
+{
+  public:
+    explicit CheckpointManager(const CheckpointConfig &config);
+
+    /** Persist @p snapshot as manifest-<step>, then prune/GC. */
+    void save(const Snapshot &snapshot);
+
+    /** Steps with a manifest on disk, ascending. */
+    std::vector<std::uint64_t> steps() const;
+
+    /** Newest checkpointed step, if any. */
+    std::optional<std::uint64_t> latestStep() const;
+
+    /**
+     * Reassemble the snapshot saved at @p step, CRC-checking the
+     * manifest and every chunk. Throws sim::SerializeError on any
+     * corruption, truncation, or future format version.
+     */
+    Snapshot load(std::uint64_t step);
+
+    const CheckpointStats &stats() const { return stats_; }
+    const CheckpointConfig &config() const { return config_; }
+
+  private:
+    std::string manifestPath(std::uint64_t step) const;
+    std::string chunkPath(std::uint64_t hash) const;
+    void prune();
+
+    CheckpointConfig config_;
+    CheckpointStats stats_;
+};
+
+/** Decoded manifest, exposed for the ckpt_tool inspector. */
+struct ManifestChunkInfo
+{
+    std::uint64_t hash = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+};
+
+struct ManifestSectionInfo
+{
+    std::string name;
+    std::uint64_t total_bytes = 0;
+    std::vector<ManifestChunkInfo> chunks;
+};
+
+struct ManifestInfo
+{
+    std::uint32_t format_version = 0;
+    std::uint64_t step = 0;
+    std::vector<ManifestSectionInfo> sections;
+};
+
+/**
+ * Parse and CRC-check one manifest file. Throws sim::SerializeError on
+ * corruption or a future format version.
+ */
+ManifestInfo readManifest(const std::string &path);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_CHECKPOINT_HH

@@ -1,12 +1,17 @@
 #include "experiment.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "backend.hh"
 #include "host/feature_cache.hh"
+#include "recovery.hh"
 #include "serving.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
@@ -30,7 +35,7 @@ finite(double v)
  */
 CellResult
 executeCell(const ExperimentCell &cell, const Workload &workload,
-            bool collect_stats)
+            const RunnerOptions &options)
 {
     CellResult result;
     result.cell = cell;
@@ -50,6 +55,30 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
                                         cell.num_batches);
         add("batches_per_s", r.batchesPerSecond());
         add("avg_sample_ms", r.avg_batch_us / 1000.0);
+    } else if (cell.kind == ExperimentKind::Recovery) {
+        RecoveryRunSpec spec;
+        spec.sim_workers = cell.sim_workers;
+        spec.train_workers = cell.sim_workers;
+        spec.num_batches = cell.num_batches;
+        spec.ckpt_dir =
+            (std::filesystem::path(options.ckpt_root) /
+             (cell.family + "-" + std::to_string(cell.index)))
+                .string();
+        RecoveryCellResult r = runRecoveryCell(system, spec);
+        add("batches_per_s", r.sim.batchesPerSecond());
+        add("avg_sample_ms", r.sim.avg_batch_us / 1000.0);
+        add("recovery_time_us", r.recovery_time_us);
+        add("lost_work_batches",
+            static_cast<double>(r.lost_work_batches));
+        add("ckpt_overhead_frac", r.ckpt_overhead_frac);
+        add("ckpt_bytes_kib", r.ckpt_bytes_kib);
+        add("ckpt_dedup_frac", r.ckpt_dedup_frac);
+        add("checkpoints", static_cast<double>(r.checkpoints));
+        add("resume_bit_identical", r.resume_bit_identical ? 1.0 : 0.0);
+        if (!options.keep_checkpoints) {
+            std::error_code ec;
+            std::filesystem::remove_all(spec.ckpt_dir, ec);
+        }
     } else {
         ServingConfig sc;
         sc.arrival_qps = cell.arrival_qps;
@@ -124,7 +153,7 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
                            ? note
                            : result.notes + ", " + note;
     }
-    if (collect_stats) {
+    if (options.collect_stats) {
         std::ostringstream stats;
         system.dumpStats(stats);
         result.stats = stats.str();
@@ -168,11 +197,28 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
     : options_(options)
 {
     SS_ASSERT(options_.workers > 0, "need at least one runner worker");
+    if (options_.ckpt_root.empty()) {
+        // Unique per runner so concurrent processes (parallel ctest
+        // jobs) never share recovery-cell scratch directories.
+        static std::atomic<unsigned> counter{0};
+        options_.ckpt_root =
+            (std::filesystem::temp_directory_path() /
+             ("smartsage-ckpt-" + std::to_string(::getpid()) + "-" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+        owns_ckpt_root_ = true;
+    }
     if (options_.workers > 1)
         pool_ = std::make_unique<sim::ThreadPool>(options_.workers);
 }
 
-ExperimentRunner::~ExperimentRunner() = default;
+ExperimentRunner::~ExperimentRunner()
+{
+    if (owns_ckpt_root_ && !options_.keep_checkpoints) {
+        std::error_code ec;
+        std::filesystem::remove_all(options_.ckpt_root, ec);
+    }
+}
 
 const Workload &
 ExperimentRunner::workload(graph::DatasetId id, bool large_scale)
@@ -209,7 +255,7 @@ ExperimentRunner::run(const Scenario &scenario)
         const Workload &wl =
             *workloads_.at({static_cast<int>(cell.dataset),
                             cell.large_scale});
-        out.cells[i] = executeCell(cell, wl, options_.collect_stats);
+        out.cells[i] = executeCell(cell, wl, options_);
     });
     return out;
 }
@@ -408,8 +454,9 @@ writeDesignSpaceJson(std::ostream &os,
         os << "    \"" << jsonEscape(s.family) << "\": {\n"
            << "      \"title\": \"" << jsonEscape(s.title) << "\",\n"
            << "      \"kind\": \""
-           << (s.kind == ExperimentKind::Pipeline     ? "pipeline"
+           << (s.kind == ExperimentKind::Pipeline       ? "pipeline"
                : s.kind == ExperimentKind::SamplingOnly ? "sampling"
+               : s.kind == ExperimentKind::Recovery     ? "recovery"
                                                         : "serving")
            << "\",\n"
            << "      \"large_scale\": "

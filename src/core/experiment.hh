@@ -68,6 +68,15 @@ struct RunnerOptions
     bool progress = false;
     /** Capture each cell's component stats dump (CellResult::stats). */
     bool collect_stats = false;
+    /**
+     * Scratch root for recovery-cell checkpoint directories (each cell
+     * gets "<root>/<family>-<index>"). Empty generates a per-runner
+     * directory under the system temp dir, removed with the runner.
+     */
+    std::string ckpt_root;
+    /** Leave recovery-cell checkpoint directories behind for
+     *  inspection instead of removing them after each cell. */
+    bool keep_checkpoints = false;
 };
 
 /** Expands, executes, and reports declarative scenarios. */
@@ -96,6 +105,7 @@ class ExperimentRunner
 
   private:
     RunnerOptions options_;
+    bool owns_ckpt_root_ = false; //!< generated root, removed in dtor
     std::unique_ptr<sim::ThreadPool> pool_; //!< null when workers == 1
     std::map<std::pair<int, bool>, std::unique_ptr<Workload>> workloads_;
 };

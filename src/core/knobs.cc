@@ -106,6 +106,10 @@ knobCatalog()
              {"degraded_penalty", "double", "4", ">= 1",
               "latency multiplier of reads routed around a down shard",
               2},
+             {"kill_batch", "int", "0", ">= 0",
+              "recovery harness: crash while this (0-based) training "
+              "batch is in flight; 0 disables",
+              3},
          }},
         {"retry.", "Retry and timeout policy", "src/sim/fault.hh",
          {
@@ -120,6 +124,25 @@ knobCatalog()
               "uniform jitter fraction added to each backoff", 0.25},
              {"timeout_us", "double", "0", ">= 0",
               "end-to-end request deadline; 0 disables", 100000},
+         }},
+        {"ckpt.", "Checkpoint / suspend-resume policy",
+         "src/core/checkpoint.hh",
+         {
+             {"interval_batches", "int", "0", ">= 0",
+              "checkpoint every N trained batches; 0 disables", 2},
+             {"warm_cache", "bool", "0", "0 or 1",
+              "snapshot feature-cache residency for warm restarts", 1},
+             {"keep_last", "int", "2", ">= 1",
+              "manifests retained; older ones pruned, unreferenced "
+              "chunks collected",
+              3},
+             {"chunk_kib", "int", "256", ">= 1",
+              "content-addressed payload chunk size in KiB", 64},
+             {"write_gbps", "double", "2.0", "> 0",
+              "modeled checkpoint write bandwidth (overhead metric)",
+              4},
+             {"read_gbps", "double", "3.5", "> 0",
+              "modeled checkpoint read bandwidth (recovery metric)", 2},
          }},
         {"sched.", "Host I/O channel dispatch", "src/sim/io.hh",
          {

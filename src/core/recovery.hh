@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Suspend/resume glue over the checkpoint store (core/checkpoint.hh).
+ *
+ * runCheckpointedTraining drives the real functional training loop
+ * under a checkpoint policy: it resumes from the newest manifest in
+ * the configured directory (verifying the config fingerprint and the
+ * RNG fork position), trains forward saving a snapshot every
+ * interval_batches, and can "crash" at a scheduled batch — modeling a
+ * process kill while that batch is in flight. Because batch i is
+ * always drawn from fork(i) of the pipeline seed, a resumed run
+ * regenerates exactly the batches an uninterrupted run would have
+ * seen, and the trained model is bit-identical at any worker count.
+ *
+ * runRecoveryCell wraps that loop into one recovery-space experiment
+ * cell: crash run -> restart run -> uninterrupted reference, plus the
+ * modeled (simulated-time, wall-clock-free) recovery metrics that land
+ * in BENCH_recovery.json.
+ */
+
+#ifndef SMARTSAGE_CORE_RECOVERY_HH
+#define SMARTSAGE_CORE_RECOVERY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint.hh"
+#include "serving.hh"
+#include "system.hh"
+
+namespace smartsage::core
+{
+
+/** Parameters of one checkpointed functional training run. */
+struct TrainRunOptions
+{
+    /** Sampler host threads (results are worker-count independent). */
+    unsigned workers = 1;
+    /** Global batch count of the full (uninterrupted) run. */
+    std::size_t total_batches = 8;
+    /**
+     * Simulated crash point: the process dies while batch kill_batch
+     * (0-based) is in flight, so batches [0, kill_batch) completed and
+     * every checkpoint due by then is on disk. 0 disables the kill.
+     */
+    std::uint64_t kill_batch = 0;
+    /**
+     * Resident feature-cache line ids to snapshot into the "cache"
+     * section for warm restarts; null skips the section.
+     */
+    const std::vector<std::uint64_t> *cache_lines = nullptr;
+};
+
+/** Outcome of one checkpointed functional training run. */
+struct TrainRunResult
+{
+    bool resumed = false;          //!< restored from a manifest
+    std::uint64_t start_batch = 0; //!< cursor the run began at
+    std::uint64_t end_batch = 0;   //!< cursor after the run
+    /** Cumulative training loss over batches [0, end_batch), including
+     *  the restored prefix — bit-comparable across runs. */
+    double loss_sum = 0;
+    /** Cumulative sampled edges over the same range. */
+    std::uint64_t sampled_edges = 0;
+    /** Warm-restart cache lines restored from the snapshot. */
+    std::vector<std::uint64_t> warm_lines;
+    /** Checkpoint-store counters of this run's manager. */
+    CheckpointStats stats;
+};
+
+/**
+ * The model shape a training checkpoint of @p system describes:
+ * feature/class dims from the workload, hidden/depth from the config,
+ * seed from the pipeline seed. Every phase of a recovery cell builds
+ * its model from this one config, so fingerprints line up.
+ */
+gnn::ModelConfig checkpointModelConfig(const GnnSystem &system);
+
+/**
+ * Train @p model for batches [resume_point, stop) of an
+ * @p options.total_batches run over @p system's sampler, saving a
+ * snapshot (model + trainer cursor + RNG fork position + optional
+ * cache residency) every config.ckpt.interval_batches trained batches.
+ * When config.ckpt is enabled and its directory holds a manifest, the
+ * run first restores the newest snapshot (throwing sim::SerializeError
+ * on corruption, a future format version, or a config-fingerprint /
+ * RNG-position mismatch). A disabled checkpoint config degrades to a
+ * plain uninterrupted training run — the bit-identity reference.
+ */
+TrainRunResult runCheckpointedTraining(GnnSystem &system,
+                                       gnn::SageModel &model,
+                                       const TrainRunOptions &options);
+
+/** Per-cell inputs of one recovery-space experiment. */
+struct RecoveryRunSpec
+{
+    /** Simulated producer timelines (cell.sim_workers). */
+    unsigned sim_workers = 4;
+    /** Host threads of the functional training phases. */
+    unsigned train_workers = 4;
+    /** Batches of the uninterrupted run. */
+    std::size_t num_batches = 8;
+    /** Per-cell checkpoint scratch directory (cleared on entry). */
+    std::string ckpt_dir;
+};
+
+/** Modeled outcome of one recovery-space cell. */
+struct RecoveryCellResult
+{
+    /** Uninterrupted simulated sampling run (headline timing). */
+    GnnSystem::SamplingResult sim;
+    /** Modeled restart cost: snapshot read time plus the simulated
+     *  makespan of re-producing the lost batches. */
+    double recovery_time_us = 0;
+    /** Batches trained after the last checkpoint and lost to the
+     *  crash: kill_batch - floor(kill_batch / interval) * interval. */
+    std::uint64_t lost_work_batches = 0;
+    /** Modeled checkpoint write time over the extended run:
+     *  write / (sim_makespan + write). */
+    double ckpt_overhead_frac = 0;
+    double ckpt_bytes_kib = 0;  //!< chunk + manifest bytes written
+    double ckpt_dedup_frac = 0; //!< chunks shared with prior manifests
+    std::uint64_t checkpoints = 0; //!< manifests written by the crash run
+    /** Resumed run ends bit-identical (model hash, loss bits, edge
+     *  count) to the uninterrupted reference. */
+    bool resume_bit_identical = false;
+};
+
+/**
+ * Execute one recovery-space cell over @p system (built with an inert
+ * checkpoint dir): capture warm-cache residency, run the uninterrupted
+ * simulated baseline, crash a checkpointed training run at
+ * config.fault.kill_batch, restart it from the newest manifest, and
+ * compare against an uninterrupted reference. All reported times are
+ * modeled from simulated makespans and configured checkpoint
+ * bandwidths — never wall clock — so the artifact is bit-reproducible.
+ */
+RecoveryCellResult runRecoveryCell(GnnSystem &system,
+                                   const RecoveryRunSpec &spec);
+
+/**
+ * Serialize the closing counters of @p result — totals plus per-tenant
+ * accounting — as a crash-survivable byte blob (CRC-sealed like every
+ * other serialized payload in the checkpoint subsystem).
+ */
+std::vector<std::uint8_t> saveServingAccounting(const ServingResult &result);
+
+/**
+ * Merge accounting saved by saveServingAccounting into @p into,
+ * summing request/completion/shed counters (latency histograms are not
+ * mergeable and stay as @p into measured them). Tenant rows must match
+ * by position and name. Throws sim::SerializeError on corrupt bytes or
+ * a tenant-set mismatch. Each blob must be merged exactly once —
+ * counters are sums, so double application double-counts.
+ */
+void mergeServingAccounting(const std::vector<std::uint8_t> &saved,
+                            ServingResult &into);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_RECOVERY_HH

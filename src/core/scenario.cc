@@ -106,6 +106,8 @@ applyKnob(SystemConfig &config, const KnobSetting &knob)
         return sim::applyKnob(config.admit, key, value);
     if (strip("tenant."))
         return core::applyKnob(config.tenants, key, value);
+    if (strip("ckpt."))
+        return core::applyKnob(config.ckpt, key, value);
 
     // Top-level SystemConfig knobs.
     if (key == "page_cache_fraction")
@@ -618,6 +620,55 @@ sloSpaceScenario()
     return s;
 }
 
+/**
+ * The recovery-space override grid: one shared crash point (the run
+ * dies while batch 3 of 4 is in flight) under checkpoint intervals
+ * 1, 2, and 4 — losing 0, 1, and 3 batches of work respectively —
+ * plus a warm-cache restart point at interval 2. Small absolute batch
+ * counts keep the family smoke-sized while still separating the
+ * intervals.
+ */
+std::vector<std::vector<KnobSetting>>
+recoverySpaceOverrides()
+{
+    std::vector<std::vector<KnobSetting>> overrides;
+    for (double interval : {1.0, 2.0, 4.0})
+        overrides.push_back({{"ckpt.interval_batches", interval},
+                             {"fault.kill_batch", 3}});
+    overrides.push_back(
+        {{"ckpt.interval_batches", 2},
+         {"fault.kill_batch", 3},
+         {"ckpt.warm_cache", 1},
+         {"cache.policy",
+          static_cast<double>(host::FeatureCachePolicy::Lru)},
+         {"cache.capacity_fraction", 0.4}});
+    return overrides;
+}
+
+Scenario
+recoverySpaceScenario()
+{
+    // Registry-driven like fault-space: every backend with a host edge
+    // store, each crash-restarted under the checkpoint-interval grid
+    // above. The product is the recovery surface — restart time, lost
+    // work, and checkpoint write overhead — plus the headline
+    // suspend/resume bit-identity check (BENCH_recovery.json).
+    Scenario s;
+    s.family = "recovery-space";
+    s.title = "Recovery space: checkpoint interval x backend, "
+              "crash-restarted training";
+    s.kind = ExperimentKind::Recovery;
+    s.artifact = "recovery";
+    s.backends = servableBackendIds();
+    s.overrides = recoverySpaceOverrides();
+    s.fanout_grid = {{10, 5}};
+    s.batch_sizes = {128};
+    s.worker_grid = {4};
+    s.num_batches = 4; // smoke-sized by construction
+    s.large_scale = false;
+    return s;
+}
+
 Scenario
 backendSpaceScenario()
 {
@@ -670,6 +721,7 @@ extraScenarios()
         cachePolicyThroughputScenario(),
         faultSpaceScenario(),
         sloSpaceScenario(),
+        recoverySpaceScenario(),
     };
     return scenarios;
 }

@@ -63,6 +63,7 @@ enum class ExperimentKind
     Pipeline,     //!< full producer-consumer training pipeline
     SamplingOnly, //!< worker timelines producing batches, no GPU stage
     Serving,      //!< open-loop request latency (core/serving.hh)
+    Recovery,     //!< checkpointed crash/restart training (core/recovery.hh)
 };
 
 /** Declarative description of one experiment family's design grid. */
@@ -206,7 +207,13 @@ const std::vector<Scenario> &builtinScenarios();
  *    servable backend — scheduling discipline x arrival shape under an
  *    oversubscribed two-tenant workload — emitting per-tenant SLO
  *    attainment and goodput into BENCH_slo.json
- *    (design_space --slo-out).
+ *    (design_space --slo-out);
+ *  - "recovery-space": checkpointed training killed mid-run and
+ *    restarted from the newest manifest (core/recovery.hh), swept over
+ *    checkpoint interval (plus a warm-cache restart point) per
+ *    servable backend, emitting recovery time, lost work, and
+ *    checkpoint overhead into BENCH_recovery.json
+ *    (design_space --recovery-out).
  */
 const std::vector<Scenario> &extraScenarios();
 

@@ -72,6 +72,7 @@ SystemConfig::validate() const
     sim::validate(fault);
     sim::validate(retry);
     core::validate(tenants);
+    core::validate(ckpt);
 
     if (use_saint) {
         if (saint_walk_length == 0)
@@ -188,6 +189,13 @@ const host::FeatureCacheStore *
 GnnSystem::featureCache() const
 {
     return dynamic_cast<const host::FeatureCacheStore *>(
+        backend_->edgeStore());
+}
+
+host::FeatureCacheStore *
+GnnSystem::featureCache()
+{
+    return dynamic_cast<host::FeatureCacheStore *>(
         backend_->edgeStore());
 }
 
@@ -323,6 +331,42 @@ GnnSystem::runSamplingOnly(unsigned workers, std::size_t batches)
     sched.seed = config_.pipeline.seed;
     auto produced = pipeline::runWorkers(backend_->producer(),
                                          workload_.graph, sched);
+
+    SamplingResult result;
+    for (const auto &batch : produced) {
+        result.makespan = std::max(result.makespan, batch.ready);
+        result.avg_batch_us += sim::toMicros(batch.sampling_time);
+    }
+    result.batches = batches;
+    result.avg_batch_us /= static_cast<double>(batches);
+    return result;
+}
+
+GnnSystem::SamplingResult
+GnnSystem::runSamplingResumed(
+    unsigned workers, std::size_t batches,
+    const std::vector<std::uint64_t> *warm_lines)
+{
+    SS_ASSERT(workers > 0 && batches > 0, "degenerate sampling run");
+
+    // A restarted process comes up cold; the checkpointed feature-
+    // cache residency is the one piece of state a warm restart
+    // carries over, re-installed before the timelines run.
+    backend_->producer().reset();
+    if (warm_lines) {
+        if (host::FeatureCacheStore *cache = featureCache())
+            cache->warmFill(*warm_lines);
+    }
+
+    pipeline::ScheduleConfig sched;
+    sched.workers = workers;
+    sched.num_batches = batches;
+    sched.batch_size = config_.pipeline.batch_size;
+    sched.batch_mix = config_.pipeline.batch_mix;
+    sched.seed = config_.pipeline.seed;
+    auto produced = pipeline::runWorkers(backend_->producer(),
+                                         workload_.graph, sched,
+                                         /*reset_producer=*/false);
 
     SamplingResult result;
     for (const auto &batch : produced) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint.hh"
 #include "design_point.hh"
 #include "gnn/feature_table.hh"
 #include "gnn/gpu_model.hh"
@@ -108,6 +109,14 @@ struct SystemConfig
      */
     sim::SchedConfig sched;
     sim::AdmissionControl admit;
+
+    /**
+     * Checkpoint policy (`ckpt.*` knobs). Inert by default
+     * (interval_batches == 0); the recovery harness (core/recovery.hh)
+     * fills in the directory and drives save/restore around the
+     * functional training loop.
+     */
+    CheckpointConfig ckpt;
 
     /**
      * Serving tenant classes (`tenant.*` knobs). Empty means the
@@ -196,6 +205,17 @@ class GnnSystem
                                    std::size_t batches);
 
     /**
+     * Post-restart variant of runSamplingOnly: every timeline and
+     * store is reset (a restarted process starts cold), then — when
+     * @p warm_lines is non-null and this backend carries a feature
+     * cache — the checkpointed resident set is re-installed before
+     * the run, modeling a warm-cache restart.
+     */
+    SamplingResult
+    runSamplingResumed(unsigned workers, std::size_t batches,
+                       const std::vector<std::uint64_t> *warm_lines);
+
+    /**
      * Wall-clock outcome of a *functional* multi-worker run: real
      * subgraphs sampled (and optionally a real model trained) on host
      * threads, as opposed to the simulated-time results above.
@@ -261,6 +281,9 @@ class GnnSystem
     /** The feature-cache decorator when the `cache.*` knobs enabled
      *  one over this backend's edge store; null otherwise. */
     const host::FeatureCacheStore *featureCache() const;
+
+    /** Mutable access for checkpoint warm-restore. */
+    host::FeatureCacheStore *featureCache();
 
     /** Rendering of a stats report. */
     enum class StatsFormat

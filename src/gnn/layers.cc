@@ -202,6 +202,32 @@ SageMeanLayer::applyGrads(const SageLayerGrads &grads, float lr)
     step(bias_, grads.bias);
 }
 
+void
+SageMeanLayer::saveState(sim::ByteWriter &writer) const
+{
+    w_self_.saveState(writer);
+    w_neigh_.saveState(writer);
+    bias_.saveState(writer);
+}
+
+void
+SageMeanLayer::loadState(sim::ByteReader &reader)
+{
+    Tensor2D loaded;
+    const auto check = [&](Tensor2D &param, const char *what) {
+        loaded.loadState(reader);
+        if (loaded.rows() != param.rows() ||
+            loaded.cols() != param.cols())
+            throw sim::SerializeError(
+                std::string("layer checkpoint shape mismatch in ") +
+                what);
+        param = loaded;
+    };
+    check(w_self_, "w_self");
+    check(w_neigh_, "w_neigh");
+    check(bias_, "bias");
+}
+
 std::uint64_t
 SageMeanLayer::forwardMacs(std::uint64_t num_dsts, unsigned in_dim,
                            unsigned out_dim)

@@ -107,6 +107,12 @@ class SageMeanLayer
     Tensor2D &mutableWNeigh() { return w_neigh_; }
     Tensor2D &mutableBias() { return bias_; }
 
+    /** Serialize every parameter tensor (checkpointing). */
+    void saveState(sim::ByteWriter &writer) const;
+
+    /** Restore parameters saved by saveState(); shapes must match. */
+    void loadState(sim::ByteReader &reader);
+
     /** Multiply-accumulate count of one forward pass (GPU model). */
     static std::uint64_t forwardMacs(std::uint64_t num_dsts,
                                      unsigned in_dim, unsigned out_dim);

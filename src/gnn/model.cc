@@ -102,4 +102,46 @@ SageModel::parameterCount() const
     return total;
 }
 
+void
+SageModel::saveState(sim::ByteWriter &writer) const
+{
+    // Fingerprint: a checkpoint only resumes into an identically
+    // shaped model (same dims, depth, lr, init seed).
+    writer.u32(config_.in_dim);
+    writer.u32(config_.hidden_dim);
+    writer.u32(config_.num_classes);
+    writer.u32(config_.depth);
+    writer.f32(config_.learning_rate);
+    writer.u64(config_.seed);
+    for (const auto &layer : layers_)
+        layer.saveState(writer);
+}
+
+void
+SageModel::loadState(sim::ByteReader &reader)
+{
+    const std::uint32_t in_dim = reader.u32();
+    const std::uint32_t hidden = reader.u32();
+    const std::uint32_t classes = reader.u32();
+    const std::uint32_t depth = reader.u32();
+    const float lr = reader.f32();
+    const std::uint64_t seed = reader.u64();
+    if (in_dim != config_.in_dim || hidden != config_.hidden_dim ||
+        classes != config_.num_classes || depth != config_.depth ||
+        lr != config_.learning_rate || seed != config_.seed)
+        throw sim::SerializeError(
+            "model checkpoint fingerprint mismatch: saved for a "
+            "differently configured model");
+    for (auto &layer : layers_)
+        layer.loadState(reader);
+}
+
+std::uint64_t
+SageModel::stateHash() const
+{
+    sim::ByteWriter writer;
+    saveState(writer);
+    return sim::fnv1a64(writer.buffer().data(), writer.buffer().size());
+}
+
 } // namespace smartsage::gnn

@@ -60,6 +60,23 @@ class SageModel
     /** Total trainable parameters. */
     std::uint64_t parameterCount() const;
 
+    /**
+     * Serialize a config fingerprint plus every layer's parameters.
+     * Under plain SGD the parameters ARE the full optimizer state, so
+     * this is the complete model half of a training checkpoint.
+     */
+    void saveState(sim::ByteWriter &writer) const;
+
+    /**
+     * Restore state saved by saveState(). Throws sim::SerializeError
+     * if the fingerprint does not match this model's config (a
+     * checkpoint from a differently-shaped model cannot be resumed).
+     */
+    void loadState(sim::ByteReader &reader);
+
+    /** FNV-1a hash over the serialized state (bit-identity checks). */
+    std::uint64_t stateHash() const;
+
   private:
     ModelConfig config_;
     std::vector<SageMeanLayer> layers_;

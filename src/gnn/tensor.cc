@@ -76,6 +76,27 @@ Tensor2D::normSq() const
     return acc;
 }
 
+void
+Tensor2D::saveState(sim::ByteWriter &writer) const
+{
+    writer.u64(rows_);
+    writer.u64(cols_);
+    for (float v : data_)
+        writer.f32(v);
+}
+
+void
+Tensor2D::loadState(sim::ByteReader &reader)
+{
+    const std::uint64_t rows = reader.u64();
+    const std::uint64_t cols = reader.u64();
+    rows_ = static_cast<std::size_t>(rows);
+    cols_ = static_cast<std::size_t>(cols);
+    data_.resize(rows_ * cols_);
+    for (float &v : data_)
+        v = reader.f32();
+}
+
 namespace
 {
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/random.hh"
+#include "sim/serialize.hh"
 
 namespace smartsage::gnn
 {
@@ -78,6 +79,12 @@ class Tensor2D
 
     /** Frobenius-norm squared (for tests and gradient clipping). */
     double normSq() const;
+
+    /** Serialize shape + element bit patterns (checkpointing). */
+    void saveState(sim::ByteWriter &writer) const;
+
+    /** Restore a tensor saved by saveState(), bit-exactly. */
+    void loadState(sim::ByteReader &reader);
 
   private:
     std::size_t rows_ = 0;

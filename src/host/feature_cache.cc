@@ -87,6 +87,12 @@ class LruPolicy final : public CacheReplacementPolicy
         index_.clear();
     }
 
+    void
+    appendResident(std::vector<std::uint64_t> &out) const override
+    {
+        out.insert(out.end(), order_.begin(), order_.end());
+    }
+
   private:
     std::uint64_t max_lines_;
     std::list<std::uint64_t> order_; //!< MRU first
@@ -152,6 +158,13 @@ class ClockPolicy final : public CacheReplacementPolicy
         slots_.clear();
         index_.clear();
         hand_ = 0;
+    }
+
+    void
+    appendResident(std::vector<std::uint64_t> &out) const override
+    {
+        for (const Slot &slot : slots_)
+            out.push_back(slot.line);
     }
 
   private:
@@ -229,6 +242,13 @@ class LfuLitePolicy final : public CacheReplacementPolicy
         stamp_ = 0;
     }
 
+    void
+    appendResident(std::vector<std::uint64_t> &out) const override
+    {
+        for (const auto &entry : queue_)
+            out.push_back(std::get<2>(entry));
+    }
+
   private:
     static constexpr std::uint32_t kMaxFreq = 15;
 
@@ -251,7 +271,7 @@ class DegreePinPolicy final : public CacheReplacementPolicy
 {
   public:
     explicit DegreePinPolicy(const std::vector<std::uint64_t> &pinned)
-        : pinned_(pinned.begin(), pinned.end())
+        : order_(pinned), pinned_(pinned.begin(), pinned.end())
     {
     }
 
@@ -278,7 +298,14 @@ class DegreePinPolicy final : public CacheReplacementPolicy
 
     void reset() override {} // construction-time state survives reset
 
+    void
+    appendResident(std::vector<std::uint64_t> &out) const override
+    {
+        out.insert(out.end(), order_.begin(), order_.end());
+    }
+
   private:
+    std::vector<std::uint64_t> order_; //!< pin order, hottest first
     std::unordered_set<std::uint64_t> pinned_;
 };
 
@@ -456,6 +483,25 @@ FeatureCacheStore::submitGather(sim::EventQueue &eq,
                 done(finish, status);
         },
         tag);
+}
+
+std::vector<std::uint64_t>
+FeatureCacheStore::residentLineIds() const
+{
+    std::vector<std::uint64_t> out;
+    policy_->appendResident(out);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+FeatureCacheStore::warmFill(const std::vector<std::uint64_t> &lines)
+{
+    for (std::uint64_t line : lines) {
+        if (policy_->contains(line))
+            continue;
+        policy_->fill(line);
+    }
 }
 
 sim::Tick

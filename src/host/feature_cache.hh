@@ -117,6 +117,14 @@ class CacheReplacementPolicy
 
     /** Drop all residency and recency state. */
     virtual void reset() = 0;
+
+    /**
+     * Append every resident line id to @p out, in a deterministic
+     * policy-defined order. Checkpointing uses this to persist the
+     * warm set; the store sorts before serializing, so only residency
+     * (not recency) must be stable.
+     */
+    virtual void appendResident(std::vector<std::uint64_t> &out) const = 0;
 };
 
 /** Build the policy implementation for @p params. */
@@ -191,6 +199,17 @@ class FeatureCacheStore : public EdgeStore
     double hitRate() const { return stats_.hitRate(); }
     /** Lines currently resident. */
     std::uint64_t residentLines() const { return policy_->size(); }
+
+    /** Sorted ids of every resident line (checkpoint warm set). */
+    std::vector<std::uint64_t> residentLineIds() const;
+
+    /**
+     * Re-install checkpointed lines after a restart without touching
+     * the hit/miss/eviction counters: a warm restore is bookkeeping,
+     * not traffic. Lines already resident are skipped; a smaller
+     * restored capacity simply evicts per policy while filling.
+     */
+    void warmFill(const std::vector<std::uint64_t> &lines);
 
   protected:
     /** Never reached: the decorator overrides the whole async port and

@@ -25,7 +25,7 @@ sampleBatchIndex(const graph::CsrGraph &graph,
     // land on threads; the shared per-thread scratch gives each worker
     // its own allocation-free arena.
     gnn::SampleScratch &scratch = gnn::threadSampleScratch();
-    sim::Rng rng = sim::Rng(config.seed).fork(i);
+    sim::Rng rng = sim::Rng(config.seed).fork(config.first_batch + i);
     gnn::selectTargetsInto(graph, config.batch_size, rng, scratch,
                            out.targets);
     sampler.sampleInto(graph, out.targets, rng, scratch, out.subgraph);

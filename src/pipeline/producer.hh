@@ -51,6 +51,15 @@ struct ParallelSampleConfig
     std::size_t num_batches = 16;
     std::size_t batch_size = 1024;
     std::uint64_t seed = 0xba7c;
+
+    /**
+     * Global index of the first batch produced: local batch i draws
+     * from fork(first_batch + i) of the master seed. A resumed run
+     * sets this to its restored cursor and regenerates exactly the
+     * batches an uninterrupted run would have seen from that point —
+     * the RNG fork position is the whole sampler state.
+     */
+    std::size_t first_batch = 0;
 };
 
 /**

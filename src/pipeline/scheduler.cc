@@ -11,11 +11,12 @@ namespace smartsage::pipeline
 
 std::vector<ProducedBatch>
 runWorkers(SubgraphProducer &producer, const graph::CsrGraph &graph,
-           const ScheduleConfig &config)
+           const ScheduleConfig &config, bool reset_producer)
 {
     SS_ASSERT(config.workers > 0 && config.num_batches > 0,
               "degenerate schedule");
-    producer.reset();
+    if (reset_producer)
+        producer.reset();
 
     struct Worker
     {

@@ -46,14 +46,17 @@ struct ScheduleConfig
 /**
  * Drive @p producer through @p config.num_batches mini-batches over
  * @p config.workers interleaved worker timelines. The producer is
- * reset() first. Batches are handed to workers dynamically (a worker
- * picks up the next batch the moment it finishes one).
+ * reset() first unless @p reset_producer is false (checkpoint warm
+ * restarts reset and pre-warm the stores themselves before running).
+ * Batches are handed to workers dynamically (a worker picks up the
+ * next batch the moment it finishes one).
  *
  * @return finished batches in completion order
  */
 std::vector<ProducedBatch> runWorkers(SubgraphProducer &producer,
                                       const graph::CsrGraph &graph,
-                                      const ScheduleConfig &config);
+                                      const ScheduleConfig &config,
+                                      bool reset_producer = true);
 
 } // namespace smartsage::pipeline
 

@@ -52,6 +52,8 @@ applyKnob(FaultPlan &plan, std::string_view key, double value)
         plan.outage_period = ms(value);
     else if (key == "degraded_penalty")
         plan.degraded_penalty = value;
+    else if (key == "kill_batch")
+        plan.kill_batch = static_cast<std::uint64_t>(value);
     else
         return false;
     return true;

@@ -61,6 +61,16 @@ struct FaultPlan
     /** Latency multiplier for reads rerouted around a down shard. */
     double degraded_penalty = 4.0;
 
+    /**
+     * Recovery-experiment crash point: the training run is killed
+     * while batch index kill_batch (0-based) is in flight, so batches
+     * [0, kill_batch) have completed and any checkpoint due at or
+     * before that cursor has been written. 0 disables. Deliberately
+     * not part of enabled(): a kill schedule alone injects no storage
+     * faults, so it must not perturb fault-gated serving metrics.
+     */
+    std::uint64_t kill_batch = 0;
+
     /** Host-path injector needed (transient errors or slow service). */
     bool
     injectsHostFaults() const
@@ -80,6 +90,9 @@ struct FaultPlan
     {
         return injectsHostFaults() || injectsEcc() || injectsOutages();
     }
+
+    /** Crash schedule active (recovery experiments). */
+    bool wantsKill() const { return kill_batch != 0; }
 };
 
 /**

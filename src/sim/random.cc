@@ -71,6 +71,24 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+RngState
+Rng::save() const
+{
+    RngState state;
+    for (int i = 0; i < 4; ++i)
+        state.s[i] = s_[i];
+    state.seed = seed_;
+    return state;
+}
+
+void
+Rng::restore(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    seed_ = state.seed;
+}
+
 Rng
 Rng::fork(std::uint64_t stream_id) const
 {

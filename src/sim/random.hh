@@ -16,6 +16,19 @@ namespace smartsage::sim
 {
 
 /**
+ * Exported generator state: the full xoshiro256** word vector plus the
+ * seed the stream was forked from. Plain-old-data so checkpoints can
+ * persist it verbatim; restoring it reproduces the stream bit-exactly,
+ * including every subsequent fork() (forks derive from the seed).
+ */
+struct RngState {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    std::uint64_t seed = 0;
+
+    bool operator==(const RngState &) const = default;
+};
+
+/**
  * xoshiro256** generator with SplitMix64 seeding.
  *
  * One instance per logical actor (e.g. per sampling worker) keeps
@@ -44,6 +57,12 @@ class Rng
      * @p stream_id from this generator's seed.
      */
     Rng fork(std::uint64_t stream_id) const;
+
+    /** Export the full stream position (state words + fork seed). */
+    RngState save() const;
+
+    /** Resume exactly where @p state was captured by save(). */
+    void restore(const RngState &state);
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,228 @@
+#include "serialize.hh"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace smartsage::sim
+{
+
+void
+ByteWriter::u8(std::uint8_t v)
+{
+    buf_.push_back(v);
+}
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::f32(float v)
+{
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+}
+
+void
+ByteWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::str(std::string_view v)
+{
+    u64(v.size());
+    bytes(v.data(), v.size());
+}
+
+void
+ByteWriter::bytes(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + size);
+}
+
+const std::uint8_t *
+ByteReader::need(std::size_t n)
+{
+    if (size_ - pos_ < n)
+        throw SerializeError("truncated payload: need " +
+                             std::to_string(n) + " bytes, have " +
+                             std::to_string(size_ - pos_));
+    const std::uint8_t *p = data_ + pos_;
+    pos_ += n;
+    return p;
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    return *need(1);
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    const std::uint8_t *p = need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    const std::uint8_t *p = need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+float
+ByteReader::f32()
+{
+    std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    std::uint64_t len = u64();
+    const std::uint8_t *p = need(len);
+    return std::string(reinterpret_cast<const char *>(p), len);
+}
+
+void
+ByteReader::bytes(void *out, std::size_t size)
+{
+    std::memcpy(out, need(size), size);
+}
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32(const std::vector<std::uint8_t> &buf)
+{
+    return crc32(buf.data(), buf.size());
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+hashHex(std::uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+void
+atomicWriteFile(const std::string &path,
+                const std::vector<std::uint8_t> &payload)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw SerializeError("cannot open for write: " + tmp);
+        os.write(reinterpret_cast<const char *>(payload.data()),
+                 static_cast<std::streamsize>(payload.size()));
+        if (!os)
+            throw SerializeError("short write: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        throw SerializeError("rename failed: " + tmp + " -> " + path +
+                             " (" + ec.message() + ")");
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is)
+        throw SerializeError("cannot open: " + path);
+    const std::streamsize size = is.tellg();
+    is.seekg(0);
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+    is.read(reinterpret_cast<char *>(buf.data()), size);
+    if (!is)
+        throw SerializeError("short read: " + path);
+    return buf;
+}
+
+} // namespace smartsage::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Byte-exact serialization primitives for checkpointing.
+ *
+ * Everything here is deliberately platform-pinned: integers are
+ * little-endian regardless of host order, floats travel as their IEEE
+ * bit patterns, and string/blob lengths are explicit u64 prefixes. A
+ * payload produced on one run decodes bit-identically on any other,
+ * which is what the suspend/resume bit-identity invariant rests on.
+ *
+ * Malformed input (truncation, bad magic, CRC mismatch) is neither a
+ * simulator bug nor a config error, so it raises SerializeError rather
+ * than going through SS_PANIC/SS_FATAL — callers such as the checkpoint
+ * loader and ckpt_tool catch it and report a recoverable failure.
+ */
+
+#ifndef SMARTSAGE_SIM_SERIALIZE_HH
+#define SMARTSAGE_SIM_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartsage::sim
+{
+
+/** Recoverable decode failure: truncated, corrupt, or wrong-version. */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Append-only little-endian encoder over a growable byte buffer. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** IEEE-754 bit pattern, so the value round-trips bit-exactly. */
+    void f32(float v);
+    void f64(double v);
+    /** u64 length prefix + raw bytes. */
+    void str(std::string_view v);
+    void bytes(const void *data, std::size_t size);
+
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked decoder; throws SerializeError past the end. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+    explicit ByteReader(const std::vector<std::uint8_t> &buf)
+        : ByteReader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    float f32();
+    double f64();
+    std::string str();
+    void bytes(void *out, std::size_t size);
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    const std::uint8_t *need(std::size_t n);
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected). crc32("123456789") ==
+ *  0xCBF43926. */
+std::uint32_t crc32(const void *data, std::size_t size);
+std::uint32_t crc32(const std::vector<std::uint8_t> &buf);
+
+/** FNV-1a 64-bit content hash; used for content-addressed chunk ids. */
+std::uint64_t fnv1a64(const void *data, std::size_t size);
+
+/** Fixed-width lowercase hex rendering of a 64-bit hash. */
+std::string hashHex(std::uint64_t hash);
+
+/**
+ * Durably replace @p path with @p payload: write to a sibling temp
+ * file, then rename over the target so readers never observe a torn
+ * file. Throws SerializeError on I/O failure.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::vector<std::uint8_t> &payload);
+
+/** Read a whole file; throws SerializeError if it cannot be opened. */
+std::vector<std::uint8_t> readFile(const std::string &path);
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_SERIALIZE_HH

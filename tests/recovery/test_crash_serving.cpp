@@ -1,0 +1,191 @@
+/** @file Crash-under-load accounting: a serving run killed mid-stream
+ *  persists its closing counters (saveServingAccounting), the restarted
+ *  run merges them back, and the combined per-tenant books close —
+ *  every request accounted once, no double-counting, tenant mismatches
+ *  and corrupt blobs rejected. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/recovery.hh"
+#include "core/serving.hh"
+#include "core/system.hh"
+#include "core/tenant.hh"
+#include "sim/serialize.hh"
+
+using namespace smartsage;
+using namespace smartsage::core;
+namespace sim = smartsage::sim;
+
+namespace
+{
+
+const Workload &
+smallWorkload()
+{
+    static Workload wl = Workload::make(graph::DatasetId::Amazon, false);
+    return wl;
+}
+
+/** Flash-backed system with an active fault plan: reads fail and
+ *  retry, so shed/retry counters are exercised, not just zeros. */
+SystemConfig
+faultySystem()
+{
+    SystemConfig sc;
+    sc.backend = "ssd-mmap";
+    sc.fanouts = {6, 3};
+    sc.host.io_queue_depth = 8;
+    sc.fault.read_error_rate = 0.2;
+    sc.retry.max_attempts = 2;
+    return sc;
+}
+
+std::vector<TenantClass>
+mixedTenants(std::uint64_t interactive_requests,
+             std::uint64_t batch_requests)
+{
+    TenantClass interactive;
+    interactive.name = "interactive";
+    interactive.arrival_qps = 10000;
+    interactive.fanout = 4;
+    interactive.slo = sim::us(2000);
+    interactive.priority = 10;
+    interactive.requests = interactive_requests;
+
+    TenantClass batch;
+    batch.name = "batch";
+    batch.arrival_qps = 100000;
+    batch.fanout = 16;
+    batch.requests = batch_requests;
+    return {interactive, batch};
+}
+
+ServingResult
+servePhase(std::uint64_t interactive_requests,
+           std::uint64_t batch_requests, std::uint64_t seed)
+{
+    GnnSystem system(faultySystem(), smallWorkload());
+    ServingConfig cfg;
+    cfg.seed = seed;
+    cfg.tenants = mixedTenants(interactive_requests, batch_requests);
+    return runServingLoad(system, cfg);
+}
+
+std::uint64_t
+shedTotal(const ServingResult &r)
+{
+    return r.shed_error + r.shed_timeout + r.shed_admission;
+}
+
+} // namespace
+
+TEST(CrashServing, AccountingRoundTripsThroughBytes)
+{
+    const ServingResult phase = servePhase(16, 160, 0x510a11);
+    ASSERT_EQ(phase.tenants.size(), 2u);
+    EXPECT_GT(phase.io_retries, 0u); // the fault plan actually fired
+
+    const std::vector<std::uint8_t> blob = saveServingAccounting(phase);
+    ServingResult restored;
+    mergeServingAccounting(blob, restored);
+
+    EXPECT_EQ(restored.requests, phase.requests);
+    EXPECT_EQ(restored.completed_ok, phase.completed_ok);
+    EXPECT_EQ(restored.shed_error, phase.shed_error);
+    EXPECT_EQ(restored.shed_timeout, phase.shed_timeout);
+    EXPECT_EQ(restored.shed_admission, phase.shed_admission);
+    EXPECT_EQ(restored.io_retries, phase.io_retries);
+    EXPECT_EQ(restored.io_timeouts, phase.io_timeouts);
+    EXPECT_EQ(restored.io_abandoned, phase.io_abandoned);
+    ASSERT_EQ(restored.tenants.size(), phase.tenants.size());
+    for (std::size_t i = 0; i < phase.tenants.size(); ++i) {
+        EXPECT_EQ(restored.tenants[i].name, phase.tenants[i].name);
+        EXPECT_EQ(restored.tenants[i].slo, phase.tenants[i].slo);
+        EXPECT_EQ(restored.tenants[i].requests,
+                  phase.tenants[i].requests);
+        EXPECT_EQ(restored.tenants[i].completed_ok,
+                  phase.tenants[i].completed_ok);
+        EXPECT_EQ(restored.tenants[i].slo_met,
+                  phase.tenants[i].slo_met);
+        EXPECT_EQ(restored.tenants[i].shed, phase.tenants[i].shed);
+    }
+}
+
+TEST(CrashServing, SplitRunBooksCloseWithoutDoubleCounting)
+{
+    // The crash scenario: phase one serves part of the load, the
+    // process dies, a restart serves the remainder and merges the
+    // persisted counters of phase one.
+    const ServingResult before = servePhase(16, 160, 0x510a11);
+    const std::vector<std::uint8_t> blob =
+        saveServingAccounting(before);
+
+    ServingResult merged = servePhase(16, 160, 0xc0ffee);
+    const ServingResult after = merged; // phase two alone
+    mergeServingAccounting(blob, merged);
+
+    // Totals are exactly the sum of the two phases.
+    EXPECT_EQ(merged.requests, before.requests + after.requests);
+    EXPECT_EQ(merged.completed_ok,
+              before.completed_ok + after.completed_ok);
+    EXPECT_EQ(shedTotal(merged), shedTotal(before) + shedTotal(after));
+    EXPECT_EQ(merged.io_retries, before.io_retries + after.io_retries);
+
+    // The books close globally and per tenant: every request is
+    // answered or shed, exactly once.
+    EXPECT_EQ(merged.completed_ok + shedTotal(merged), merged.requests);
+    ASSERT_EQ(merged.tenants.size(), 2u);
+    std::uint64_t tenant_requests = 0;
+    for (std::size_t i = 0; i < merged.tenants.size(); ++i) {
+        const TenantServingResult &t = merged.tenants[i];
+        EXPECT_EQ(t.requests, before.tenants[i].requests +
+                                  after.tenants[i].requests);
+        EXPECT_EQ(t.completed_ok + t.shed, t.requests) << t.name;
+        tenant_requests += t.requests;
+    }
+    EXPECT_EQ(tenant_requests, merged.requests);
+
+    // Applying the same blob again would double-count: the sums move
+    // past the true totals, which is exactly why the contract is
+    // merge-exactly-once.
+    ServingResult twice = merged;
+    mergeServingAccounting(blob, twice);
+    EXPECT_EQ(twice.requests, merged.requests + before.requests);
+}
+
+TEST(CrashServing, TenantSetMismatchIsRejected)
+{
+    const ServingResult phase = servePhase(16, 160, 0x510a11);
+    const std::vector<std::uint8_t> blob = saveServingAccounting(phase);
+
+    ServingResult other = servePhase(16, 160, 0x510a11);
+    other.tenants[1].name = "analytics"; // not the saved tenant set
+    EXPECT_THROW(mergeServingAccounting(blob, other),
+                 sim::SerializeError);
+
+    ServingResult fewer = servePhase(16, 160, 0x510a11);
+    fewer.tenants.pop_back();
+    EXPECT_THROW(mergeServingAccounting(blob, fewer),
+                 sim::SerializeError);
+}
+
+TEST(CrashServing, CorruptBlobsAreRejected)
+{
+    const ServingResult phase = servePhase(16, 160, 0x510a11);
+    const std::vector<std::uint8_t> blob = saveServingAccounting(phase);
+
+    std::vector<std::uint8_t> flipped = blob;
+    flipped[flipped.size() / 2] ^= 0x40;
+    ServingResult into;
+    EXPECT_THROW(mergeServingAccounting(flipped, into),
+                 sim::SerializeError);
+
+    std::vector<std::uint8_t> truncated = blob;
+    truncated.resize(truncated.size() - 2);
+    EXPECT_THROW(mergeServingAccounting(truncated, into),
+                 sim::SerializeError);
+
+    EXPECT_THROW(mergeServingAccounting({}, into), sim::SerializeError);
+}

@@ -1,0 +1,244 @@
+/** @file The headline recovery invariant: a training run suspended at
+ *  batch k and resumed from its checkpoint ends bit-identical (model
+ *  hash, loss bits, sampled edges) to an uninterrupted run, at any
+ *  worker count — and the recovery-space artifact is a pure function
+ *  of the scenario, byte-identical across runner worker counts. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <bit>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/recovery.hh"
+#include "core/scenario.hh"
+#include "core/system.hh"
+#include "gnn/model.hh"
+
+namespace fs = std::filesystem;
+using namespace smartsage;
+using namespace smartsage::core;
+
+namespace
+{
+
+const Workload &
+smallWorkload()
+{
+    static Workload wl = Workload::make(graph::DatasetId::Amazon, false);
+    return wl;
+}
+
+SystemConfig
+trainConfig()
+{
+    SystemConfig sc;
+    sc.backend = "ssd-mmap";
+    sc.fanouts = {6, 3};
+    sc.pipeline.batch_size = 64;
+    return sc;
+}
+
+fs::path
+scratchDir(const std::string &tag)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("resume-test-" + std::to_string(::getpid()) + "-" +
+                    tag);
+    fs::remove_all(dir);
+    return dir;
+}
+
+std::uint64_t
+lossBits(double loss)
+{
+    return std::bit_cast<std::uint64_t>(loss);
+}
+
+const Scenario &
+recoverySpaceScenario()
+{
+    for (const Scenario &s : extraScenarios()) {
+        if (s.family == "recovery-space")
+            return s;
+    }
+    ADD_FAILURE() << "recovery-space family is not registered";
+    static Scenario empty;
+    return empty;
+}
+
+} // namespace
+
+TEST(ResumeIdentity, SuspendResumeMatchesUninterruptedAtAnyWorkers)
+{
+    const std::size_t total = 6;
+    const std::uint64_t kill = 5;
+
+    // Uninterrupted reference (inert checkpoint config), once.
+    GnnSystem ref_system(trainConfig(), smallWorkload());
+    gnn::SageModel ref_model(checkpointModelConfig(ref_system));
+    TrainRunOptions ref_options;
+    ref_options.total_batches = total;
+    const TrainRunResult ref =
+        runCheckpointedTraining(ref_system, ref_model, ref_options);
+    EXPECT_FALSE(ref.resumed);
+    EXPECT_EQ(ref.end_batch, total);
+
+    for (unsigned workers : {1u, 2u, 4u}) {
+        const fs::path dir =
+            scratchDir("w" + std::to_string(workers));
+        SystemConfig sc = trainConfig();
+        sc.ckpt.interval_batches = 2;
+        sc.ckpt.dir = dir.string();
+
+        // Phase A: crash while batch `kill` is in flight. Batches
+        // [0, 5) completed, checkpoints landed at steps 2 and 4.
+        GnnSystem crash_system(sc, smallWorkload());
+        gnn::SageModel crash_model(
+            checkpointModelConfig(crash_system));
+        TrainRunOptions crash_options;
+        crash_options.workers = workers;
+        crash_options.total_batches = total;
+        crash_options.kill_batch = kill;
+        const TrainRunResult crashed = runCheckpointedTraining(
+            crash_system, crash_model, crash_options);
+        EXPECT_FALSE(crashed.resumed);
+        EXPECT_EQ(crashed.end_batch, kill);
+        EXPECT_EQ(crashed.stats.saves, 2u);
+
+        // Phase B: a fresh process restores the newest manifest and
+        // finishes the run. One batch of work was lost to the crash.
+        GnnSystem resumed_system(sc, smallWorkload());
+        gnn::SageModel resumed_model(
+            checkpointModelConfig(resumed_system));
+        TrainRunOptions resume_options;
+        resume_options.workers = workers;
+        resume_options.total_batches = total;
+        const TrainRunResult resumed = runCheckpointedTraining(
+            resumed_system, resumed_model, resume_options);
+        EXPECT_TRUE(resumed.resumed);
+        EXPECT_EQ(resumed.start_batch, 4u);
+        EXPECT_EQ(resumed.end_batch, total);
+        EXPECT_EQ(resumed.stats.loads, 1u);
+
+        // Bit-identity against the uninterrupted reference.
+        EXPECT_EQ(resumed_model.stateHash(), ref_model.stateHash())
+            << "workers=" << workers;
+        EXPECT_EQ(lossBits(resumed.loss_sum), lossBits(ref.loss_sum))
+            << "workers=" << workers;
+        EXPECT_EQ(resumed.sampled_edges, ref.sampled_edges);
+
+        fs::remove_all(dir);
+    }
+}
+
+TEST(ResumeIdentity, CrashBeforeFirstCheckpointRestartsFromScratch)
+{
+    const fs::path dir = scratchDir("cold");
+    SystemConfig sc = trainConfig();
+    sc.ckpt.interval_batches = 4;
+    sc.ckpt.dir = dir.string();
+
+    // Kill at batch 3: no checkpoint is due yet, so nothing survives
+    // and the restart re-trains everything — still bit-identical.
+    GnnSystem crash_system(sc, smallWorkload());
+    gnn::SageModel crash_model(checkpointModelConfig(crash_system));
+    TrainRunOptions options;
+    options.total_batches = 4;
+    options.kill_batch = 3;
+    const TrainRunResult crashed =
+        runCheckpointedTraining(crash_system, crash_model, options);
+    EXPECT_EQ(crashed.stats.saves, 0u);
+
+    GnnSystem resumed_system(sc, smallWorkload());
+    gnn::SageModel resumed_model(
+        checkpointModelConfig(resumed_system));
+    options.kill_batch = 0;
+    const TrainRunResult resumed = runCheckpointedTraining(
+        resumed_system, resumed_model, options);
+    EXPECT_FALSE(resumed.resumed);
+    EXPECT_EQ(resumed.start_batch, 0u);
+    EXPECT_EQ(resumed.end_batch, 4u);
+
+    GnnSystem ref_system(trainConfig(), smallWorkload());
+    gnn::SageModel ref_model(checkpointModelConfig(ref_system));
+    TrainRunOptions ref_options;
+    ref_options.total_batches = 4;
+    const TrainRunResult ref =
+        runCheckpointedTraining(ref_system, ref_model, ref_options);
+    EXPECT_EQ(resumed_model.stateHash(), ref_model.stateHash());
+    EXPECT_EQ(lossBits(resumed.loss_sum), lossBits(ref.loss_sum));
+    fs::remove_all(dir);
+}
+
+TEST(RecoveryCell, MetricsSeparateCheckpointIntervals)
+{
+    const Scenario &family = recoverySpaceScenario();
+    ASSERT_EQ(family.kind, ExperimentKind::Recovery);
+
+    // One backend is enough to exercise every interval variant.
+    Scenario s = family;
+    s.backends = {family.backends.front()};
+
+    ExperimentRunner runner;
+    ScenarioRun run = runner.run(s);
+    ASSERT_EQ(run.cells.size(), family.overrides.size());
+
+    // kill_batch=3 against intervals {1, 2, 4}: the crash loses 0, 1,
+    // and 3 batches respectively; the warm variant mirrors interval 2.
+    EXPECT_EQ(run.cells[0].cell.knobs.front().label(),
+              "ckpt.interval_batches=1");
+    EXPECT_EQ(run.cells[0].metric("lost_work_batches"), 0.0);
+    EXPECT_EQ(run.cells[1].metric("lost_work_batches"), 1.0);
+    EXPECT_EQ(run.cells[2].metric("lost_work_batches"), 3.0);
+    EXPECT_EQ(run.cells[3].metric("lost_work_batches"), 1.0);
+
+    for (const CellResult &cell : run.cells) {
+        EXPECT_EQ(cell.metric("resume_bit_identical"), 1.0)
+            << cell.cell.label();
+        EXPECT_GT(cell.metric("recovery_time_us"), 0.0);
+    }
+
+    // Tighter checkpointing pays more write overhead but loses less
+    // work; the interval-4 cell never checkpoints at all.
+    EXPECT_GT(run.cells[0].metric("ckpt_overhead_frac"),
+              run.cells[1].metric("ckpt_overhead_frac"));
+    EXPECT_EQ(run.cells[2].metric("ckpt_overhead_frac"), 0.0);
+    EXPECT_EQ(run.cells[2].metric("checkpoints"), 0.0);
+    EXPECT_LT(run.cells[0].metric("recovery_time_us"),
+              run.cells[2].metric("recovery_time_us"));
+}
+
+TEST(RecoverySpace, ArtifactIsWorkerCountInvariant)
+{
+    Scenario s = recoverySpaceScenario();
+    s.backends = {s.backends.front()};
+
+    ExperimentRunner serial(RunnerOptions{1, false, false});
+    ExperimentRunner parallel(RunnerOptions{4, false, false});
+    ScenarioRun a = serial.run(s);
+    ScenarioRun b = parallel.run(s);
+
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        ASSERT_EQ(a.cells[i].metrics.size(), b.cells[i].metrics.size());
+        for (std::size_t m = 0; m < a.cells[i].metrics.size(); ++m) {
+            EXPECT_EQ(a.cells[i].metrics[m].name,
+                      b.cells[i].metrics[m].name);
+            EXPECT_EQ(lossBits(a.cells[i].metrics[m].value),
+                      lossBits(b.cells[i].metrics[m].value))
+                << a.cells[i].cell.label() << " "
+                << a.cells[i].metrics[m].name;
+        }
+    }
+
+    std::ostringstream ja, jb;
+    writeDesignSpaceJson(ja, {a}, "recovery_space");
+    writeDesignSpaceJson(jb, {b}, "recovery_space");
+    EXPECT_EQ(ja.str(), jb.str());
+}

@@ -77,6 +77,39 @@ TEST(Random, ForkIsDeterministic)
         EXPECT_EQ(a.next(), b.next());
 }
 
+TEST(Random, SaveRestoreRoundTripsMidStream)
+{
+    Rng rng(0xfeedULL);
+    for (int i = 0; i < 37; ++i)
+        rng.next();
+
+    const RngState state = rng.save();
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 50; ++i)
+        expected.push_back(rng.next());
+
+    Rng restored(1); // unrelated seed; restore overwrites everything
+    restored.restore(state);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(restored.next(), expected[i]);
+
+    // A restored generator forks the same child streams too.
+    Rng a(0xfeedULL), b(1);
+    b.restore(a.save());
+    Rng fa = a.fork(9), fb = b.fork(9);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Random, SavedStatesCompareByValue)
+{
+    Rng a(5), b(5), c(6);
+    EXPECT_TRUE(a.save() == b.save());
+    EXPECT_FALSE(a.save() == c.save());
+    a.next();
+    EXPECT_FALSE(a.save() == b.save());
+}
+
 /** Property sweep: bounded draws look uniform for several bounds. */
 class RandomUniformity : public ::testing::TestWithParam<std::uint64_t>
 {

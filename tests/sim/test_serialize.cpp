@@ -1,0 +1,136 @@
+/** @file Byte-exact serialization primitives (sim/serialize.hh):
+ *  writer/reader round-trips, bounds checking, CRC-32 and FNV-1a
+ *  reference vectors, and atomic file replacement. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/serialize.hh"
+
+namespace fs = std::filesystem;
+using namespace smartsage::sim;
+
+namespace
+{
+
+fs::path
+scratchDir()
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("serialize-test-" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(Serialize, WriterReaderRoundTripAllTypes)
+{
+    ByteWriter writer;
+    writer.u8(0xab);
+    writer.u32(0xdeadbeefu);
+    writer.u64(0x0123456789abcdefULL);
+    writer.f32(-1.5f);
+    writer.f64(3.14159);
+    writer.str("hello \0 world"); // string_view keeps the NUL out
+    writer.str("");
+    const std::uint8_t blob[] = {9, 8, 7};
+    writer.bytes(blob, sizeof(blob));
+
+    ByteReader reader(writer.buffer());
+    EXPECT_EQ(reader.u8(), 0xab);
+    EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+    EXPECT_EQ(reader.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(reader.f32(), -1.5f);
+    EXPECT_EQ(reader.f64(), 3.14159);
+    EXPECT_EQ(reader.str(), "hello ");
+    EXPECT_EQ(reader.str(), "");
+    std::uint8_t out[3] = {};
+    reader.bytes(out, sizeof(out));
+    EXPECT_EQ(out[0], 9);
+    EXPECT_EQ(out[2], 7);
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(Serialize, FloatsRoundTripBitExactly)
+{
+    // NaN payloads and signed zeros survive: values travel as bit
+    // patterns, never through text.
+    ByteWriter writer;
+    writer.f64(std::numeric_limits<double>::quiet_NaN());
+    writer.f64(-0.0);
+    writer.f32(std::numeric_limits<float>::infinity());
+
+    ByteReader reader(writer.buffer());
+    EXPECT_TRUE(std::isnan(reader.f64()));
+    EXPECT_TRUE(std::signbit(reader.f64()));
+    EXPECT_TRUE(std::isinf(reader.f32()));
+}
+
+TEST(Serialize, IntegersAreLittleEndianOnTheWire)
+{
+    ByteWriter writer;
+    writer.u32(0x01020304u);
+    const std::vector<std::uint8_t> &buf = writer.buffer();
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf[0], 0x04);
+    EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Serialize, ReaderThrowsPastTheEnd)
+{
+    ByteWriter writer;
+    writer.u32(7);
+    ByteReader reader(writer.buffer());
+    EXPECT_EQ(reader.u32(), 7u);
+    EXPECT_THROW(reader.u8(), SerializeError);
+
+    // A length prefix pointing past the buffer is caught, not read.
+    ByteWriter bad;
+    bad.u64(1000); // claims a 1000-byte string in a 8-byte buffer
+    ByteReader bad_reader(bad.buffer());
+    EXPECT_THROW(bad_reader.str(), SerializeError);
+}
+
+TEST(Serialize, Crc32MatchesReferenceVector)
+{
+    const std::string check = "123456789";
+    EXPECT_EQ(crc32(check.data(), check.size()), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Serialize, Fnv1a64MatchesReferenceVectors)
+{
+    // Classic FNV-1a test vectors.
+    EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+    const std::string a = "a";
+    EXPECT_EQ(fnv1a64(a.data(), a.size()), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(hashHex(0xaf63dc4c8601ec8cULL), "af63dc4c8601ec8c");
+    EXPECT_EQ(hashHex(0x1ULL), "0000000000000001");
+}
+
+TEST(Serialize, AtomicWriteThenReadRoundTrips)
+{
+    const fs::path dir = scratchDir();
+    const std::string path = (dir / "payload.bin").string();
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 251};
+
+    atomicWriteFile(path, payload);
+    EXPECT_EQ(readFile(path), payload);
+
+    // Replacement is whole-file: the old content never mixes in.
+    const std::vector<std::uint8_t> shorter = {9};
+    atomicWriteFile(path, shorter);
+    EXPECT_EQ(readFile(path), shorter);
+
+    EXPECT_THROW(readFile((dir / "missing.bin").string()),
+                 SerializeError);
+    fs::remove_all(dir);
+}
