@@ -6,9 +6,11 @@
  * forms, plus the storage blocking-adapter overhead (direct service
  * call vs submit-and-drain through the async request layer) and the
  * feature-cache decorator's replay-path cost/benefit (raw store vs an
- * LRU-cached store on a skewed gather stream), and emits
- * machine-readable BENCH_hotpath.json so every future PR can be
- * checked against this perf trajectory.
+ * LRU-cached store on a skewed gather stream), the MSHR/coalescing
+ * miss path under concurrent duplicate-heavy gathers (legacy
+ * forward-everything vs coalesced line fills with piggybacked
+ * secondary misses), and emits machine-readable BENCH_hotpath.json so
+ * every future PR can be checked against this perf trajectory.
  *
  * Naive forms: SageSampler::sampleBaseline (per-batch hash dedup,
  * virtual visitor dispatch) and KernelMode::Naive (reference loops).
@@ -100,6 +102,17 @@ struct CacheCost
     double raw_ops_per_s = 0;    //!< undecorated blocking gathers
     double cached_ops_per_s = 0; //!< through the LRU feature cache
     double hit_frac = 0;         //!< line hit rate the stream reached
+};
+
+/** MSHR + gather-coalescing benefit on concurrent duplicate misses. */
+struct MshrCost
+{
+    double nomshr_ops_per_s = 0; //!< wall throughput, legacy miss path
+    double mshr_ops_per_s = 0;   //!< wall throughput, MSHRs on
+    double inner_cmds_nomshr = 0; //!< storage commands, legacy path
+    double inner_cmds_mshr = 0;   //!< storage commands, MSHRs on
+    double piggyback_frac = 0; //!< misses served by an in-flight fill
+    double sim_speedup = 0;    //!< simulated makespan ratio (old/new)
 };
 
 /**
@@ -225,6 +238,92 @@ benchFeatureCache(const BenchConfig &cfg)
             static_cast<double>(gathers.size()) / (now_s() - t0);
         cost.hit_frac = store.hitRate();
     }
+    return cost;
+}
+
+/**
+ * The MSHR/coalescing leg: a duplicate-heavy gather stream (entries of
+ * one gather straddle the same hot lines, and concurrent gathers miss
+ * on the same lines) submitted open-loop through the async port, so
+ * misses genuinely overlap. Identical streams with the MSHR path on
+ * and off; wall throughput, inner storage commands, and the simulated
+ * makespan measure what coalescing and piggybacking buy.
+ */
+MshrCost
+benchMshr(const BenchConfig &cfg)
+{
+    host::HostConfig host;
+    host.scratchpad_bytes = sim::MiB(4);
+    ssd::SsdConfig ssd_cfg;
+    ssd_cfg.page_buffer_bytes = sim::MiB(8);
+
+    // 80% of gathers land in a hot set barely larger than the cache
+    // line count, so concurrent misses collide on the same lines.
+    const std::uint64_t span = sim::MiB(512);
+    const std::uint64_t hot_span = sim::MiB(4);
+    std::vector<std::vector<std::uint64_t>> gathers(cfg.storage_gathers);
+    sim::Rng rng(0x3577);
+    for (auto &addrs : gathers) {
+        addrs.resize(16);
+        bool hot = rng.nextBounded(100) < 80;
+        std::uint64_t node_base =
+            rng.nextBounded(hot ? hot_span : span);
+        // Entries cluster within a couple of lines of the base: heavy
+        // intra-gather duplication once rounded to 4 KiB lines.
+        for (auto &a : addrs)
+            a = node_base + rng.nextBounded(sim::KiB(8));
+    }
+
+    auto run = [&](bool mshr, double &ops_per_s, double &inner_cmds,
+                   double &piggyback_frac) {
+        ssd::SsdDevice ssd(ssd_cfg);
+        host::FeatureCacheParams params;
+        params.policy = host::FeatureCachePolicy::Lru;
+        params.line_bytes = sim::KiB(4);
+        params.capacity_bytes = sim::MiB(8);
+        params.mshr_enabled = mshr;
+        host::FeatureCacheStore store(
+            std::make_unique<host::DirectIoEdgeStore>(host, ssd),
+            params);
+
+        // Open-loop arrivals 500 ns apart: tens of requests overlap in
+        // flight, the regime MSHRs exist for.
+        sim::EventQueue eq;
+        std::size_t completed = 0;
+        double t0 = now_s();
+        for (std::size_t i = 0; i < gathers.size(); ++i) {
+            eq.schedule(sim::ns(500) * i, [&, i] {
+                store.submitGather(eq, gathers[i], 8,
+                                   [&completed](sim::Tick,
+                                                sim::IoStatus) {
+                                       ++completed;
+                                   });
+            });
+        }
+        sim::Tick makespan = eq.run();
+        ops_per_s = static_cast<double>(completed) / (now_s() - t0);
+        inner_cmds =
+            static_cast<double>(store.ioChannel().submitted());
+        const host::FeatureCacheStats &cs = store.stats();
+        piggyback_frac =
+            cs.misses ? static_cast<double>(cs.mshr_piggybacks) /
+                            static_cast<double>(cs.misses)
+                      : 0.0;
+        return makespan;
+    };
+
+    MshrCost cost;
+    double unused = 0;
+    sim::Tick makespan_nomshr =
+        run(false, cost.nomshr_ops_per_s, cost.inner_cmds_nomshr,
+            unused);
+    sim::Tick makespan_mshr = run(true, cost.mshr_ops_per_s,
+                                  cost.inner_cmds_mshr,
+                                  cost.piggyback_frac);
+    cost.sim_speedup =
+        makespan_mshr ? static_cast<double>(makespan_nomshr) /
+                            static_cast<double>(makespan_mshr)
+                      : 0.0;
     return cost;
 }
 
@@ -378,7 +477,7 @@ void
 writeJson(std::ostream &os, const BenchConfig &cfg, const Pair &sampler,
           const Pair &mm, const Pair &mm_tn, const Pair &mm_nt,
           const Pair &pipeline, const AdapterCost &adapter,
-          const CacheCost &cache)
+          const CacheCost &cache, const MshrCost &mshr)
 {
     auto obj = [&os](const char *name, const Pair &p, const char *unit,
                      bool last = false) {
@@ -415,7 +514,14 @@ writeJson(std::ostream &os, const BenchConfig &cfg, const Pair &sampler,
     os << "    \"feature_cache\": {\"raw_ops_per_s\": "
        << cache.raw_ops_per_s << ", \"cached_ops_per_s\": "
        << cache.cached_ops_per_s << ", \"hit_frac\": "
-       << cache.hit_frac << ", \"unit\": \"gathers/s\"}\n";
+       << cache.hit_frac << ", \"unit\": \"gathers/s\"},\n";
+    os << "    \"feature_cache_mshr\": {\"nomshr_ops_per_s\": "
+       << mshr.nomshr_ops_per_s << ", \"mshr_ops_per_s\": "
+       << mshr.mshr_ops_per_s << ", \"inner_cmds_nomshr\": "
+       << mshr.inner_cmds_nomshr << ", \"inner_cmds_mshr\": "
+       << mshr.inner_cmds_mshr << ", \"piggyback_frac\": "
+       << mshr.piggyback_frac << ", \"sim_speedup\": "
+       << mshr.sim_speedup << ", \"unit\": \"gathers/s\"}\n";
     os << "  },\n"
        << "  \"acceptance\": {\n"
        << "    \"sampler_speedup_target\": 3.0,\n"
@@ -512,6 +618,10 @@ main(int argc, char **argv)
               << cfg.storage_gathers << " gathers)...\n";
     CacheCost cache = benchFeatureCache(cfg);
 
+    std::cout << "perf_hotpath: MSHR/coalescing miss path ("
+              << cfg.storage_gathers << " concurrent gathers)...\n";
+    MshrCost mshr = benchMshr(cfg);
+
     auto report = [](const char *name, const Pair &p, const char *unit) {
         std::cout << "  " << name << ": naive " << p.naive << " " << unit
                   << ", fast " << p.fast << " " << unit << "  ("
@@ -531,6 +641,11 @@ main(int argc, char **argv)
               << " gathers/s, cached " << cache.cached_ops_per_s
               << " gathers/s  (hit rate " << cache.hit_frac * 100.0
               << "%)\n";
+    std::cout << "  mshr      : " << mshr.inner_cmds_nomshr
+              << " -> " << mshr.inner_cmds_mshr
+              << " storage cmds, piggyback "
+              << mshr.piggyback_frac * 100.0 << "%, sim makespan "
+              << mshr.sim_speedup << "x\n";
 
     std::ofstream json(out_path);
     if (!json) {
@@ -538,7 +653,7 @@ main(int argc, char **argv)
         return 1;
     }
     writeJson(json, cfg, sampler, mm, mm_tn, mm_nt, pipeline, adapter,
-              cache);
+              cache, mshr);
     std::cout << "perf_hotpath: wrote " << out_path << "\n";
 
     const bool pass =

@@ -14,8 +14,8 @@ compared file:
     table below (GATED_METRICS): "higher" metrics (throughput, goodput,
     SLO attainment) must not drop, "lower" metrics (latency
     percentiles, shed fraction) must not rise.
-  * informational drift -> reported but not gating (counters, hit
-    fractions, metrics added by new features).
+  * informational drift -> reported but not gating (counters,
+    occupancy fractions, metrics added by new features).
 
 Cells are matched on their identity axes (dataset, design, fanouts,
 batch, mix, workers, knobs, serving axes) so reordering families or
@@ -60,6 +60,11 @@ GATED_METRICS = {
     "recovery_time_us": "lower",
     "lost_work_batches": "lower",
     "ckpt_overhead_frac": "lower",
+    # Cache effectiveness headlines (cache-policy family): the demand
+    # hit fraction and, on hoard-enabled cells, the useful fraction of
+    # issued prefetch lines must not drop at the same configuration.
+    "cache_hit_frac": "higher",
+    "prefetch_hit_frac": "higher",
     # Latency-like: serving-mode percentile headlines.
     "avg_sample_ms": "lower",
     "p50_us": "lower",

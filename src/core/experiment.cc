@@ -145,6 +145,10 @@ executeCell(const ExperimentCell &cell, const Workload &workload,
     // cache-disabled runs keep their pre-cache metric set and notes.
     if (const host::FeatureCacheStore *cache = system.featureCache()) {
         add("cache_hit_frac", cache->hitRate());
+        // The prefetch column only for hoard-enabled cells: demand-only
+        // cells keep their pre-prefetch metric set.
+        if (cache->params().prefetch_enabled)
+            add("prefetch_hit_frac", cache->stats().prefetchHitRate());
         std::string note =
             "cache " +
             host::featureCachePolicyName(cache->params().policy) + " " +

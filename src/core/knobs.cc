@@ -206,6 +206,27 @@ knobCatalog()
               "fill/lookup line granularity in KiB", 8},
              {"hit_ns", "double", "150", "> 0",
               "host DRAM hit latency of a cached line", 200},
+             {"mshr.enabled", "bool", "1", "0/1",
+              "per-line MSHRs + gather coalescing on the miss path; "
+              "0 restores the pre-MSHR forward-everything behavior",
+              1},
+             {"mshr.entries", "int", "64", "[1, 65536]",
+              "max distinct lines in flight; further misses park "
+              "FIFO until a fill frees an entry",
+              32},
+             {"mshr.waiters", "int", "16", "[1, 65536]",
+              "max requests coalesced onto one in-flight line", 8},
+             {"prefetch.enabled", "bool", "0", "0/1 (needs mshr)",
+              "hoard-style async prefetch of announced gather lists "
+              "through low-priority fills",
+              1},
+             {"prefetch.lookahead", "int", "1", "[1, 64]",
+              "serving requests announced ahead of demand on the "
+              "classic open-loop path",
+              2},
+             {"prefetch.max_lines", "int", "256", "[1, 1048576]",
+              "line budget of one announced batch; excess lines shed",
+              64},
          }},
         {"multi-ssd.", "Sharded-SSD backend (registry-routed)",
          "src/ssd/sharded_ssd.cc",

@@ -441,6 +441,19 @@ cachePolicyOverrides()
             overrides.push_back(
                 {{"cache.policy", static_cast<double>(policy)},
                  {"cache.capacity_fraction", fraction}});
+    // Miss-path variants at the headline capacity: the MSHR ablation
+    // (coalescing off, the pre-MSHR miss path) quantifies what
+    // piggybacking buys, and the hoard-prefetch points are the cells
+    // whose prefetch_hit_frac the bench gate watches.
+    overrides.push_back({{"cache.policy", 0.0},
+                         {"cache.capacity_fraction", 0.4},
+                         {"cache.mshr.enabled", 0.0}});
+    overrides.push_back({{"cache.policy", 0.0},
+                         {"cache.capacity_fraction", 0.4},
+                         {"cache.prefetch.enabled", 1.0}});
+    overrides.push_back({{"cache.policy", 2.0},
+                         {"cache.capacity_fraction", 0.4},
+                         {"cache.prefetch.enabled", 1.0}});
     return overrides;
 }
 

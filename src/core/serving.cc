@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "host/feature_cache.hh"
 #include "host/io_path.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -389,10 +390,27 @@ runServingLoad(GnnSystem &system, const ServingConfig &config)
     result.offered_qps = config.arrival_qps;
     result.requests = requests.size();
 
+    // Hoard lookahead: when the cache's prefetcher is on, the arrival
+    // of request i announces request i + lookahead's gather list, so
+    // its lines stream in as low-priority fills while earlier demand
+    // is served. The first `lookahead` requests run cold. The
+    // multi-tenant path stays demand-only: its per-tenant streams
+    // interleave, so one stream's lookahead would mispredict the
+    // device-level arrival order.
+    host::FeatureCacheStore *cache = system.featureCache();
+    const std::size_t lookahead =
+        cache && cache->prefetchEnabled()
+            ? cache->params().prefetch_lookahead
+            : 0;
+
     sim::EventQueue eq;
     sim::Tick last_completion = 0;
-    for (const ServingRequest &req : requests) {
-        eq.schedule(req.arrival, [&, &req = req] {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const ServingRequest &req = requests[i];
+        eq.schedule(req.arrival, [&, &req = req, i] {
+            if (lookahead && i + lookahead < requests.size())
+                cache->announceGather(
+                    eq, requests[i + lookahead].addrs, entry_bytes);
             store->submitGather(
                 eq, req.addrs, entry_bytes,
                 [&result, &last_completion,

@@ -242,10 +242,43 @@ GnnSystem::statRows() const
             "victims replaced by fills");
         add("host.feature_cache.hit_rate", cs.hitRate(),
             "feature-cache line hit rate");
+        // Miss-path concurrency rows only when the machinery is on, so
+        // an mshr-disabled cache keeps the pre-MSHR stats schema.
+        if (cache->params().mshr_enabled) {
+            add("host.feature_cache.mshr_piggybacks",
+                static_cast<double>(cs.mshr_piggybacks),
+                "secondary misses attached to an in-flight fill");
+            add("host.feature_cache.gather_dedup",
+                static_cast<double>(cs.gather_dedup),
+                "duplicate missing lines folded within one gather");
+            add("host.feature_cache.mshr_stalls",
+                static_cast<double>(cs.mshr_stalls),
+                "requests parked on a full MSHR table/waiter list");
+        }
+        if (cache->params().prefetch_enabled) {
+            add("host.feature_cache.prefetch_issued",
+                static_cast<double>(cs.prefetch_issued),
+                "lines fetched by the hoard prefetcher");
+            add("host.feature_cache.prefetch_useful",
+                static_cast<double>(cs.prefetch_useful),
+                "prefetched lines a demand touch wanted");
+            add("host.feature_cache.prefetch_dropped",
+                static_cast<double>(cs.prefetch_dropped),
+                "announced lines shed (budget or MSHR full)");
+            add("host.feature_cache.prefetch_hit_rate",
+                cs.prefetchHitRate(),
+                "useful fraction of issued prefetch lines");
+        }
         if (config_.fault.enabled()) {
             add("host.feature_cache.failed_fills",
                 static_cast<double>(cs.failed_fills),
-                "miss lines never installed (read failed)");
+                "demand fill lines never installed (read failed; "
+                "counted once per line however many waiters "
+                "coalesced)");
+            if (cache->params().prefetch_enabled)
+                add("host.feature_cache.prefetch_failed",
+                    static_cast<double>(cs.prefetch_failed),
+                    "prefetch fill lines shed on a failed read");
         }
     }
     // Recovery counters appear only when a fault source or deadline is

@@ -63,12 +63,14 @@ class LruPolicy final : public CacheReplacementPolicy
     }
 
     bool
-    fill(std::uint64_t line) override
+    fill(std::uint64_t line, std::uint64_t *victim) override
     {
         if (max_lines_ == 0)
             return false;
         bool evicted = false;
         if (order_.size() >= max_lines_) {
+            if (victim)
+                *victim = order_.back();
             index_.erase(order_.back());
             order_.pop_back();
             evicted = true;
@@ -130,7 +132,7 @@ class ClockPolicy final : public CacheReplacementPolicy
     }
 
     bool
-    fill(std::uint64_t line) override
+    fill(std::uint64_t line, std::uint64_t *victim) override
     {
         if (max_lines_ == 0)
             return false;
@@ -143,6 +145,8 @@ class ClockPolicy final : public CacheReplacementPolicy
             slots_[hand_].referenced = false;
             hand_ = (hand_ + 1) % slots_.size();
         }
+        if (victim)
+            *victim = slots_[hand_].line;
         index_.erase(slots_[hand_].line);
         slots_[hand_] = {line, false};
         index_[line] = hand_;
@@ -215,15 +219,17 @@ class LfuLitePolicy final : public CacheReplacementPolicy
     }
 
     bool
-    fill(std::uint64_t line) override
+    fill(std::uint64_t line, std::uint64_t *victim) override
     {
         if (max_lines_ == 0)
             return false;
         bool evicted = false;
         if (entries_.size() >= max_lines_) {
-            auto victim = queue_.begin();
-            entries_.erase(std::get<2>(*victim));
-            queue_.erase(victim);
+            auto coldest = queue_.begin();
+            if (victim)
+                *victim = std::get<2>(*coldest);
+            entries_.erase(std::get<2>(*coldest));
+            queue_.erase(coldest);
             evicted = true;
         }
         Entry e{1, ++stamp_};
@@ -288,9 +294,10 @@ class DegreePinPolicy final : public CacheReplacementPolicy
     }
 
     bool
-    fill(std::uint64_t line) override
+    fill(std::uint64_t line, std::uint64_t *victim) override
     {
         (void)line; // misses stay misses: the pin set is the cache
+        (void)victim;
         return false;
     }
 
@@ -308,6 +315,24 @@ class DegreePinPolicy final : public CacheReplacementPolicy
     std::vector<std::uint64_t> order_; //!< pin order, hottest first
     std::unordered_set<std::uint64_t> pinned_;
 };
+
+/**
+ * Worst-of two statuses for a request whose lines resolved from
+ * different fills: any failure poisons the request, and among
+ * failures the numerically larger (TransientError < Timeout < Shed)
+ * wins — an arbitrary but deterministic total order.
+ */
+sim::IoStatus
+worseStatus(sim::IoStatus a, sim::IoStatus b)
+{
+    return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b)
+               ? a
+               : b;
+}
+
+/** Dispatch tag of hoard fills: below every demand priority, so under
+ *  a priority scheduler prefetch never delays a demand miss. */
+constexpr sim::DispatchTag kPrefetchTag{-1, 0};
 
 } // namespace
 
@@ -391,6 +416,10 @@ FeatureCacheStore::classifyRange(std::uint64_t addr, std::uint64_t bytes,
     for (std::uint64_t line = first; line <= last; ++line) {
         if (policy_->access(line)) {
             ++stats_.hits;
+            // First demand touch on a hoard-installed line: the
+            // prefetch proved useful; later touches are plain hits.
+            if (!hoarded_.empty() && hoarded_.erase(line))
+                ++stats_.prefetch_useful;
         } else {
             ++stats_.misses;
             missing.push_back(line);
@@ -422,16 +451,12 @@ FeatureCacheStore::completeHit(sim::EventQueue &eq, sim::IoCompletion done)
 }
 
 void
-FeatureCacheStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
-                              std::uint64_t bytes, sim::IoCompletion done,
-                              const sim::DispatchTag &tag)
+FeatureCacheStore::forwardRead(sim::EventQueue &eq, std::uint64_t addr,
+                               std::uint64_t bytes,
+                               std::vector<std::uint64_t> missing,
+                               sim::IoCompletion done,
+                               const sim::DispatchTag &tag)
 {
-    std::vector<std::uint64_t> missing;
-    classifyRange(addr, bytes, missing);
-    if (missing.empty()) {
-        completeHit(eq, std::move(done));
-        return;
-    }
     inner_->submitRead(
         eq, addr, bytes,
         [this, missing = std::move(missing),
@@ -446,6 +471,48 @@ FeatureCacheStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
                 done(finish, status);
         },
         tag);
+}
+
+void
+FeatureCacheStore::forwardGather(sim::EventQueue &eq,
+                                 const std::vector<std::uint64_t> &addrs,
+                                 unsigned entry_bytes,
+                                 std::vector<std::uint64_t> missing,
+                                 sim::IoCompletion done,
+                                 const sim::DispatchTag &tag)
+{
+    inner_->submitGather(
+        eq, addrs, entry_bytes,
+        [this, missing = std::move(missing),
+         done = std::move(done)](sim::Tick finish, sim::IoStatus status) {
+            if (status == sim::IoStatus::Ok)
+                fillLines(missing);
+            else
+                stats_.failed_fills += missing.size();
+            if (done)
+                done(finish, status);
+        },
+        tag);
+}
+
+void
+FeatureCacheStore::submitRead(sim::EventQueue &eq, std::uint64_t addr,
+                              std::uint64_t bytes, sim::IoCompletion done,
+                              const sim::DispatchTag &tag)
+{
+    std::vector<std::uint64_t> missing;
+    classifyRange(addr, bytes, missing);
+    if (missing.empty()) {
+        completeHit(eq, std::move(done));
+        return;
+    }
+    // A contiguous range touches each line once, so `missing` is
+    // already unique and in ascending order.
+    if (mshrActive())
+        processMisses(eq, std::move(missing), std::move(done), tag);
+    else
+        forwardRead(eq, addr, bytes, std::move(missing), std::move(done),
+                    tag);
 }
 
 void
@@ -467,22 +534,238 @@ FeatureCacheStore::submitGather(sim::EventQueue &eq,
         completeHit(eq, std::move(done));
         return;
     }
-    // Entries of one gather may share lines; fill each line once.
+    // Entries of one gather may share lines; each line is obligated
+    // (and, under MSHRs, issued) once.
+    std::size_t touches = missing.size();
     std::sort(missing.begin(), missing.end());
     missing.erase(std::unique(missing.begin(), missing.end()),
                   missing.end());
+    if (mshrActive()) {
+        stats_.gather_dedup += touches - missing.size();
+        processMisses(eq, std::move(missing), std::move(done), tag);
+    } else {
+        forwardGather(eq, addrs, entry_bytes, std::move(missing),
+                      std::move(done), tag);
+    }
+}
+
+void
+FeatureCacheStore::processMisses(sim::EventQueue &eq,
+                                 std::vector<std::uint64_t> unique_missing,
+                                 sim::IoCompletion done,
+                                 const sim::DispatchTag &tag)
+{
+    auto request = std::make_shared<PendingRequest>();
+    request->done = std::move(done);
+    request->remaining = unique_missing.size();
+
+    std::vector<std::uint64_t> fetch;
+    std::vector<std::uint64_t> deferred;
+    for (std::uint64_t line : unique_missing) {
+        auto it = mshr_.find(line);
+        if (it != mshr_.end()) {
+            MshrEntry &entry = it->second;
+            if (entry.waiters.size() >= params_.mshr_waiters) {
+                deferred.push_back(line);
+                continue;
+            }
+            ++stats_.mshr_piggybacks;
+            if (entry.prefetch) {
+                // Demand touch on an in-flight prefetch: upgrade in
+                // place. The line now installs as demand-resident.
+                entry.prefetch = false;
+                ++stats_.prefetch_useful;
+            }
+            entry.waiters.push_back(request);
+        } else if (mshr_.size() < params_.mshr_entries) {
+            mshr_.emplace(line, MshrEntry{false, {request}});
+            fetch.push_back(line);
+        } else {
+            deferred.push_back(line);
+        }
+    }
+
+    if (!deferred.empty()) {
+        ++stats_.mshr_stalls;
+        parked_.push_back({request, std::move(deferred), tag});
+    }
+    if (!fetch.empty())
+        issueFill(eq, std::move(fetch), tag);
+}
+
+void
+FeatureCacheStore::issueFill(sim::EventQueue &eq,
+                             std::vector<std::uint64_t> lines,
+                             const sim::DispatchTag &tag)
+{
+    std::vector<std::uint64_t> addrs;
+    addrs.reserve(lines.size());
+    for (std::uint64_t line : lines)
+        addrs.push_back(line * params_.line_bytes);
     inner_->submitGather(
-        eq, addrs, entry_bytes,
-        [this, missing = std::move(missing),
-         done = std::move(done)](sim::Tick finish, sim::IoStatus status) {
-            if (status == sim::IoStatus::Ok)
-                fillLines(missing);
-            else
-                stats_.failed_fills += missing.size();
-            if (done)
-                done(finish, status);
+        eq, addrs, static_cast<unsigned>(params_.line_bytes),
+        [this, &eq, lines = std::move(lines)](sim::Tick finish,
+                                              sim::IoStatus status) {
+            completeFill(eq, lines, finish, status);
         },
         tag);
+}
+
+void
+FeatureCacheStore::completeFill(sim::EventQueue &eq,
+                                const std::vector<std::uint64_t> &lines,
+                                sim::Tick finish, sim::IoStatus status)
+{
+    for (std::uint64_t line : lines) {
+        auto it = mshr_.find(line);
+        SS_ASSERT(it != mshr_.end(),
+                  "fill completed for a line with no MSHR entry");
+        // Detach before resolving: a waiter's completion may reenter
+        // submitGather (closed-loop clients) and mutate the table.
+        MshrEntry entry = std::move(it->second);
+        mshr_.erase(it);
+
+        if (status == sim::IoStatus::Ok) {
+            installLine(line, entry.prefetch);
+        } else if (entry.prefetch) {
+            // A failed hoard fill sheds silently: nothing installs,
+            // no demand request existed to care.
+            ++stats_.prefetch_failed;
+        } else {
+            // Once per line per fill, however many waiters coalesced
+            // on it; every waiter still sees the error below.
+            ++stats_.failed_fills;
+        }
+        for (const auto &waiter : entry.waiters)
+            resolveObligation(waiter, finish, status);
+    }
+    retryParked(eq);
+}
+
+void
+FeatureCacheStore::installLine(std::uint64_t line, bool prefetched)
+{
+    if (policy_->contains(line))
+        return; // warm-filled concurrently; fills stay idempotent
+    std::uint64_t victim = 0;
+    if (policy_->fill(line, &victim)) {
+        ++stats_.evictions;
+        hoarded_.erase(victim);
+    }
+    if (prefetched)
+        hoarded_.insert(line);
+}
+
+void
+FeatureCacheStore::resolveObligation(
+    const std::shared_ptr<PendingRequest> &request, sim::Tick finish,
+    sim::IoStatus status)
+{
+    request->finish = std::max(request->finish, finish);
+    request->status = worseStatus(request->status, status);
+    SS_ASSERT(request->remaining > 0,
+              "over-resolved feature-cache request");
+    if (--request->remaining == 0 && request->done)
+        request->done(request->finish, request->status);
+}
+
+void
+FeatureCacheStore::retryParked(sim::EventQueue &eq)
+{
+    while (!parked_.empty()) {
+        ParkedRequest &parked = parked_.front();
+        std::vector<std::uint64_t> fetch;
+        std::vector<std::uint64_t> still;
+        for (std::uint64_t line : parked.lines) {
+            if (policy_->access(line)) {
+                // The fill this line waited out installed it (counted
+                // as a miss at classification; not re-counted here).
+                resolveObligation(parked.request, eq.now(),
+                                  sim::IoStatus::Ok);
+            } else if (auto it = mshr_.find(line); it != mshr_.end()) {
+                MshrEntry &entry = it->second;
+                if (entry.waiters.size() >= params_.mshr_waiters) {
+                    still.push_back(line);
+                    continue;
+                }
+                ++stats_.mshr_piggybacks;
+                if (entry.prefetch) {
+                    entry.prefetch = false;
+                    ++stats_.prefetch_useful;
+                }
+                entry.waiters.push_back(parked.request);
+            } else if (mshr_.size() < params_.mshr_entries) {
+                mshr_.emplace(line, MshrEntry{false, {parked.request}});
+                fetch.push_back(line);
+            } else {
+                still.push_back(line);
+            }
+        }
+        if (!fetch.empty())
+            issueFill(eq, std::move(fetch), parked.tag);
+        if (!still.empty()) {
+            // Head still blocked: stop here, strict FIFO (no younger
+            // parked request may overtake it into freed entries).
+            parked.lines = std::move(still);
+            return;
+        }
+        parked_.pop_front();
+    }
+}
+
+void
+FeatureCacheStore::announceGather(sim::EventQueue &eq,
+                                  const std::vector<std::uint64_t> &addrs,
+                                  unsigned entry_bytes)
+{
+    if (!prefetchEnabled() || addrs.empty())
+        return;
+
+    // First-touch order, deduplicated; residency probes via the
+    // non-mutating contains() so an announcement perturbs neither
+    // replacement state nor the hit/miss counters.
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::uint64_t> fetch;
+    for (std::uint64_t a : addrs) {
+        std::uint64_t first = a / params_.line_bytes;
+        std::uint64_t last =
+            (a + (entry_bytes ? entry_bytes - 1 : 0)) / params_.line_bytes;
+        for (std::uint64_t line = first; line <= last; ++line) {
+            if (!seen.insert(line).second)
+                continue;
+            if (policy_->contains(line) || mshr_.count(line))
+                continue;
+            if (fetch.size() >= params_.prefetch_max_lines ||
+                mshr_.size() >= params_.mshr_entries) {
+                // The hoard path never parks: excess lines shed.
+                ++stats_.prefetch_dropped;
+                continue;
+            }
+            mshr_.emplace(line, MshrEntry{true, {}});
+            ++stats_.prefetch_issued;
+            fetch.push_back(line);
+        }
+    }
+    if (!fetch.empty())
+        issueFill(eq, std::move(fetch), kPrefetchTag);
+}
+
+void
+FeatureCacheStore::announceBlocking(
+    sim::Tick now, const std::vector<std::uint64_t> &addrs,
+    unsigned entry_bytes)
+{
+    if (!prefetchEnabled() || addrs.empty())
+        return;
+    SS_ASSERT(mshr_.empty() && parked_.empty(),
+              "blocking announce with fills in flight (the blocking "
+              "adapters drain fully between calls)");
+    prefetch_eq_.reset();
+    prefetch_eq_.schedule(now, [this, &addrs, entry_bytes] {
+        announceGather(prefetch_eq_, addrs, entry_bytes);
+    });
+    prefetch_eq_.run();
+    SS_ASSERT(mshr_.empty(), "blocking announce left fills in flight");
 }
 
 std::vector<std::uint64_t>
@@ -518,9 +801,12 @@ FeatureCacheStore::serviceRead(sim::Tick start, std::uint64_t addr,
 void
 FeatureCacheStore::resetStore()
 {
+    SS_ASSERT(mshr_.empty() && parked_.empty(),
+              "feature-cache reset with fills in flight");
     inner_->reset();
     policy_->reset();
     stats_ = {};
+    hoarded_.clear();
 }
 
 std::unique_ptr<EdgeStore>
@@ -528,9 +814,12 @@ wrapWithFeatureCache(std::unique_ptr<EdgeStore> store,
                      const core::BackendBuildContext &ctx)
 {
     const core::SystemConfig &config = ctx.config;
-    core::validateBackendKnobs(config, "cache.",
-                               {"cache.policy", "cache.capacity_fraction",
-                                "cache.line_kib", "cache.hit_ns"});
+    core::validateBackendKnobs(
+        config, "cache.",
+        {"cache.policy", "cache.capacity_fraction", "cache.line_kib",
+         "cache.hit_ns", "cache.mshr.enabled", "cache.mshr.entries",
+         "cache.mshr.waiters", "cache.prefetch.enabled",
+         "cache.prefetch.lookahead", "cache.prefetch.max_lines"});
 
     double fraction = config.knobOr("cache.capacity_fraction", 0.0);
     if (!(fraction >= 0.0 && fraction <= 1.0))
@@ -554,6 +843,50 @@ wrapWithFeatureCache(std::unique_ptr<EdgeStore> store,
     if (!(hit_ns >= 0))
         SS_FATAL("cache.hit_ns must be >= 0, got ", hit_ns);
     params.hit = sim::ns(hit_ns);
+
+    double mshr_enabled = config.knobOr("cache.mshr.enabled", 1);
+    if (mshr_enabled != 0 && mshr_enabled != 1)
+        SS_FATAL("cache.mshr.enabled must be 0 or 1, got ", mshr_enabled);
+    params.mshr_enabled = mshr_enabled != 0;
+
+    double mshr_entries = config.knobOr("cache.mshr.entries", 64);
+    if (!(mshr_entries >= 1 && mshr_entries <= 65536))
+        SS_FATAL("cache.mshr.entries must be within [1, 65536], got ",
+                 mshr_entries);
+    params.mshr_entries = static_cast<std::uint32_t>(
+        core::requireIntegerKnob("cache.mshr.entries", mshr_entries));
+
+    double mshr_waiters = config.knobOr("cache.mshr.waiters", 16);
+    if (!(mshr_waiters >= 1 && mshr_waiters <= 65536))
+        SS_FATAL("cache.mshr.waiters must be within [1, 65536], got ",
+                 mshr_waiters);
+    params.mshr_waiters = static_cast<std::uint32_t>(
+        core::requireIntegerKnob("cache.mshr.waiters", mshr_waiters));
+
+    double prefetch_enabled = config.knobOr("cache.prefetch.enabled", 0);
+    if (prefetch_enabled != 0 && prefetch_enabled != 1)
+        SS_FATAL("cache.prefetch.enabled must be 0 or 1, got ",
+                 prefetch_enabled);
+    params.prefetch_enabled = prefetch_enabled != 0;
+    if (params.prefetch_enabled && !params.mshr_enabled)
+        SS_FATAL("cache.prefetch.enabled requires cache.mshr.enabled: "
+                 "the hoard path tracks in-flight lines in the MSHR "
+                 "table");
+
+    double lookahead = config.knobOr("cache.prefetch.lookahead", 1);
+    if (!(lookahead >= 1 && lookahead <= 64))
+        SS_FATAL("cache.prefetch.lookahead must be within [1, 64], got ",
+                 lookahead);
+    params.prefetch_lookahead = static_cast<std::uint32_t>(
+        core::requireIntegerKnob("cache.prefetch.lookahead", lookahead));
+
+    double max_lines = config.knobOr("cache.prefetch.max_lines", 256);
+    if (!(max_lines >= 1 && max_lines <= 1048576))
+        SS_FATAL("cache.prefetch.max_lines must be within [1, 1048576], "
+                 "got ",
+                 max_lines);
+    params.prefetch_max_lines = static_cast<std::uint32_t>(
+        core::requireIntegerKnob("cache.prefetch.max_lines", max_lines));
 
     // Capacity scales off the edge-list footprint like the page-cache
     // and scratchpad budgets; once enabled it holds at least one line.

@@ -80,6 +80,14 @@ class EdgeStore
      * addresses, @p entry_bytes each) at eq.now(). @p addrs must stay
      * alive until completion. An empty gather completes immediately
      * without occupying a queue slot (and is never shed).
+     *
+     * Decorators may reshape the traffic that reaches the inner store:
+     * the feature cache's MSHR path issues the unique missing lines of
+     * a gather as one line-granular inner gather and fans that single
+     * completion back out to every coalesced requester. Callers
+     * therefore must not assume a 1:1 mapping between their submits
+     * and inner-channel commands — only that @p done fires exactly
+     * once with the request's final status.
      */
     virtual void submitGather(sim::EventQueue &eq,
                               const std::vector<std::uint64_t> &addrs,

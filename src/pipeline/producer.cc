@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 
+#include "host/feature_cache.hh"
 #include "sim/logging.hh"
 
 namespace smartsage::pipeline
@@ -220,7 +221,8 @@ class CpuBatchJob : public BatchJob
                 const host::HostConfig &config,
                 const graph::EdgeLayout &layout)
         : sg_(std::move(sg)), work_(std::move(work)), store_(store),
-          llc_(llc), config_(config), layout_(layout)
+          llc_(llc), config_(config), layout_(layout),
+          cache_(dynamic_cast<host::FeatureCacheStore *>(&store))
     {
     }
 
@@ -230,6 +232,19 @@ class CpuBatchJob : public BatchJob
     step(sim::Tick now) override
     {
         SS_ASSERT(!done(), "step past end of batch");
+        // The batch's gather trace is fully materialized at startBatch,
+        // so the hoard prefetcher can be handed the whole neighborhood
+        // before the first node replays: the fills drain here at `now`
+        // and occupy the store's timelines, making later demand reads
+        // queue behind them (prefetch is modeled, not free).
+        if (next_ == 0 && cache_ && cache_->prefetchEnabled()) {
+            std::vector<std::uint64_t> batch_addrs;
+            for (const isp::NodeWork &nw : work_)
+                for (std::uint64_t e : nw.entries)
+                    batch_addrs.push_back(layout_.addrOf(e));
+            cache_->announceBlocking(now, batch_addrs,
+                                     layout_.entry_bytes);
+        }
         const isp::NodeWork &w = work_[next_++];
 
         // Degree/offset lookup out of host DRAM.
@@ -256,6 +271,7 @@ class CpuBatchJob : public BatchJob
     host::LlcModel &llc_;
     const host::HostConfig &config_;
     graph::EdgeLayout layout_;
+    host::FeatureCacheStore *cache_; //!< null unless the store is one
     std::vector<std::uint64_t> addrs_;
 
     static constexpr std::uint64_t offset_region = 1ULL << 42;

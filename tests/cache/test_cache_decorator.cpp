@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/backend.hh"
@@ -138,6 +139,40 @@ TEST(CacheDecorator, ServingRunsThroughTheCache)
     ASSERT_NE(cache, nullptr);
     EXPECT_GT(cache->stats().hits, 0u);
     EXPECT_LT(cache->ioChannel().submitted(), 256u);
+}
+
+TEST(CacheDecorator, PrefetchCellsReportUsefulHitsWorkerInvariantly)
+{
+    // Hoard-prefetch cells must (a) surface a nonzero
+    // prefetch_hit_frac — the sampler announces each batch's gather
+    // list before demanding it, so announced lines get demanded — and
+    // (b) stay bit-identical across runner worker counts.
+    const Scenario *family = findScenario("cache-policy-throughput");
+    ASSERT_NE(family, nullptr);
+    Scenario s = smokeVariant(*family);
+    s.backends = {"ssd-mmap"};
+    s.overrides = {{{"cache.policy", 0},
+                    {"cache.capacity_fraction", 0.4},
+                    {"cache.prefetch.enabled", 1}}};
+
+    auto renderAt = [&](unsigned workers) {
+        RunnerOptions options;
+        options.workers = workers;
+        ExperimentRunner runner(options);
+        std::vector<ScenarioRun> runs{runner.run(s)};
+        std::ostringstream json;
+        writeDesignSpaceJson(json, runs, "cache_policy");
+        return json.str();
+    };
+    std::string one = renderAt(1);
+    EXPECT_EQ(one, renderAt(3));
+
+    // The metric is real, not a zero placeholder: announced batch
+    // lines are demanded by the very batch that announced them.
+    const std::string key = "\"prefetch_hit_frac\": ";
+    std::string::size_type pos = one.find(key);
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_GT(std::stod(one.substr(pos + key.size())), 0.0);
 }
 
 TEST(CacheDecorator, CachePolicyFamilyIsWorkerCountInvariant)

@@ -1,0 +1,388 @@
+/** @file MSHR / coalescing / hoard-prefetch tests (ctest label
+ *  `cache`): secondary-miss piggybacking on an in-flight fill
+ *  (tick-golden against the legacy duplicate-read path), intra-gather
+ *  line dedup, MSHR-full stall-and-retry, prefetch-then-demand
+ *  upgrade through the MSHR, coalesced failed-fill accounting under
+ *  fault injection, the mshr.enabled=0 legacy forwarding shape, and
+ *  the no-in-flight-state guarantee of residentLineIds. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/feature_cache.hh"
+#include "host/io_path.hh"
+#include "sim/event_queue.hh"
+#include "ssd/ssd_device.hh"
+
+using namespace smartsage;
+using namespace smartsage::host;
+
+namespace
+{
+
+/** An inner store that records every gather's address vector, so the
+ *  tests can pin exactly what traffic the decorator forwards. */
+class ProbeEdgeStore : public DramEdgeStore
+{
+  public:
+    using DramEdgeStore::DramEdgeStore;
+
+    void
+    submitGather(sim::EventQueue &eq,
+                 const std::vector<std::uint64_t> &addrs,
+                 unsigned entry_bytes, sim::IoCompletion done,
+                 const sim::DispatchTag &tag = {}) override
+    {
+        forwarded.push_back(addrs);
+        DramEdgeStore::submitGather(eq, addrs, entry_bytes,
+                                    std::move(done), tag);
+    }
+
+    std::vector<std::vector<std::uint64_t>> forwarded;
+};
+
+/** LRU cache over a fresh direct-I/O store on its own SSD. */
+struct CachedDirectIo
+{
+    explicit CachedDirectIo(FeatureCacheParams params,
+                            HostConfig host = {})
+        : ssd(ssd::SsdConfig{}),
+          store(std::make_unique<DirectIoEdgeStore>(host, ssd), params)
+    {
+    }
+
+    ssd::SsdDevice ssd;
+    FeatureCacheStore store;
+};
+
+FeatureCacheParams
+lruParams()
+{
+    FeatureCacheParams params;
+    params.policy = FeatureCachePolicy::Lru;
+    params.line_bytes = sim::KiB(4);
+    params.capacity_bytes = sim::MiB(1);
+    return params;
+}
+
+} // namespace
+
+TEST(Mshr, SecondaryMissPiggybacksOnTheInFlightFill)
+{
+    // Two requests miss on the same line while the first fill is in
+    // flight. With MSHRs the second registers as a waiter: one storage
+    // command, both completions at the single fill's finish tick. The
+    // legacy path issues a duplicate read and finishes later.
+    std::vector<std::uint64_t> addrs{0, 64};
+    auto run = [&](bool mshr, std::uint64_t &submitted,
+                   sim::Tick &finish_a, sim::Tick &finish_b) {
+        FeatureCacheParams params = lruParams();
+        params.mshr_enabled = mshr;
+        CachedDirectIo c(params);
+        sim::EventQueue eq;
+        eq.schedule(0, [&] {
+            c.store.submitGather(eq, addrs, 8,
+                                 [&](sim::Tick t, sim::IoStatus s) {
+                                     EXPECT_EQ(s, sim::IoStatus::Ok);
+                                     finish_a = t;
+                                 });
+        });
+        // 100 ns later: far before a 4 KiB direct-I/O read completes.
+        eq.schedule(sim::ns(100), [&] {
+            c.store.submitGather(eq, addrs, 8,
+                                 [&](sim::Tick t, sim::IoStatus s) {
+                                     EXPECT_EQ(s, sim::IoStatus::Ok);
+                                     finish_b = t;
+                                 });
+        });
+        eq.run();
+        submitted = c.store.ioChannel().submitted();
+        if (mshr) {
+            EXPECT_EQ(c.store.stats().mshr_piggybacks, 1u);
+            EXPECT_EQ(c.store.stats().mshr_stalls, 0u);
+        }
+    };
+
+    std::uint64_t submitted_mshr = 0, submitted_legacy = 0;
+    sim::Tick a_mshr = 0, b_mshr = 0, a_legacy = 0, b_legacy = 0;
+    run(true, submitted_mshr, a_mshr, b_mshr);
+    run(false, submitted_legacy, a_legacy, b_legacy);
+
+    // One storage command versus the legacy duplicate read.
+    EXPECT_EQ(submitted_mshr, 1u);
+    EXPECT_EQ(submitted_legacy, 2u);
+    // Tick-golden piggyback: the waiter completes exactly when the one
+    // fill lands — the same tick as the primary miss.
+    EXPECT_EQ(b_mshr, a_mshr);
+    EXPECT_GT(a_mshr, sim::ns(100)); // a real storage fill, not a hit
+    // Both completions land; the legacy pair ran as two commands.
+    EXPECT_GT(a_legacy, 0u);
+    EXPECT_GT(b_legacy, 0u);
+}
+
+TEST(Mshr, IntraGatherDuplicateLinesIssueOnce)
+{
+    // Eight entries inside one 4 KiB line: the coalesced path issues a
+    // single one-line fill; the legacy path forwards all eight
+    // addresses to storage.
+    std::vector<std::uint64_t> addrs;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        addrs.push_back(i * 256);
+
+    auto run = [&](bool mshr, sim::Tick &finish) {
+        FeatureCacheParams params = lruParams();
+        params.mshr_enabled = mshr;
+        CachedDirectIo c(params);
+        finish = c.store.readGather(0, addrs, 8);
+        EXPECT_EQ(c.store.ioChannel().submitted(), 1u);
+        EXPECT_EQ(c.store.stats().misses, 8u); // per touch, as before
+        EXPECT_EQ(c.store.residentLines(), 1u);
+        if (mshr)
+            EXPECT_EQ(c.store.stats().gather_dedup, 7u);
+    };
+
+    sim::Tick finish_mshr = 0, finish_legacy = 0;
+    run(true, finish_mshr);
+    run(false, finish_legacy);
+    // The one-line fill is never slower than the eight-entry
+    // forwarded gather (the direct-I/O store coalesces blocks, so the
+    // two can tie; the dedup counter above is the behavioral pin).
+    EXPECT_LE(finish_mshr, finish_legacy);
+}
+
+TEST(Mshr, FullTableParksTheRequestAndRetriesInFifoOrder)
+{
+    // One MSHR entry: the second concurrent miss (a different line)
+    // cannot allocate, parks with the stall accounted, and issues its
+    // fill only after the first completes — strictly later.
+    FeatureCacheParams params = lruParams();
+    params.mshr_entries = 1;
+    CachedDirectIo c(params);
+
+    std::vector<std::uint64_t> line0{0};
+    std::vector<std::uint64_t> line1{sim::KiB(8)};
+    sim::EventQueue eq;
+    sim::Tick finish_a = 0, finish_b = 0;
+    eq.schedule(0, [&] {
+        c.store.submitGather(eq, line0, 8,
+                             [&](sim::Tick t, sim::IoStatus s) {
+                                 EXPECT_EQ(s, sim::IoStatus::Ok);
+                                 finish_a = t;
+                             });
+    });
+    eq.schedule(sim::ns(100), [&] {
+        c.store.submitGather(eq, line1, 8,
+                             [&](sim::Tick t, sim::IoStatus s) {
+                                 EXPECT_EQ(s, sim::IoStatus::Ok);
+                                 finish_b = t;
+                             });
+    });
+    eq.run();
+
+    EXPECT_EQ(c.store.stats().mshr_stalls, 1u);
+    EXPECT_EQ(c.store.ioChannel().submitted(), 2u);
+    EXPECT_GT(finish_a, 0u);
+    EXPECT_GT(finish_b, finish_a); // parked fill ran after the first
+    EXPECT_EQ(c.store.residentLines(), 2u);
+}
+
+TEST(Prefetch, DemandUpgradesAnInFlightPrefetchThroughTheMshr)
+{
+    FeatureCacheParams params = lruParams();
+    params.prefetch_enabled = true;
+    CachedDirectIo c(params);
+
+    std::vector<std::uint64_t> addrs{0, 64};
+    sim::EventQueue eq;
+    sim::Tick demand_finish = 0;
+    eq.schedule(0,
+                [&] { c.store.announceGather(eq, addrs, 8); });
+    // Demand arrives while the hoard fill is in flight: it attaches as
+    // a waiter (one storage command total) and the line installs as
+    // demanded, not hoarded.
+    eq.schedule(sim::ns(100), [&] {
+        c.store.submitGather(eq, addrs, 8,
+                             [&](sim::Tick t, sim::IoStatus s) {
+                                 EXPECT_EQ(s, sim::IoStatus::Ok);
+                                 demand_finish = t;
+                             });
+    });
+    eq.run();
+
+    const FeatureCacheStats &cs = c.store.stats();
+    EXPECT_EQ(c.store.ioChannel().submitted(), 1u);
+    EXPECT_EQ(cs.prefetch_issued, 1u);
+    EXPECT_EQ(cs.prefetch_useful, 1u);
+    EXPECT_EQ(cs.mshr_piggybacks, 1u);
+    EXPECT_GT(demand_finish, 0u);
+    EXPECT_EQ(c.store.residentLines(), 1u);
+
+    // A later touch is a plain hit; the upgrade was counted once.
+    sim::Tick warm = c.store.readGather(demand_finish, addrs, 8);
+    EXPECT_EQ(warm, demand_finish + params.hit);
+    EXPECT_EQ(c.store.stats().prefetch_useful, 1u);
+}
+
+TEST(Prefetch, HoardedLineCountsUsefulOnFirstDemandHit)
+{
+    FeatureCacheParams params = lruParams();
+    params.prefetch_enabled = true;
+    CachedDirectIo c(params);
+
+    std::vector<std::uint64_t> addrs{0};
+    sim::EventQueue eq;
+    eq.schedule(0,
+                [&] { c.store.announceGather(eq, addrs, 8); });
+    eq.run(); // hoard fill completes; the line is resident
+
+    EXPECT_EQ(c.store.stats().prefetch_issued, 1u);
+    EXPECT_EQ(c.store.stats().prefetch_useful, 0u);
+    EXPECT_EQ(c.store.residentLines(), 1u);
+    // An announcement perturbs no demand counters.
+    EXPECT_EQ(c.store.stats().hits + c.store.stats().misses, 0u);
+
+    // First demand touch: a DRAM-tier hit, and the hoard's credit.
+    sim::Tick warm = c.store.readGather(sim::ms(1), addrs, 8);
+    EXPECT_EQ(warm, sim::ms(1) + params.hit);
+    EXPECT_EQ(c.store.stats().prefetch_useful, 1u);
+    EXPECT_DOUBLE_EQ(c.store.stats().prefetchHitRate(), 1.0);
+
+    // Second touch: plain hit, no double credit.
+    c.store.readGather(sim::ms(2), addrs, 8);
+    EXPECT_EQ(c.store.stats().prefetch_useful, 1u);
+}
+
+TEST(Prefetch, BudgetAndFullTableShedLinesInsteadOfParking)
+{
+    FeatureCacheParams params = lruParams();
+    params.prefetch_enabled = true;
+    params.prefetch_max_lines = 2;
+    CachedDirectIo c(params);
+
+    // Four distinct lines announced with a budget of two.
+    std::vector<std::uint64_t> addrs{0, sim::KiB(8), sim::KiB(16),
+                                     sim::KiB(24)};
+    sim::EventQueue eq;
+    eq.schedule(0,
+                [&] { c.store.announceGather(eq, addrs, 8); });
+    eq.run();
+
+    EXPECT_EQ(c.store.stats().prefetch_issued, 2u);
+    EXPECT_EQ(c.store.stats().prefetch_dropped, 2u);
+    EXPECT_EQ(c.store.stats().mshr_stalls, 0u); // shed, never parked
+    EXPECT_EQ(c.store.residentLines(), 2u);
+}
+
+TEST(FaultLabels, CoalescedFailedFillCountsOnceAndErrorsEveryWaiter)
+{
+    // Every storage attempt fails: three requests coalesce onto one
+    // line's fill, the line counts ONE failed fill, and all three
+    // waiters see the error status. Nothing installs.
+    HostConfig host;
+    host.fault.read_error_rate = 1.0;
+    host.retry.max_attempts = 1;
+
+    FeatureCacheParams params = lruParams();
+    CachedDirectIo c(params, host);
+
+    std::vector<std::uint64_t> addrs{0};
+    sim::EventQueue eq;
+    int errors = 0;
+    for (int i = 0; i < 3; ++i) {
+        eq.schedule(sim::ns(100) * i, [&] {
+            c.store.submitGather(eq, addrs, 8,
+                                 [&](sim::Tick, sim::IoStatus s) {
+                                     EXPECT_NE(s, sim::IoStatus::Ok);
+                                     ++errors;
+                                 });
+        });
+    }
+    eq.run();
+
+    const FeatureCacheStats &cs = c.store.stats();
+    EXPECT_EQ(errors, 3);
+    EXPECT_EQ(cs.failed_fills, 1u); // once per line, not per waiter
+    EXPECT_EQ(cs.mshr_piggybacks, 2u);
+    EXPECT_EQ(cs.prefetch_failed, 0u);
+    EXPECT_EQ(c.store.residentLines(), 0u); // no garbage installed
+}
+
+TEST(FaultLabels, FailedPrefetchShedsSilently)
+{
+    HostConfig host;
+    host.fault.read_error_rate = 1.0;
+    host.retry.max_attempts = 1;
+
+    FeatureCacheParams params = lruParams();
+    params.prefetch_enabled = true;
+    CachedDirectIo c(params, host);
+
+    std::vector<std::uint64_t> addrs{0};
+    sim::EventQueue eq;
+    eq.schedule(0,
+                [&] { c.store.announceGather(eq, addrs, 8); });
+    eq.run();
+
+    const FeatureCacheStats &cs = c.store.stats();
+    EXPECT_EQ(cs.prefetch_failed, 1u);
+    EXPECT_EQ(cs.failed_fills, 0u); // no demand request to blame
+    EXPECT_EQ(c.store.residentLines(), 0u);
+}
+
+TEST(Mshr, DisabledReproducesTheLegacyForwardingShape)
+{
+    // cache.mshr.enabled = 0 must restore the pre-MSHR decorator
+    // exactly: the whole gather forwards unchanged to the inner store
+    // (no line-granular rewrite), and concurrent same-line misses each
+    // issue their own read.
+    HostConfig host;
+    std::vector<std::uint64_t> addrs{0, 64, 4096 + 128};
+
+    FeatureCacheParams params = lruParams();
+    params.mshr_enabled = false;
+    FeatureCacheStore legacy(std::make_unique<ProbeEdgeStore>(host),
+                             params);
+    auto &probe =
+        static_cast<ProbeEdgeStore &>(legacy.inner());
+    legacy.readGather(0, addrs, 8);
+    ASSERT_EQ(probe.forwarded.size(), 1u);
+    EXPECT_EQ(probe.forwarded[0], addrs); // verbatim, not line-based
+
+    // The MSHR path instead rewrites the miss into line-base fills.
+    FeatureCacheStore coalesced(std::make_unique<ProbeEdgeStore>(host),
+                                lruParams());
+    auto &probe2 =
+        static_cast<ProbeEdgeStore &>(coalesced.inner());
+    coalesced.readGather(0, addrs, 8);
+    ASSERT_EQ(probe2.forwarded.size(), 1u);
+    EXPECT_EQ(probe2.forwarded[0],
+              (std::vector<std::uint64_t>{0, sim::KiB(4)}));
+}
+
+TEST(Checkpoint, ResidentLineIdsNeverLeakInFlightState)
+{
+    FeatureCacheParams params = lruParams();
+    params.prefetch_enabled = true;
+    CachedDirectIo c(params);
+
+    std::vector<std::uint64_t> demand{0};
+    std::vector<std::uint64_t> hoard{sim::KiB(8)};
+    sim::EventQueue eq;
+    eq.schedule(0, [&] {
+        c.store.announceGather(eq, hoard, 8);
+        c.store.submitGather(eq, demand, 8, {});
+    });
+    // Probe while both fills are in flight: the warm set must be
+    // empty — in-flight-demand and in-flight-prefetch are MSHR state,
+    // not residency, so a checkpoint cannot resurrect them as lines.
+    eq.schedule(sim::ns(200), [&] {
+        EXPECT_TRUE(c.store.residentLineIds().empty());
+        EXPECT_EQ(c.store.residentLines(), 0u);
+    });
+    eq.run();
+
+    // After completion both lines are resident and checkpointable.
+    EXPECT_EQ(c.store.residentLineIds().size(), 2u);
+}
