@@ -60,6 +60,11 @@ GATED_METRICS = {
     "recovery_time_us": "lower",
     "lost_work_batches": "lower",
     "ckpt_overhead_frac": "lower",
+    # Scale-out headline (scaling family): speedup over the one-node
+    # cell per added node. Falling efficiency at the same configuration
+    # means the partitioned backend got worse at turning nodes into
+    # throughput.
+    "scaling_efficiency": "higher",
     # Cache effectiveness headlines (cache-policy family): the demand
     # hit fraction and, on hoard-enabled cells, the useful fraction of
     # issued prefetch lines must not drop at the same configuration.

@@ -32,8 +32,17 @@
  *   --recovery-out <path> write BENCH_recovery.json here (the
  *                      recovery-space family: checkpoint interval x
  *                      backend crash-restart metrics)
+ *   --scaling-out <path> write BENCH_scaling.json here (the scaling
+ *                      family: partitioned nodes x link bandwidth x
+ *                      cut strategy, with annotated scaling_speedup /
+ *                      scaling_efficiency columns)
  *   --knobs-doc <path> regenerate docs/KNOBS.md from the knob catalog
  *                      (core/knobs.hh) and exit
+ *   --arch-doc <path>  regenerate docs/ARCHITECTURE.md from the live
+ *                      registries (core/docgen.hh) and exit
+ *   --benches-doc <path> regenerate docs/BENCHES.md (artifact index +
+ *                      gated metrics from ci/compare_bench.py; run
+ *                      from the repository root) and exit
  *   --stats-json <path> write BENCH-schema per-backend stats here
  *   --smoke            CI sizes: in-memory datasets, few batches and
  *                      requests
@@ -49,6 +58,7 @@
 #include <vector>
 
 #include "core/backend.hh"
+#include "core/docgen.hh"
 #include "core/experiment.hh"
 #include "core/knobs.hh"
 #include "core/scenario.hh"
@@ -67,7 +77,8 @@ usage()
                  "[--out <path>] [--serving-out <path>] "
                  "[--cache-out <path>] [--faults-out <path>] "
                  "[--slo-out <path>] [--recovery-out <path>] "
-                 "[--knobs-doc <path>] "
+                 "[--scaling-out <path>] [--knobs-doc <path>] "
+                 "[--arch-doc <path>] [--benches-doc <path>] "
                  "[--stats-json <path>] "
                  "[--smoke] [--stats] [--list] [--backends]\n";
     return 2;
@@ -122,7 +133,14 @@ writeBackendStatsJson(std::ostream &os, graph::DatasetId dataset)
        << "  },\n"
        << "  \"results\": {\n";
 
-    auto backends = core::BackendRegistry::instance().all();
+    std::vector<const core::StorageBackend *> backends;
+    for (const core::StorageBackend *b :
+         core::BackendRegistry::instance().all()) {
+        // Dedicated-family backends opt out (BackendCaps), keeping the
+        // default stats document byte-stable across registrations.
+        if (b->caps().in_default_grids)
+            backends.push_back(b);
+    }
     for (std::size_t i = 0; i < backends.size(); ++i) {
         core::SystemConfig sc;
         sc.backend = backends[i]->id();
@@ -146,6 +164,7 @@ main(int argc, char **argv)
     bool smoke = false, stats = false;
     std::string out_path, serving_out_path, cache_out_path;
     std::string faults_out_path, slo_out_path, recovery_out_path;
+    std::string scaling_out_path;
     std::string stats_json_path;
     std::vector<std::string> families;
     std::vector<std::string> designs;
@@ -176,11 +195,27 @@ main(int argc, char **argv)
             slo_out_path = argv[++i];
         } else if (arg == "--recovery-out" && i + 1 < argc) {
             recovery_out_path = argv[++i];
+        } else if (arg == "--scaling-out" && i + 1 < argc) {
+            scaling_out_path = argv[++i];
         } else if (arg == "--knobs-doc" && i + 1 < argc) {
             std::ofstream doc(argv[++i]);
             if (!doc)
                 SS_FATAL("cannot open ", argv[i]);
             core::writeKnobsDoc(doc);
+            std::cout << "design_space: wrote " << argv[i] << "\n";
+            return 0;
+        } else if (arg == "--arch-doc" && i + 1 < argc) {
+            std::ofstream doc(argv[++i]);
+            if (!doc)
+                SS_FATAL("cannot open ", argv[i]);
+            core::writeArchDoc(doc);
+            std::cout << "design_space: wrote " << argv[i] << "\n";
+            return 0;
+        } else if (arg == "--benches-doc" && i + 1 < argc) {
+            std::ofstream doc(argv[++i]);
+            if (!doc)
+                SS_FATAL("cannot open ", argv[i]);
+            core::writeBenchesDoc(doc, "ci/compare_bench.py");
             std::cout << "design_space: wrote " << argv[i] << "\n";
             return 0;
         } else if (arg == "--stats-json" && i + 1 < argc) {
@@ -253,7 +288,7 @@ main(int argc, char **argv)
     // serving schema (latency metrics); everything else shares the
     // classic design-space document.
     std::vector<core::ScenarioRun> cache_runs, fault_runs, slo_runs,
-        recovery_runs, serving_runs, sweep_runs;
+        recovery_runs, scaling_runs, serving_runs, sweep_runs;
     for (auto &run : runs) {
         if (run.scenario.artifact == "cache-policy")
             cache_runs.push_back(std::move(run));
@@ -263,6 +298,8 @@ main(int argc, char **argv)
             slo_runs.push_back(std::move(run));
         else if (run.scenario.artifact == "recovery")
             recovery_runs.push_back(std::move(run));
+        else if (run.scenario.artifact == "scaling")
+            scaling_runs.push_back(std::move(run));
         else if (run.scenario.kind == core::ExperimentKind::Serving)
             serving_runs.push_back(std::move(run));
         else
@@ -342,6 +379,22 @@ main(int argc, char **argv)
         core::writeDesignSpaceJson(json, recovery_runs,
                                    "recovery_space");
         std::cout << "design_space: wrote " << recovery_out_path
+                  << "\n";
+    }
+    if (!scaling_runs.empty() && scaling_out_path.empty())
+        SS_WARN("scaling family ran but --scaling-out was not given; "
+                "its cells are not in any artifact");
+    if (!scaling_out_path.empty()) {
+        if (scaling_runs.empty())
+            SS_FATAL("--scaling-out needs the scaling family "
+                     "(e.g. --family scaling)");
+        core::annotateScalingMetrics(scaling_runs);
+        std::ofstream json(scaling_out_path);
+        if (!json)
+            SS_FATAL("cannot open ", scaling_out_path);
+        core::writeDesignSpaceJson(json, scaling_runs,
+                                   "scaling_space");
+        std::cout << "design_space: wrote " << scaling_out_path
                   << "\n";
     }
     if (!stats_json_path.empty()) {

@@ -13,9 +13,9 @@ namespace smartsage::core
 const std::string &
 edgeStoreKindName(EdgeStoreKind kind)
 {
-    static const std::array<std::string, 7> names = {
-        "none",    "host-dram", "os-page-cache", "direct-io",
-        "pmem",    "sharded",   "tiered",
+    static const std::array<std::string, 8> names = {
+        "none", "host-dram", "os-page-cache", "direct-io",
+        "pmem", "sharded",   "tiered",        "partitioned",
     };
     auto idx = static_cast<std::size_t>(kind);
     SS_ASSERT(idx < names.size(), "bad edge-store kind ", idx);

@@ -42,6 +42,7 @@ enum class EdgeStoreKind
     Pmem,     //!< byte-addressable PMEM on the memory bus
     Sharded,  //!< striped across multiple devices
     Tiered,   //!< DRAM hot-cache in front of a device path
+    Partitioned, //!< edge-cut across simulated host+SSD nodes
 };
 
 /** Display name of an EdgeStoreKind ("direct-io", ...). */
@@ -63,6 +64,15 @@ struct BackendCaps
      * without touching core.
      */
     std::vector<std::string> knob_namespaces;
+    /**
+     * Whether registry-driven default grids include this backend:
+     * servableBackendIds(), the backend-space family, and the
+     * --stats-json document. Backends that exist for a dedicated sweep
+     * family (the partitioned scale-out backend and its "scaling"
+     * family) opt out so registering them leaves every pre-existing
+     * default artifact byte-identical.
+     */
+    bool in_default_grids = true;
 };
 
 /** Sink for one named metric ("ssd_buffer_hit_frac", 0.93). */

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Generated-docs layer: renders docs/ARCHITECTURE.md and
+ * docs/BENCHES.md from the live registries (BackendRegistry, the
+ * scenario catalog) plus the declarative tables below, the same way
+ * docs/KNOBS.md is rendered from the knob catalog (knobs.hh). All
+ * three are drift-gated in CI: the workflow regenerates them and
+ * fails on `git diff`, so a new backend, scenario family, channel, or
+ * gated metric that forgets the docs fails the job instead of rotting
+ * silently.
+ */
+
+#ifndef SMARTSAGE_CORE_DOCGEN_HH
+#define SMARTSAGE_CORE_DOCGEN_HH
+
+#include <ostream>
+#include <string>
+
+namespace smartsage::core
+{
+
+/**
+ * Render docs/ARCHITECTURE.md: the module map, the registered-backend
+ * table (BackendRegistry::all()), the service-station/channel
+ * inventory, the scenario-family catalog, and the ctest label
+ * taxonomy. Deterministic for a given build.
+ */
+void writeArchDoc(std::ostream &os);
+
+/**
+ * Render docs/BENCHES.md: every BENCH_*.json artifact with its
+ * producing command, bench id, schema version, and contributing
+ * scenario families, plus the gated-metric table parsed from
+ * @p compare_script_path (ci/compare_bench.py's GATED_METRICS — the
+ * single declarative source of which metrics gate and in which
+ * direction). Fatal if the script cannot be read or the table is not
+ * found, so the doc can never silently go stale against the gate.
+ */
+void writeBenchesDoc(std::ostream &os,
+                     const std::string &compare_script_path);
+
+} // namespace smartsage::core
+
+#endif // SMARTSAGE_CORE_DOCGEN_HH

@@ -376,6 +376,55 @@ ExperimentRunner::table(const ScenarioRun &run)
 }
 
 void
+annotateScalingMetrics(std::vector<ScenarioRun> &runs)
+{
+    for (ScenarioRun &run : runs) {
+        // Group key: every cell axis and knob except part.nodes.
+        auto keyOf = [](const CellResult &result) {
+            const ExperimentCell &cell = result.cell;
+            std::string key = graph::datasetName(cell.dataset);
+            key += '|' + cell.backend;
+            for (unsigned f : cell.fanouts)
+                key += '/' + std::to_string(f);
+            key += '|' + std::to_string(cell.batch_size);
+            key += '|' + std::to_string(cell.sim_workers);
+            for (const KnobSetting &k : cell.knobs)
+                if (k.key != "part.nodes")
+                    key += '|' + k.label();
+            return key;
+        };
+        auto nodesOf = [](const CellResult &result) {
+            for (const KnobSetting &k : result.cell.knobs)
+                if (k.key == "part.nodes")
+                    return k.value;
+            return 0.0;
+        };
+
+        std::map<std::string, double> baseline_ms;
+        for (const CellResult &result : run.cells)
+            if (nodesOf(result) == 1.0)
+                baseline_ms[keyOf(result)] =
+                    result.metric("avg_sample_ms");
+
+        for (CellResult &result : run.cells) {
+            const double nodes = nodesOf(result);
+            if (nodes < 1)
+                continue;
+            auto base = baseline_ms.find(keyOf(result));
+            if (base == baseline_ms.end() || base->second <= 0)
+                continue;
+            const double ms = result.metric("avg_sample_ms");
+            if (ms <= 0)
+                continue;
+            const double speedup = base->second / ms;
+            result.metrics.push_back({"scaling_speedup", speedup});
+            result.metrics.push_back(
+                {"scaling_efficiency", speedup / nodes});
+        }
+    }
+}
+
+void
 writeServingJson(std::ostream &os, const std::vector<ScenarioRun> &runs)
 {
     os.precision(10);

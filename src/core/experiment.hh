@@ -126,6 +126,19 @@ void writeDesignSpaceJson(std::ostream &os,
                           const std::string &bench_name = "design_space");
 
 /**
+ * Annotate scaling-family runs in place: cells are grouped by every
+ * axis and knob except `part.nodes`, and each cell in a group with a
+ * single-node baseline gains two appended metrics —
+ * scaling_speedup = avg_sample_ms(nodes=1) / avg_sample_ms, and
+ * scaling_efficiency = scaling_speedup / nodes. A pure deterministic
+ * function of already-computed cell metrics, so the annotation (and
+ * the artifact built from it) stays bit-identical at any runner
+ * worker count. Cells without a part.nodes knob or without a matching
+ * baseline are left untouched.
+ */
+void annotateScalingMetrics(std::vector<ScenarioRun> &runs);
+
+/**
  * Emit serving-kind runs as BENCH_serving.json (same schema envelope:
  * bench/schema_version/config/results). Per cell: backend, offered
  * rate, queue depth, and the latency metrics (p50/p95/p99/max/mean,

@@ -144,6 +144,20 @@ knobCatalog()
              {"read_gbps", "double", "3.5", "> 0",
               "modeled checkpoint read bandwidth (recovery metric)", 2},
          }},
+        {"kernel.", "GEMM/aggregate microkernel dispatch",
+         "src/gnn/tensor.hh",
+         {
+             {"dispatch", "enum", "0 (auto)",
+              "0 = auto, 1 = scalar, 2 = avx2",
+              "microkernel flavor; auto probes cpuid once and picks "
+              "the fastest available, avx2 silently degrades to "
+              "scalar when the ISA is absent",
+              1},
+             {"gemm_threads", "int", "1", "[1, 64]",
+              "row-block GEMM worker threads; fixed block size keeps "
+              "outputs bit-identical at any count",
+              2},
+         }},
         {"sched.", "Host I/O channel dispatch", "src/sim/io.hh",
          {
              {"policy", "enum", "0 (fifo)",
@@ -243,6 +257,27 @@ knobCatalog()
               "hot-tier line granularity in KiB", 32},
              {"hot_hit_ns", "double", "150", "> 0",
               "hot-tier DRAM hit latency", 200},
+         }},
+        {"part.", "Partitioned scale-out backend (registry-routed)",
+         "src/host/partitioned_store.cc",
+         {
+             {"nodes", "int", "2", "[1, 64]",
+              "simulated host+SSD nodes the edge list is cut across",
+              4},
+             {"strategy", "enum", "0 (hash)", "0 = hash, 1 = degree",
+              "edge-cut assignment: node-id hash or degree-balanced "
+              "greedy",
+              1},
+         }},
+        {"net.", "Inter-node network channel (partitioned backend)",
+         "src/sim/net.hh",
+         {
+             {"bandwidth_gbps", "double", "25.0", "> 0",
+              "link bandwidth per node pair", 100},
+             {"latency_us", "double", "2.0", ">= 0",
+              "one-way message latency", 5},
+             {"queue_depth", "int", "16", ">= 1",
+              "in-flight transfers per link before queueing", 32},
          }},
         {"", "Top-level system", "src/core/system.hh",
          {

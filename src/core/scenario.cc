@@ -108,6 +108,8 @@ applyKnob(SystemConfig &config, const KnobSetting &knob)
         return core::applyKnob(config.tenants, key, value);
     if (strip("ckpt."))
         return core::applyKnob(config.ckpt, key, value);
+    if (strip("kernel."))
+        return gnn::applyKnob(config.kernel, key, value);
 
     // Top-level SystemConfig knobs.
     if (key == "page_cache_fraction")
@@ -686,15 +688,58 @@ Scenario
 backendSpaceScenario()
 {
     // Registry-driven: every backend alive in this build, including
-    // plugins registered outside core. Sorted ids keep the grid
+    // plugins registered outside core — except backends that opt out
+    // of the default grids (BackendCaps::in_default_grids; they have
+    // their own dedicated family). Sorted ids keep the grid
     // deterministic regardless of static registration order.
     Scenario s;
     s.family = "backend-space";
     s.title = "Backend space: every registered storage backend";
     s.kind = ExperimentKind::Pipeline;
-    s.backends = BackendRegistry::instance().ids();
+    for (const StorageBackend *backend :
+         BackendRegistry::instance().all()) {
+        if (backend->caps().in_default_grids)
+            s.backends.push_back(backend->id());
+    }
     s.worker_grid = {8};
     s.num_batches = 16;
+    return s;
+}
+
+Scenario
+scalingScenario()
+{
+    // Scale-out axes of the partitioned backend: node count x link
+    // bandwidth x cut strategy, sampling-only so the storage+network
+    // path dominates. The per-group nodes=1 cell is the scaling
+    // baseline: scaling_speedup/scaling_efficiency columns are
+    // annotated post-run (annotateScalingMetrics) from avg_sample_ms.
+    Scenario s;
+    s.family = "scaling";
+    s.title = "Scale-out: partitioned nodes x link bandwidth x "
+              "cut strategy";
+    s.kind = ExperimentKind::SamplingOnly;
+    s.artifact = "scaling";
+    s.backends = {"partitioned"};
+    s.overrides.clear();
+    for (double strategy : {0.0, 1.0})
+        for (double gbps : {10.0, 100.0})
+            for (double nodes : {1.0, 2.0, 4.0})
+                s.overrides.push_back(
+                    {// Keep the cells flash-bound even at smoke sizes:
+                     // a single-way controller buffer shrinks the
+                     // set-associative floor below the working set, and
+                     // a one-channel, one-die flash array per node
+                     // makes the cluster's aggregate die count — the
+                     // resource scale-out actually buys — the unit the
+                     // concurrent producer timelines queue on.
+                     {"scratchpad_fraction", 0.02},
+                     {"ssd.page_buffer_ways", 1},
+                     {"ssd.flash.channels", 1},
+                     {"ssd.flash.dies_per_channel", 1},
+                     {"part.strategy", strategy},
+                     {"net.bandwidth_gbps", gbps},
+                     {"part.nodes", nodes}});
     return s;
 }
 
@@ -718,7 +763,8 @@ servableBackendIds()
     std::vector<std::string> out;
     for (const StorageBackend *backend :
          BackendRegistry::instance().all()) {
-        if (backend->caps().edge_store != EdgeStoreKind::None)
+        if (backend->caps().edge_store != EdgeStoreKind::None &&
+            backend->caps().in_default_grids)
             out.push_back(backend->id());
     }
     return out;
@@ -735,6 +781,7 @@ extraScenarios()
         faultSpaceScenario(),
         sloSpaceScenario(),
         recoverySpaceScenario(),
+        scalingScenario(),
     };
     return scenarios;
 }

@@ -77,8 +77,9 @@ struct Scenario
      * by kind (serving families to BENCH_serving.json, everything
      * else to BENCH_designspace.json); the cache-policy families set
      * "cache-policy" so both kinds land in BENCH_cachepolicy.json,
-     * the fault-space family sets "faults" (BENCH_faults.json), and
-     * the slo-space family sets "slo" (BENCH_slo.json).
+     * the fault-space family sets "faults" (BENCH_faults.json), the
+     * slo-space family sets "slo" (BENCH_slo.json), and the scaling
+     * family sets "scaling" (BENCH_scaling.json).
      */
     std::string artifact;
 
@@ -213,7 +214,11 @@ const std::vector<Scenario> &builtinScenarios();
  *    checkpoint interval (plus a warm-cache restart point) per
  *    servable backend, emitting recovery time, lost work, and
  *    checkpoint overhead into BENCH_recovery.json
- *    (design_space --recovery-out).
+ *    (design_space --recovery-out);
+ *  - "scaling": the partitioned scale-out backend swept over node
+ *    count x link bandwidth x cut strategy (sampling-only), emitting
+ *    annotated scaling_speedup/scaling_efficiency columns into
+ *    BENCH_scaling.json (design_space --scaling-out).
  */
 const std::vector<Scenario> &extraScenarios();
 

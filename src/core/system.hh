@@ -30,6 +30,7 @@
 #include "gnn/gpu_model.hh"
 #include "gnn/model.hh"
 #include "gnn/sampler.hh"
+#include "gnn/tensor.hh"
 #include "graph/datasets.hh"
 #include "graph/layout.hh"
 #include "host/config.hh"
@@ -109,6 +110,17 @@ struct SystemConfig
      */
     sim::SchedConfig sched;
     sim::AdmissionControl admit;
+
+    /**
+     * GEMM/aggregate microkernel selection (`kernel.*` knobs):
+     * dispatch flavor (auto/scalar/avx2) and the row-block GEMM
+     * thread count. Applied process-globally when the GnnSystem is
+     * built (gnn::applyKernelConfig); defaults — auto dispatch,
+     * single-threaded — match a build without the knob block. No
+     * simulated-timing metric depends on GEMM float output, so the
+     * flavor never changes a bench artifact.
+     */
+    gnn::KernelConfig kernel;
 
     /**
      * Checkpoint policy (`ckpt.*` knobs). Inert by default

@@ -71,15 +71,11 @@ SageMeanLayer::aggregateInto(const Tensor2D &h_src,
         }
         for (std::size_t j = 0; j < dim; ++j)
             arow[j] = first[j];
-        for (std::uint32_t e = lo + 1; e < hi - 1; ++e) {
-            const float *srow = src + block.src_index[e] * dim;
-            for (std::size_t j = 0; j < dim; ++j)
-                arow[j] += srow[j];
-        }
+        for (std::uint32_t e = lo + 1; e < hi - 1; ++e)
+            rowAccumulate(arow, src + block.src_index[e] * dim, dim);
         const float inv = 1.0f / static_cast<float>(hi - lo);
-        const float *last = src + block.src_index[hi - 1] * dim;
-        for (std::size_t j = 0; j < dim; ++j)
-            arow[j] = (arow[j] + last[j]) * inv;
+        rowAccumulateScale(arow, src + block.src_index[hi - 1] * dim,
+                           inv, dim);
     }
 }
 
@@ -179,11 +175,8 @@ SageMeanLayer::backwardInto(Tensor2D &d_out, const SageContext &ctx,
         // multiply per element instead of one per (edge, element).
         for (std::size_t j = 0; j < dim; ++j)
             arow[j] *= inv;
-        for (std::uint32_t e = lo; e < hi; ++e) {
-            float *drow = dst + block.src_index[e] * dim;
-            for (std::size_t j = 0; j < dim; ++j)
-                drow[j] += arow[j];
-        }
+        for (std::uint32_t e = lo; e < hi; ++e)
+            rowAccumulate(dst + block.src_index[e] * dim, arow, dim);
     }
 }
 

@@ -3,8 +3,21 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+
+// The AVX2 microkernels are compiled with a per-function target
+// attribute, so they exist in every x86 build regardless of -march and
+// are gated purely by the cpuid probe at dispatch time.
+#if defined(__x86_64__) || defined(__i386__)
+#define SMARTSAGE_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define SMARTSAGE_X86_KERNELS 0
+#endif
 
 namespace smartsage::gnn
 {
@@ -13,6 +26,27 @@ namespace
 {
 
 std::atomic<KernelMode> g_kernel_mode{KernelMode::Tiled};
+std::atomic<KernelDispatch> g_kernel_dispatch{KernelDispatch::Auto};
+std::atomic<unsigned> g_gemm_threads{1};
+
+/**
+ * Lazily built pool backing the threaded GEMM path; rebuilt when the
+ * configured thread count changes. Guarded so concurrent experiment
+ * cells applying identical defaults never race a rebuild.
+ */
+sim::ThreadPool *
+gemmPool(unsigned threads)
+{
+    static std::mutex mutex;
+    static std::unique_ptr<sim::ThreadPool> pool;
+    static unsigned pool_threads = 0;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (pool_threads != threads) {
+        pool = std::make_unique<sim::ThreadPool>(threads);
+        pool_threads = threads;
+    }
+    return pool.get();
+}
 
 } // namespace
 
@@ -26,6 +60,107 @@ KernelMode
 kernelMode()
 {
     return g_kernel_mode.load(std::memory_order_relaxed);
+}
+
+bool
+cpuSupportsAvx2()
+{
+#if SMARTSAGE_X86_KERNELS && (defined(__GNUC__) || defined(__clang__))
+    // FMA ships with every AVX2 core we care about, but probe both:
+    // the microkernels use fused multiply-add.
+    static const bool supported = __builtin_cpu_supports("avx2") &&
+                                  __builtin_cpu_supports("fma");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+void
+setKernelDispatch(KernelDispatch dispatch)
+{
+    g_kernel_dispatch.store(dispatch, std::memory_order_relaxed);
+}
+
+KernelDispatch
+kernelDispatch()
+{
+    return g_kernel_dispatch.load(std::memory_order_relaxed);
+}
+
+KernelDispatch
+resolvedKernelDispatch()
+{
+    KernelDispatch d = kernelDispatch();
+    if (d == KernelDispatch::Scalar)
+        return d;
+    return cpuSupportsAvx2() ? KernelDispatch::Avx2
+                             : KernelDispatch::Scalar;
+}
+
+const char *
+kernelDispatchName(KernelDispatch dispatch)
+{
+    switch (dispatch) {
+    case KernelDispatch::Auto:
+        return "auto";
+    case KernelDispatch::Scalar:
+        return "scalar";
+    case KernelDispatch::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+KernelDispatch
+kernelDispatchFromKnob(double value)
+{
+    if (value == 0)
+        return KernelDispatch::Auto;
+    if (value == 1)
+        return KernelDispatch::Scalar;
+    if (value == 2)
+        return KernelDispatch::Avx2;
+    SS_FATAL("kernel.dispatch must be 0 (auto), 1 (scalar), or "
+             "2 (avx2), got ",
+             value);
+}
+
+void
+setGemmThreads(unsigned threads)
+{
+    g_gemm_threads.store(threads < 1 ? 1 : threads,
+                         std::memory_order_relaxed);
+}
+
+unsigned
+gemmThreads()
+{
+    return g_gemm_threads.load(std::memory_order_relaxed);
+}
+
+bool
+applyKnob(KernelConfig &config, std::string_view key, double value)
+{
+    if (key == "dispatch") {
+        config.dispatch = kernelDispatchFromKnob(value);
+    } else if (key == "gemm_threads") {
+        if (value != std::floor(value) || value < 1 || value > 64)
+            SS_FATAL("kernel.gemm_threads must be an integer in "
+                     "[1, 64], got ",
+                     value);
+        config.gemm_threads = static_cast<unsigned>(value);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+applyKernelConfig(const KernelConfig &config)
+{
+    setKernelDispatch(config.dispatch);
+    setGemmThreads(config.gemm_threads);
 }
 
 Tensor2D::Tensor2D(std::size_t rows, std::size_t cols)
@@ -123,19 +258,22 @@ matmulNaive(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
     }
 }
 
+/**
+ * Scalar NN microkernel over rows [i0, i1) of C. Per-row accumulation
+ * order (kk outer, then jj, then the 4-way k unroll) is independent of
+ * the row range, so any row-block decomposition of [0, m) produces
+ * output bit-identical to a single full-range call.
+ */
 void
-matmulTiled(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+matmulScalarRows(const float *adata, const float *bdata, float *cdata,
+                 std::size_t i0, std::size_t i1, std::size_t kdim,
+                 std::size_t n)
 {
-    const std::size_t m = a.rows(), kdim = a.cols(), n = b.cols();
-    const float *adata = a.data().data();
-    const float *bdata = b.data().data();
-    float *cdata = c.data().data();
-
     for (std::size_t kk = 0; kk < kdim; kk += kKB) {
         const std::size_t kb = std::min(kKB, kdim - kk);
         for (std::size_t jj = 0; jj < n; jj += kJB) {
             const std::size_t jb = std::min(kJB, n - jj);
-            for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t i = i0; i < i1; ++i) {
                 const float *arow = adata + i * kdim + kk;
                 float *crow = cdata + i * n + jj;
                 std::size_t k = 0;
@@ -157,6 +295,109 @@ matmulTiled(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
             }
         }
     }
+}
+
+#if SMARTSAGE_X86_KERNELS
+
+/**
+ * AVX2+FMA NN microkernel, same blocking and row-range contract as
+ * matmulScalarRows. The j loop runs 8 lanes wide with broadcast A
+ * scalars; the fused multiply-adds mean outputs match the scalar
+ * kernel to tolerance, not bitwise (still bit-identical across
+ * row-block decompositions of itself).
+ */
+__attribute__((target("avx2,fma"))) void
+matmulAvx2Rows(const float *adata, const float *bdata, float *cdata,
+               std::size_t i0, std::size_t i1, std::size_t kdim,
+               std::size_t n)
+{
+    for (std::size_t kk = 0; kk < kdim; kk += kKB) {
+        const std::size_t kb = std::min(kKB, kdim - kk);
+        for (std::size_t jj = 0; jj < n; jj += kJB) {
+            const std::size_t jb = std::min(kJB, n - jj);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const float *arow = adata + i * kdim + kk;
+                float *crow = cdata + i * n + jj;
+                std::size_t k = 0;
+                for (; k + 4 <= kb; k += 4) {
+                    const __m256 a0 = _mm256_set1_ps(arow[k]);
+                    const __m256 a1 = _mm256_set1_ps(arow[k + 1]);
+                    const __m256 a2 = _mm256_set1_ps(arow[k + 2]);
+                    const __m256 a3 = _mm256_set1_ps(arow[k + 3]);
+                    const float *b0 = bdata + (kk + k) * n + jj;
+                    const float *b1 = b0 + n, *b2 = b1 + n, *b3 = b2 + n;
+                    std::size_t j = 0;
+                    for (; j + 8 <= jb; j += 8) {
+                        __m256 acc = _mm256_loadu_ps(crow + j);
+                        acc = _mm256_fmadd_ps(
+                            a0, _mm256_loadu_ps(b0 + j), acc);
+                        acc = _mm256_fmadd_ps(
+                            a1, _mm256_loadu_ps(b1 + j), acc);
+                        acc = _mm256_fmadd_ps(
+                            a2, _mm256_loadu_ps(b2 + j), acc);
+                        acc = _mm256_fmadd_ps(
+                            a3, _mm256_loadu_ps(b3 + j), acc);
+                        _mm256_storeu_ps(crow + j, acc);
+                    }
+                    for (; j < jb; ++j)
+                        crow[j] += arow[k] * b0[j] + arow[k + 1] * b1[j] +
+                                   arow[k + 2] * b2[j] +
+                                   arow[k + 3] * b3[j];
+                }
+                for (; k < kb; ++k) {
+                    const __m256 a0 = _mm256_set1_ps(arow[k]);
+                    const float *b0 = bdata + (kk + k) * n + jj;
+                    std::size_t j = 0;
+                    for (; j + 8 <= jb; j += 8) {
+                        __m256 acc = _mm256_loadu_ps(crow + j);
+                        acc = _mm256_fmadd_ps(
+                            a0, _mm256_loadu_ps(b0 + j), acc);
+                        _mm256_storeu_ps(crow + j, acc);
+                    }
+                    for (; j < jb; ++j)
+                        crow[j] += arow[k] * b0[j];
+                }
+            }
+        }
+    }
+}
+
+#endif // SMARTSAGE_X86_KERNELS
+
+using GemmRowsFn = void (*)(const float *, const float *, float *,
+                            std::size_t, std::size_t, std::size_t,
+                            std::size_t);
+
+/**
+ * Fixed row-block size for the threaded GEMM decomposition. Fixed —
+ * not derived from the thread count — so the set of (i0, i1) slices,
+ * and therefore every output bit, is invariant to kernel.gemm_threads.
+ */
+constexpr std::size_t kRowBlock = 64;
+
+/** Run @p fn over C's rows, in parallel when gemmThreads() > 1. Each
+ *  block writes a disjoint row slice, so no reduction across threads
+ *  exists and the result equals the serial call bit-for-bit. */
+void
+runGemmRows(GemmRowsFn fn, const Tensor2D &a, const Tensor2D &b,
+            Tensor2D &c)
+{
+    const std::size_t m = a.rows(), kdim = a.cols(), n = b.cols();
+    const float *adata = a.data().data();
+    const float *bdata = b.data().data();
+    float *cdata = c.data().data();
+
+    const unsigned threads = gemmThreads();
+    if (threads <= 1 || m <= kRowBlock) {
+        fn(adata, bdata, cdata, 0, m, kdim, n);
+        return;
+    }
+    const std::size_t blocks = (m + kRowBlock - 1) / kRowBlock;
+    sim::parallelFor(gemmPool(threads), blocks, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kRowBlock;
+        const std::size_t i1 = std::min(i0 + kRowBlock, m);
+        fn(adata, bdata, cdata, i0, i1, kdim, n);
+    });
 }
 
 void
@@ -213,6 +454,64 @@ matmulTNTiled(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
     }
 }
 
+#if SMARTSAGE_X86_KERNELS
+
+/** AVX2+FMA variant of matmulTNTiled: same 4-row B panels, j loop
+ *  8 lanes wide with broadcast A weights. */
+__attribute__((target("avx2,fma"))) void
+matmulTNAvx2(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
+    const std::size_t rdim = a.rows(), m = a.cols(), n = b.cols();
+    const float *adata = a.data().data();
+    const float *bdata = b.data().data();
+    float *cdata = c.data().data();
+
+    std::size_t r = 0;
+    for (; r + 4 <= rdim; r += 4) {
+        const float *a0 = adata + r * m;
+        const float *a1 = a0 + m, *a2 = a1 + m, *a3 = a2 + m;
+        const float *b0 = bdata + r * n;
+        const float *b1 = b0 + n, *b2 = b1 + n, *b3 = b2 + n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const __m256 w0 = _mm256_set1_ps(a0[i]);
+            const __m256 w1 = _mm256_set1_ps(a1[i]);
+            const __m256 w2 = _mm256_set1_ps(a2[i]);
+            const __m256 w3 = _mm256_set1_ps(a3[i]);
+            float *crow = cdata + i * n;
+            std::size_t j = 0;
+            for (; j + 8 <= n; j += 8) {
+                __m256 acc = _mm256_loadu_ps(crow + j);
+                acc = _mm256_fmadd_ps(w0, _mm256_loadu_ps(b0 + j), acc);
+                acc = _mm256_fmadd_ps(w1, _mm256_loadu_ps(b1 + j), acc);
+                acc = _mm256_fmadd_ps(w2, _mm256_loadu_ps(b2 + j), acc);
+                acc = _mm256_fmadd_ps(w3, _mm256_loadu_ps(b3 + j), acc);
+                _mm256_storeu_ps(crow + j, acc);
+            }
+            for (; j < n; ++j)
+                crow[j] += a0[i] * b0[j] + a1[i] * b1[j] +
+                           a2[i] * b2[j] + a3[i] * b3[j];
+        }
+    }
+    for (; r < rdim; ++r) {
+        const float *arow = adata + r * m;
+        const float *brow = bdata + r * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const __m256 w = _mm256_set1_ps(arow[i]);
+            float *crow = cdata + i * n;
+            std::size_t j = 0;
+            for (; j + 8 <= n; j += 8) {
+                __m256 acc = _mm256_loadu_ps(crow + j);
+                acc = _mm256_fmadd_ps(w, _mm256_loadu_ps(brow + j), acc);
+                _mm256_storeu_ps(crow + j, acc);
+            }
+            for (; j < n; ++j)
+                crow[j] += arow[i] * brow[j];
+        }
+    }
+}
+
+#endif // SMARTSAGE_X86_KERNELS
+
 void
 matmulNTNaive(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
 {
@@ -260,6 +559,50 @@ matmulNTTiled(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
     }
 }
 
+#if SMARTSAGE_X86_KERNELS
+
+/** AVX2+FMA variant of matmulNTTiled: two 8-lane FMA accumulators per
+ *  dot product, combined in a fixed order before the scalar tail. */
+__attribute__((target("avx2,fma"))) void
+matmulNTAvx2(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
+{
+    const std::size_t m = a.rows(), n = b.rows(), kdim = a.cols();
+    const float *adata = a.data().data();
+    const float *bdata = b.data().data();
+    float *cdata = c.data().data();
+
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = adata + i * kdim;
+        float *crow = cdata + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = bdata + j * kdim;
+            __m256 v0 = _mm256_setzero_ps();
+            __m256 v1 = _mm256_setzero_ps();
+            std::size_t k = 0;
+            for (; k + 16 <= kdim; k += 16) {
+                v0 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + k),
+                                     _mm256_loadu_ps(brow + k), v0);
+                v1 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + k + 8),
+                                     _mm256_loadu_ps(brow + k + 8), v1);
+            }
+            for (; k + 8 <= kdim; k += 8)
+                v0 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + k),
+                                     _mm256_loadu_ps(brow + k), v0);
+            const __m256 v = _mm256_add_ps(v0, v1);
+            __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                                  _mm256_extractf128_ps(v, 1));
+            s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+            float acc = _mm_cvtss_f32(s);
+            for (; k < kdim; ++k)
+                acc += arow[k] * brow[k];
+            crow[j] = acc;
+        }
+    }
+}
+
+#endif // SMARTSAGE_X86_KERNELS
+
 } // namespace
 
 Tensor2D
@@ -301,10 +644,17 @@ matmulAccumulate(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
     SS_ASSERT(a.cols() == b.rows() && c.rows() == a.rows() &&
                   c.cols() == b.cols(),
               "matmulAccumulate shape mismatch");
-    if (kernelMode() == KernelMode::Naive)
+    if (kernelMode() == KernelMode::Naive) {
         matmulNaive(a, b, c);
-    else
-        matmulTiled(a, b, c);
+        return;
+    }
+#if SMARTSAGE_X86_KERNELS
+    if (resolvedKernelDispatch() == KernelDispatch::Avx2) {
+        runGemmRows(matmulAvx2Rows, a, b, c);
+        return;
+    }
+#endif
+    runGemmRows(matmulScalarRows, a, b, c);
 }
 
 void
@@ -312,10 +662,17 @@ matmulTNInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
 {
     SS_ASSERT(a.rows() == b.rows(), "matmulTN shape mismatch");
     c.resizeToZero(a.cols(), b.cols());
-    if (kernelMode() == KernelMode::Naive)
+    if (kernelMode() == KernelMode::Naive) {
         matmulTNNaive(a, b, c);
-    else
-        matmulTNTiled(a, b, c);
+        return;
+    }
+#if SMARTSAGE_X86_KERNELS
+    if (resolvedKernelDispatch() == KernelDispatch::Avx2) {
+        matmulTNAvx2(a, b, c);
+        return;
+    }
+#endif
+    matmulTNTiled(a, b, c);
 }
 
 void
@@ -324,10 +681,84 @@ matmulNTInto(const Tensor2D &a, const Tensor2D &b, Tensor2D &c)
     SS_ASSERT(a.cols() == b.cols(), "matmulNT shape mismatch");
     // Both NT kernels overwrite every output element: reshape only.
     c.resizeTo(a.rows(), b.rows());
-    if (kernelMode() == KernelMode::Naive)
+    if (kernelMode() == KernelMode::Naive) {
         matmulNTNaive(a, b, c);
-    else
-        matmulNTTiled(a, b, c);
+        return;
+    }
+#if SMARTSAGE_X86_KERNELS
+    if (resolvedKernelDispatch() == KernelDispatch::Avx2) {
+        matmulNTAvx2(a, b, c);
+        return;
+    }
+#endif
+    matmulNTTiled(a, b, c);
+}
+
+namespace
+{
+
+#if SMARTSAGE_X86_KERNELS
+
+// AVX2 row microkernels use plain add/mul (no FMA, no reassociation),
+// so they are bit-identical to the scalar loops element-for-element.
+
+__attribute__((target("avx2"))) void
+rowAccumulateAvx2(float *dst, const float *src, std::size_t n)
+{
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+        _mm256_storeu_ps(dst + j,
+                         _mm256_add_ps(_mm256_loadu_ps(dst + j),
+                                       _mm256_loadu_ps(src + j)));
+    for (; j < n; ++j)
+        dst[j] += src[j];
+}
+
+__attribute__((target("avx2"))) void
+rowAccumulateScaleAvx2(float *dst, const float *src, float scale,
+                       std::size_t n)
+{
+    const __m256 s = _mm256_set1_ps(scale);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+        _mm256_storeu_ps(
+            dst + j,
+            _mm256_mul_ps(_mm256_add_ps(_mm256_loadu_ps(dst + j),
+                                        _mm256_loadu_ps(src + j)),
+                          s));
+    for (; j < n; ++j)
+        dst[j] = (dst[j] + src[j]) * scale;
+}
+
+#endif // SMARTSAGE_X86_KERNELS
+
+} // namespace
+
+void
+rowAccumulate(float *dst, const float *src, std::size_t n)
+{
+#if SMARTSAGE_X86_KERNELS
+    if (resolvedKernelDispatch() == KernelDispatch::Avx2) {
+        rowAccumulateAvx2(dst, src, n);
+        return;
+    }
+#endif
+    for (std::size_t j = 0; j < n; ++j)
+        dst[j] += src[j];
+}
+
+void
+rowAccumulateScale(float *dst, const float *src, float scale,
+                   std::size_t n)
+{
+#if SMARTSAGE_X86_KERNELS
+    if (resolvedKernelDispatch() == KernelDispatch::Avx2) {
+        rowAccumulateScaleAvx2(dst, src, scale, n);
+        return;
+    }
+#endif
+    for (std::size_t j = 0; j < n; ++j)
+        dst[j] = (dst[j] + src[j]) * scale;
 }
 
 std::vector<char>

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "sim/random.hh"
@@ -119,6 +120,118 @@ class ScopedKernelMode
   private:
     KernelMode prev_;
 };
+
+/**
+ * Microkernel flavor behind KernelMode::Tiled. Scalar keeps the
+ * portable cache-blocked loops; Avx2 swaps the inner loops for
+ * 8-lane FMA intrinsics (runtime-gated on cpuid, so an Avx2 request
+ * on a machine without the ISA silently runs Scalar); Auto probes
+ * cpuid once and picks the fastest available flavor. Like KernelMode
+ * the selection is process-global and atomic — flip it between
+ * batches, not mid-kernel. KernelMode::Naive bypasses dispatch
+ * entirely: the reference loops stay the golden baseline for every
+ * flavor.
+ *
+ * Numerics: the AVX2 GEMMs fuse multiply-add and reorder the k
+ * reduction, so outputs match Scalar to tolerance, not bitwise. The
+ * row microkernels (rowAccumulate/rowAccumulateScale) are elementwise
+ * and bit-identical across flavors.
+ */
+enum class KernelDispatch { Auto, Scalar, Avx2 };
+
+/** This CPU (and build) can run the AVX2 microkernels. */
+bool cpuSupportsAvx2();
+
+void setKernelDispatch(KernelDispatch dispatch);
+/** The configured flavor (possibly Auto). */
+KernelDispatch kernelDispatch();
+/** The flavor matmuls actually run: Auto and unsupported Avx2
+ *  resolve against cpuid; never returns Auto. */
+KernelDispatch resolvedKernelDispatch();
+
+/** Display name ("auto", "scalar", "avx2"). */
+const char *kernelDispatchName(KernelDispatch dispatch);
+
+/** Map the `kernel.dispatch` knob value: 0 = auto, 1 = scalar,
+ *  2 = avx2. Fatal on anything else. */
+KernelDispatch kernelDispatchFromKnob(double value);
+
+/**
+ * GEMM worker-thread count for the row-block parallel path; <= 1 runs
+ * inline on the caller. The decomposition uses a fixed row-block size
+ * and each block writes a disjoint slice of C, so results are
+ * bit-identical at any thread count — including 1 — for a given
+ * dispatch flavor. The backing sim::ThreadPool is created lazily on
+ * the first threaded GEMM and rebuilt when the count changes.
+ */
+void setGemmThreads(unsigned threads);
+unsigned gemmThreads();
+
+/**
+ * The `kernel.*` knob block (scenario-sweepable). Settings are
+ * process-global once applied — a scenario sweeping them should run
+ * its cells sequentially (--workers 1).
+ */
+struct KernelConfig
+{
+    KernelDispatch dispatch = KernelDispatch::Auto;
+    unsigned gemm_threads = 1;
+};
+
+/**
+ * Apply one `kernel.`-namespace knob (namespace already stripped):
+ * `dispatch` (0 = auto, 1 = scalar, 2 = avx2) or `gemm_threads`
+ * ([1, 64]). Fatal on out-of-range values. @return false if the key
+ * is unknown
+ */
+bool applyKnob(KernelConfig &config, std::string_view key, double value);
+
+/** Install @p config into the process-global dispatch state. */
+void applyKernelConfig(const KernelConfig &config);
+
+/** RAII guard restoring the previous KernelDispatch. */
+class ScopedKernelDispatch
+{
+  public:
+    explicit ScopedKernelDispatch(KernelDispatch dispatch)
+        : prev_(kernelDispatch())
+    {
+        setKernelDispatch(dispatch);
+    }
+    ~ScopedKernelDispatch() { setKernelDispatch(prev_); }
+    ScopedKernelDispatch(const ScopedKernelDispatch &) = delete;
+    ScopedKernelDispatch &operator=(const ScopedKernelDispatch &) = delete;
+
+  private:
+    KernelDispatch prev_;
+};
+
+/** RAII guard restoring the previous GEMM thread count. */
+class ScopedGemmThreads
+{
+  public:
+    explicit ScopedGemmThreads(unsigned threads) : prev_(gemmThreads())
+    {
+        setGemmThreads(threads);
+    }
+    ~ScopedGemmThreads() { setGemmThreads(prev_); }
+    ScopedGemmThreads(const ScopedGemmThreads &) = delete;
+    ScopedGemmThreads &operator=(const ScopedGemmThreads &) = delete;
+
+  private:
+    unsigned prev_;
+};
+
+// Row microkernels for the aggregate path (layers.cc): elementwise,
+// dispatch-accelerated, and bit-identical across flavors (no
+// reassociation, no FMA).
+
+/** dst[j] += src[j] for j in [0, n). */
+void rowAccumulate(float *dst, const float *src, std::size_t n);
+
+/** dst[j] = (dst[j] + src[j]) * scale for j in [0, n). */
+void rowAccumulateScale(float *dst, const float *src, float scale,
+                        std::size_t n);
 
 /** C = A * B. @pre A.cols == B.rows */
 Tensor2D matmul(const Tensor2D &a, const Tensor2D &b);

@@ -1,0 +1,62 @@
+#include "net.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace smartsage::sim
+{
+
+bool
+applyKnob(NetConfig &config, std::string_view key, double value)
+{
+    if (key == "bandwidth_gbps") {
+        if (!(value > 0))
+            SS_FATAL("net.bandwidth_gbps must be > 0, got ", value);
+        config.bandwidth_gbps = value;
+    } else if (key == "latency_us") {
+        if (value < 0)
+            SS_FATAL("net.latency_us must be >= 0, got ", value);
+        config.latency = us(value);
+    } else if (key == "queue_depth") {
+        if (value != std::floor(value) || value < 1)
+            SS_FATAL("net.queue_depth must be an integer >= 1, got ",
+                     value);
+        config.queue_depth = static_cast<unsigned>(value);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+NetworkChannel::NetworkChannel(const NetConfig &config)
+    : config_(config), lane_free_(config.queue_depth, 0)
+{
+    SS_ASSERT(config.queue_depth >= 1, "network channel needs a lane");
+    SS_ASSERT(config.bandwidth_gbps > 0, "network needs bandwidth");
+}
+
+Tick
+NetworkChannel::serviceTransfer(Tick start, std::uint64_t bytes)
+{
+    auto lane = std::min_element(lane_free_.begin(), lane_free_.end());
+    Tick begin = std::max(start, *lane);
+    // transferTime speaks decimal gigaBYTES per second.
+    Tick finish = begin + config_.latency +
+                  transferTime(bytes, config_.bandwidth_gbps / 8.0);
+    *lane = finish;
+    ++transfers_;
+    bytes_ += bytes;
+    return finish;
+}
+
+void
+NetworkChannel::reset()
+{
+    std::fill(lane_free_.begin(), lane_free_.end(), 0);
+    transfers_ = 0;
+    bytes_ = 0;
+}
+
+} // namespace smartsage::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NetworkChannel: a bounded inter-node link service station.
+ *
+ * A small generalization of the StorageChannel idea (io.hh) to
+ * point-to-point host interconnect: a transfer occupies one of
+ * `queue_depth` link lanes for its serialization time plus a fixed
+ * one-way latency, and lanes are busy-until timelines, so queueing
+ * delay emerges when more transfers are in flight than the link can
+ * carry. The partitioned scale-out backend (host/partitioned_store.hh)
+ * models one channel per remote node; the `net.*` knob namespace
+ * (bandwidth_gbps, latency_us, queue_depth) sweeps the link.
+ *
+ * Timing is synchronous busy-until math — serviceTransfer(start,
+ * bytes) returns the delivery tick — matching how the edge stores
+ * compose device timelines inside serviceGather.
+ */
+
+#ifndef SMARTSAGE_SIM_NET_HH
+#define SMARTSAGE_SIM_NET_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "types.hh"
+
+namespace smartsage::sim
+{
+
+/** One point-to-point link's parameters (`net.*` knobs). */
+struct NetConfig
+{
+    /** Link bandwidth in gigabits per second (network convention;
+     *  25 Gbps = 3.125 decimal GB/s). */
+    double bandwidth_gbps = 25.0;
+    /** One-way message latency, paid by the request and the reply. */
+    Tick latency = us(2);
+    /** Transfers in flight per link before queueing. */
+    unsigned queue_depth = 16;
+};
+
+/**
+ * Apply one `net.`-namespace knob (namespace already stripped):
+ * `bandwidth_gbps` (> 0), `latency_us` (>= 0), or `queue_depth`
+ * (integer >= 1). Fatal on out-of-range values.
+ * @return false if the key is unknown
+ */
+bool applyKnob(NetConfig &config, std::string_view key, double value);
+
+/** Busy-until model of one point-to-point link. */
+class NetworkChannel
+{
+  public:
+    explicit NetworkChannel(const NetConfig &config);
+
+    const NetConfig &config() const { return config_; }
+
+    /**
+     * Deliver @p bytes over the link, earliest-free lane first: the
+     * transfer begins at max(@p start, lane free), and lands after the
+     * one-way latency plus serialization time. @return delivery tick
+     */
+    Tick serviceTransfer(Tick start, std::uint64_t bytes);
+
+    /** One-way latency alone (tiny control messages that do not
+     *  occupy a lane). */
+    Tick messageLatency() const { return config_.latency; }
+
+    std::uint64_t transfers() const { return transfers_; }
+    std::uint64_t bytesMoved() const { return bytes_; }
+
+    /** Fresh lane timelines and counters. */
+    void reset();
+
+  private:
+    NetConfig config_;
+    std::vector<Tick> lane_free_; //!< busy-until per lane
+    std::uint64_t transfers_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace smartsage::sim
+
+#endif // SMARTSAGE_SIM_NET_HH

@@ -1,0 +1,194 @@
+/** @file Kernel-dispatch equivalence (ctest label `kernel`): the
+ *  scalar-tiled, AVX2, and thread-parallel GEMM flavors against the
+ *  naive golden reference, plus knob round-trips and the bit-exactness
+ *  contracts the dispatch layer promises (threaded GEMM invariant to
+ *  worker count, row microkernels invariant to dispatch flavor). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "gnn/tensor.hh"
+#include "sim/random.hh"
+
+using namespace smartsage;
+using gnn::KernelDispatch;
+using gnn::Tensor2D;
+
+namespace
+{
+
+Tensor2D
+randomTensor(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    return Tensor2D::uniform(rows, cols, 1.0f, rng);
+}
+
+/** Max |a - b| over all elements; FLT_MAX on shape mismatch. */
+double
+maxAbsDiff(const Tensor2D &a, const Tensor2D &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return 1e30;
+    double worst = 0;
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        worst = std::max(
+            worst, std::abs(double(a.data()[i]) - double(b.data()[i])));
+    return worst;
+}
+
+bool
+bitIdentical(const Tensor2D &a, const Tensor2D &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           a.data() == b.data();
+}
+
+} // namespace
+
+TEST(KernelDispatch, KnobRoundTripAndResolution)
+{
+    EXPECT_EQ(gnn::kernelDispatchFromKnob(0), KernelDispatch::Auto);
+    EXPECT_EQ(gnn::kernelDispatchFromKnob(1), KernelDispatch::Scalar);
+    EXPECT_EQ(gnn::kernelDispatchFromKnob(2), KernelDispatch::Avx2);
+
+    gnn::KernelConfig cfg;
+    EXPECT_TRUE(gnn::applyKnob(cfg, "dispatch", 1));
+    EXPECT_EQ(cfg.dispatch, KernelDispatch::Scalar);
+    EXPECT_TRUE(gnn::applyKnob(cfg, "gemm_threads", 4));
+    EXPECT_EQ(cfg.gemm_threads, 4u);
+    EXPECT_FALSE(gnn::applyKnob(cfg, "no_such_knob", 1));
+
+    // resolvedKernelDispatch never reports Auto, and only reports Avx2
+    // on hardware that can actually run it.
+    gnn::ScopedKernelDispatch guard(KernelDispatch::Auto);
+    KernelDispatch resolved = gnn::resolvedKernelDispatch();
+    EXPECT_NE(resolved, KernelDispatch::Auto);
+    if (!gnn::cpuSupportsAvx2())
+        EXPECT_EQ(resolved, KernelDispatch::Scalar);
+}
+
+TEST(KernelDispatch, ScalarTiledMatchesNaiveWithinTolerance)
+{
+    Tensor2D a = randomTensor(97, 33, 0xaa);  // A . B
+    Tensor2D b = randomTensor(33, 41, 0xbb);
+    Tensor2D c = randomTensor(33, 29, 0xcc);  // B^T . C (rows match)
+    Tensor2D d = randomTensor(29, 33, 0xdd);  // A . D^T (cols match)
+
+    Tensor2D nn_naive, tn_naive, nt_naive;
+    {
+        gnn::ScopedKernelMode naive(gnn::KernelMode::Naive);
+        nn_naive = gnn::matmul(a, b);
+        tn_naive = gnn::matmulTN(b, c);
+        nt_naive = gnn::matmulNT(a, d);
+    }
+    gnn::ScopedKernelMode tiled(gnn::KernelMode::Tiled);
+    gnn::ScopedKernelDispatch scalar(KernelDispatch::Scalar);
+    // The tiled kernels reassociate the k-loop, so equality is up to
+    // float rounding, not bitwise.
+    EXPECT_LT(maxAbsDiff(gnn::matmul(a, b), nn_naive), 1e-4);
+    EXPECT_LT(maxAbsDiff(gnn::matmulTN(b, c), tn_naive), 1e-4);
+    EXPECT_LT(maxAbsDiff(gnn::matmulNT(a, d), nt_naive), 1e-4);
+}
+
+TEST(KernelDispatch, Avx2MatchesScalarWithinTolerance)
+{
+    if (!gnn::cpuSupportsAvx2())
+        GTEST_SKIP() << "host CPU has no AVX2+FMA";
+
+    Tensor2D a = randomTensor(70, 48, 0x11);  // A . B
+    Tensor2D b = randomTensor(48, 53, 0x22);
+    Tensor2D c = randomTensor(48, 31, 0x33);  // B^T . C (rows match)
+    Tensor2D d = randomTensor(53, 48, 0x44);  // A . D^T (cols match)
+
+    gnn::ScopedKernelMode tiled(gnn::KernelMode::Tiled);
+    Tensor2D nn_s, tn_s, nt_s;
+    {
+        gnn::ScopedKernelDispatch scalar(KernelDispatch::Scalar);
+        nn_s = gnn::matmul(a, b);
+        tn_s = gnn::matmulTN(b, c);
+        nt_s = gnn::matmulNT(a, d);
+    }
+    gnn::ScopedKernelDispatch avx2(KernelDispatch::Avx2);
+    EXPECT_LT(maxAbsDiff(gnn::matmul(a, b), nn_s), 1e-4);
+    EXPECT_LT(maxAbsDiff(gnn::matmulTN(b, c), tn_s), 1e-4);
+    EXPECT_LT(maxAbsDiff(gnn::matmulNT(a, d), nt_s), 1e-4);
+}
+
+TEST(KernelDispatch, ThreadedGemmBitIdenticalAtAnyWorkerCount)
+{
+    // 300 rows spans several 64-row blocks, so 2 and 4 threads really
+    // decompose the row space differently — yet per-row accumulation
+    // order is fixed, so outputs must be bitwise equal.
+    Tensor2D a = randomTensor(300, 64, 0x44);
+    Tensor2D b = randomTensor(64, 32, 0x55);
+
+    const KernelDispatch flavors[] = {KernelDispatch::Scalar,
+                                      KernelDispatch::Avx2};
+    gnn::ScopedKernelMode tiled(gnn::KernelMode::Tiled);
+    for (KernelDispatch flavor : flavors) {
+        if (flavor == KernelDispatch::Avx2 && !gnn::cpuSupportsAvx2())
+            continue;
+        gnn::ScopedKernelDispatch guard(flavor);
+        Tensor2D serial;
+        {
+            gnn::ScopedGemmThreads one(1);
+            serial = gnn::matmul(a, b);
+        }
+        for (unsigned threads : {2u, 4u}) {
+            gnn::ScopedGemmThreads many(threads);
+            EXPECT_TRUE(bitIdentical(gnn::matmul(a, b), serial))
+                << gnn::kernelDispatchName(flavor) << " threads="
+                << threads;
+        }
+    }
+}
+
+TEST(KernelDispatch, RowMicrokernelsBitIdenticalAcrossFlavors)
+{
+    // rowAccumulate/rowAccumulateScale use add/mul only (no FMA), so
+    // the AVX2 flavor must match scalar bit-for-bit — aggregation
+    // results cannot depend on the host CPU.
+    if (!gnn::cpuSupportsAvx2())
+        GTEST_SKIP() << "host CPU has no AVX2+FMA";
+
+    const std::size_t n = 77; // odd: exercises the vector tail
+    Tensor2D src = randomTensor(1, n, 0x66);
+    Tensor2D acc_s = randomTensor(1, n, 0x77);
+    Tensor2D acc_v = acc_s;
+
+    {
+        gnn::ScopedKernelDispatch scalar(KernelDispatch::Scalar);
+        gnn::rowAccumulate(acc_s.row(0).data(), src.row(0).data(), n);
+        gnn::rowAccumulateScale(acc_s.row(0).data(), src.row(0).data(),
+                                0.125f, n);
+    }
+    {
+        gnn::ScopedKernelDispatch avx2(KernelDispatch::Avx2);
+        gnn::rowAccumulate(acc_v.row(0).data(), src.row(0).data(), n);
+        gnn::rowAccumulateScale(acc_v.row(0).data(), src.row(0).data(),
+                                0.125f, n);
+    }
+    EXPECT_TRUE(bitIdentical(acc_s, acc_v));
+}
+
+TEST(KernelDispatch, NaiveModeBypassesDispatch)
+{
+    // KernelMode::Naive is the golden reference: its output must not
+    // depend on the dispatch flavor or thread count at all.
+    Tensor2D a = randomTensor(65, 31, 0x88);
+    Tensor2D b = randomTensor(31, 29, 0x99);
+
+    gnn::ScopedKernelMode naive(gnn::KernelMode::Naive);
+    Tensor2D golden;
+    {
+        gnn::ScopedKernelDispatch scalar(KernelDispatch::Scalar);
+        gnn::ScopedGemmThreads one(1);
+        golden = gnn::matmul(a, b);
+    }
+    gnn::ScopedKernelDispatch auto_(KernelDispatch::Auto);
+    gnn::ScopedGemmThreads four(4);
+    EXPECT_TRUE(bitIdentical(gnn::matmul(a, b), golden));
+}
